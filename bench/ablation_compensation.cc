@@ -1,0 +1,85 @@
+// Ablation A1 — is on-line error correction actually load-bearing?
+//
+// DESIGN.md calls out local compensation as SWEEP's central design
+// choice. This ablation runs SWEEP with the compensation step disabled
+// (raw answers applied as-is) across rising interference levels and shows
+// the distributed anomaly of Section 3 reappear: the view diverges from
+// ground truth, silently. With compensation on, the same runs are
+// completely consistent at identical message cost.
+//
+//   $ ./ablation_compensation
+
+#include <cstdio>
+
+#include "common/str.h"
+#include "common/table.h"
+#include "harness/scenario.h"
+
+using namespace sweepmv;
+
+namespace {
+
+struct Outcome {
+  ConsistencyLevel level;
+  bool final_correct;
+  int64_t error_tuples;  // |final - expected| distinct tuples
+  double msgs_per_update;
+};
+
+Outcome Run(bool local_compensation, double interarrival, uint64_t seed) {
+  ScenarioConfig config;
+  config.algorithm = Algorithm::kSweep;
+  config.chain.num_relations = 3;
+  config.chain.initial_tuples = 12;
+  config.chain.join_domain = 5;
+  config.chain.seed = seed;
+  config.workload.total_txns = 24;
+  config.workload.mean_interarrival = interarrival;
+  config.workload.seed = seed + 3;
+  config.latency = LatencyModel::Fixed(2000);
+  config.warehouse.sweep_local_compensation = local_compensation;
+
+  RunResult r = RunScenario(config);
+  Relation diff = r.final_view;
+  diff.MergeNegated(r.expected_view);
+  return Outcome{r.consistency.level, r.consistency.final_state_correct,
+                 static_cast<int64_t>(diff.DistinctSize()),
+                 r.maintenance_msgs_per_update};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation: SWEEP with and without local compensation (3 sources,\n"
+      "24 txns, one-way latency 2000). Error tuples = distinct tuples by\n"
+      "which the final view differs from ground truth.\n\n");
+
+  TablePrinter table({"Interference", "Compensation", "Consistency",
+                      "Final correct", "Error tuples", "msgs/update"});
+  for (double interarrival : {40000.0, 6000.0, 2000.0, 800.0}) {
+    const char* regime = interarrival > 20000   ? "rare"
+                         : interarrival > 4000  ? "light"
+                         : interarrival > 1500  ? "moderate"
+                                                : "heavy";
+    for (bool comp : {true, false}) {
+      Outcome o = Run(comp, interarrival, /*seed=*/5);
+      table.AddRow({regime, comp ? "ON" : "OFF",
+                    ConsistencyLevelName(o.level),
+                    o.final_correct ? "yes" : "NO",
+                    StrFormat("%lld", static_cast<long long>(
+                                          o.error_tuples)),
+                    StrFormat("%.1f", o.msgs_per_update)});
+    }
+    if (interarrival > 800.0) table.AddSeparator();
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Reading: error terms exist exactly when updates race in-flight\n"
+      "queries (even the sparse regime sees a couple). Where they do,\n"
+      "compensation-OFF corrupts the view (and nothing signals\n"
+      "it), while compensation-ON stays completely consistent at the\n"
+      "same 2(n-1) messages: the compensation is free of communication,\n"
+      "exactly the paper's claim.\n");
+  return 0;
+}

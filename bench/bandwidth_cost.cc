@@ -1,0 +1,72 @@
+// Ablation A3 — payload matters: the paper's introduction frames the
+// design space as a spectrum from fully virtual (query everything, heavy
+// communication) to fully replicated (copy everything, heavy storage).
+// Under a bandwidth-limited network (per-tuple serialization cost) the
+// spectrum becomes measurable: recompute ships whole relations, C-Strobe
+// ships redundant compensation payloads, SWEEP ships only deltas and
+// partial answers.
+//
+//   $ ./bandwidth_cost
+
+#include <cstdio>
+
+#include "common/str.h"
+#include "common/table.h"
+#include "harness/scenario.h"
+
+using namespace sweepmv;
+
+namespace {
+
+RunResult Run(Algorithm algorithm, SimTime per_tuple) {
+  ScenarioConfig config;
+  config.algorithm = algorithm;
+  config.chain.num_relations = 3;
+  config.chain.initial_tuples = 48;
+  config.chain.join_domain = 48;  // unit fan-out, big bases
+  config.workload.total_txns = 16;
+  config.workload.mean_interarrival = 25000;
+  config.latency = LatencyModel::Bandwidth(500, 0, per_tuple);
+  RunResult r = RunScenario(config);
+  if (r.final_view != r.expected_view) {
+    std::fprintf(stderr, "%s diverged!\n", AlgorithmName(algorithm));
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Maintenance cost under bandwidth-limited channels (one-way delay\n"
+      "= 500 + per_tuple x payload; 3 sources of 48 tuples, sparse\n"
+      "updates so only payload differs).\n\n");
+
+  for (SimTime per_tuple : {0, 20, 100}) {
+    std::printf("per-tuple cost = %lld ticks:\n",
+                static_cast<long long>(per_tuple));
+    TablePrinter table({"Algorithm", "Payload (tuples)", "Mean lag",
+                        "Finish time", "Consistency"});
+    for (Algorithm a :
+         {Algorithm::kSweep, Algorithm::kParallelSweep,
+          Algorithm::kCStrobe, Algorithm::kRecompute}) {
+      RunResult r = Run(a, per_tuple);
+      table.AddRow(
+          {r.algorithm_name,
+           StrFormat("%lld",
+                     static_cast<long long>(r.net.TotalPayload())),
+           StrFormat("%.0f", r.mean_incorporation_delay),
+           StrFormat("%lld", static_cast<long long>(r.finish_time)),
+           ConsistencyLevelName(r.consistency.level)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  std::printf(
+      "Reading: with free bandwidth (0) all lags are similar; as the\n"
+      "per-tuple cost grows, Recompute's full-relation snapshots dominate\n"
+      "its lag while SWEEP's delta-sized payloads barely move — the\n"
+      "communication end of the intro's spectrum, quantified. Parallel\n"
+      "SWEEP pays the same bytes as SWEEP but hides half the latency.\n");
+  return 0;
+}

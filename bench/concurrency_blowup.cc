@@ -1,0 +1,96 @@
+// Experiment E2 — compensation blow-up vs. concurrency (Section 3): the
+// number of compensating queries C-Strobe needs per insert grows with the
+// interference rate K (up to K^(n-2) / (n-1)! in the analysis), while
+// SWEEP's cost is flat at 2(n-1) no matter how hard the updates race —
+// its compensation is local.
+//
+// K is swept by shrinking the update inter-arrival time relative to the
+// channel round trip.
+//
+//   $ ./concurrency_blowup
+
+#include <cstdio>
+#include <vector>
+
+#include "common/str.h"
+#include "common/table.h"
+#include "harness/scenario.h"
+
+using namespace sweepmv;
+
+namespace {
+
+struct Point {
+  double k_estimate = 0;  // measured interfering updates per round trip
+  double sweep_msgs = 0;
+  double cstrobe_msgs = 0;
+  int64_t cstrobe_comp_queries = 0;
+  double nested_msgs = 0;
+};
+
+Point MeasurePoint(int n, double interarrival) {
+  Point p;
+  const SimTime kLatency = 2000;
+  p.k_estimate = 2.0 * static_cast<double>(kLatency) / interarrival;
+
+  auto run = [&](Algorithm algorithm) {
+    ScenarioConfig config;
+    config.algorithm = algorithm;
+    config.chain.num_relations = n;
+    config.chain.initial_tuples = 14;
+    config.chain.join_domain = 14;  // unit join fan-out
+    config.workload.total_txns = 30;
+    config.workload.mean_interarrival = interarrival;
+    // Interference needs deletes racing insert queries.
+    config.workload.insert_fraction = 0.55;
+    config.latency = LatencyModel::Fixed(kLatency);
+    RunResult r = RunScenario(config);
+    if (r.final_view != r.expected_view) {
+      std::fprintf(stderr, "%s diverged (n=%d, ia=%.0f)!\n",
+                   AlgorithmName(algorithm), n, interarrival);
+    }
+    return r;
+  };
+
+  RunResult sweep = run(Algorithm::kSweep);
+  RunResult cstrobe = run(Algorithm::kCStrobe);
+  RunResult nested = run(Algorithm::kNestedSweep);
+  p.sweep_msgs = sweep.maintenance_msgs_per_update;
+  p.cstrobe_msgs = cstrobe.maintenance_msgs_per_update;
+  p.cstrobe_comp_queries = cstrobe.compensating_queries;
+  p.nested_msgs = nested.maintenance_msgs_per_update;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Compensation blow-up vs. concurrency level K (interfering updates\n"
+      "per query round trip). Fixed one-way latency 2000 ticks; K swept\n"
+      "by shrinking the mean update inter-arrival time.\n\n");
+
+  for (int n : {3, 4, 5}) {
+    std::printf("n = %d sources:\n", n);
+    TablePrinter table({"~K", "SWEEP msgs/upd", "NestedSWEEP msgs/upd",
+                        "C-Strobe msgs/upd", "C-Strobe comp. queries"});
+    for (double interarrival : {40000.0, 8000.0, 4000.0, 2000.0, 1000.0}) {
+      Point p = MeasurePoint(n, interarrival);
+      table.AddRow({StrFormat("%.1f", p.k_estimate),
+                    StrFormat("%.1f", p.sweep_msgs),
+                    StrFormat("%.1f", p.nested_msgs),
+                    StrFormat("%.1f", p.cstrobe_msgs),
+                    StrFormat("%lld", static_cast<long long>(
+                                          p.cstrobe_comp_queries))});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  std::printf(
+      "Shape check (paper): SWEEP's column is constant at 2(n-1) — "
+      "local\ncompensation is free of messages. C-Strobe's compensating "
+      "queries\nrise sharply with K and with n (the K^(n-2) mechanism); "
+      "Nested SWEEP\nfalls *below* SWEEP as K grows (batch "
+      "amortization).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Experiment E3 — ECA's query-size growth with interfering updates
+// (Section 3: "the size of query messages is quadratic in the number of
+// interfering updates"). A burst of B near-simultaneous updates hits the
+// single source; every update's query must carry offset terms for the
+// contamination earlier answers picked up. We report the maximum and
+// total number of terms per burst size, plus SWEEP's per-update message
+// size for contrast (constant).
+//
+//   $ ./eca_query_size
+
+#include <cstdio>
+
+#include "common/str.h"
+#include "common/table.h"
+#include "harness/scenario.h"
+
+using namespace sweepmv;
+
+namespace {
+
+RunResult RunBurst(Algorithm algorithm, int burst) {
+  ScenarioConfig config;
+  config.algorithm = algorithm;
+  config.chain.num_relations = 3;
+  config.chain.initial_tuples = 10;
+  config.chain.join_domain = 4;
+  config.workload.total_txns = burst;
+  config.workload.mean_interarrival = 150;  // near-simultaneous
+  config.workload.insert_fraction = 0.7;
+  config.latency = LatencyModel::Fixed(5000);  // long round trips
+  RunResult r = RunScenario(config);
+  if (r.final_view != r.expected_view) {
+    std::fprintf(stderr, "%s diverged at burst=%d!\n",
+                 AlgorithmName(algorithm), burst);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "ECA query size vs. number of interfering updates (burst of B\n"
+      "updates arriving within one query round trip; 3 relations at one\n"
+      "source).\n\n");
+
+  TablePrinter table({"Burst B", "ECA max terms/query",
+                      "ECA total terms", "ECA terms/update",
+                      "ECA msgs/update", "SWEEP msgs/update"});
+  for (int burst : {1, 2, 3, 4, 6, 8, 10}) {
+    RunResult eca = RunBurst(Algorithm::kEca, burst);
+    RunResult sweep = RunBurst(Algorithm::kSweep, burst);
+    table.AddRow(
+        {StrFormat("%d", burst),
+         StrFormat("%lld", static_cast<long long>(eca.max_query_terms)),
+         StrFormat("%lld", static_cast<long long>(eca.total_query_terms)),
+         StrFormat("%.1f", static_cast<double>(eca.total_query_terms) /
+                               static_cast<double>(burst)),
+         StrFormat("%.1f", eca.maintenance_msgs_per_update),
+         StrFormat("%.1f", sweep.maintenance_msgs_per_update)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf(
+      "Shape check (paper): ECA's message *count* per update is constant\n"
+      "(one query + one answer) but the query *size* (number of join\n"
+      "terms) grows superlinearly with the interference burst — the\n"
+      "offset terms of Section 3's Q2 formulation compounding. SWEEP's\n"
+      "column is flat: compensation never leaves the warehouse.\n");
+  return 0;
+}

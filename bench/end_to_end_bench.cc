@@ -1,0 +1,102 @@
+// Experiment M2 — end-to-end maintenance throughput: full simulated runs
+// (sources + FIFO network + warehouse) per algorithm and topology,
+// measuring wall-clock per maintained update of the whole stack.
+//
+//   $ ./end_to_end_bench
+
+#include <benchmark/benchmark.h>
+
+#include "harness/scenario.h"
+
+namespace sweepmv {
+namespace {
+
+void RunOnce(Algorithm algorithm, int n, int txns, bool check) {
+  ScenarioConfig config;
+  config.algorithm = algorithm;
+  config.chain.num_relations = n;
+  config.chain.initial_tuples = 32;
+  config.chain.join_domain = 16;  // ~2x fan-out per hop
+  config.workload.total_txns = txns;
+  config.workload.mean_interarrival = 1500;
+  config.latency = LatencyModel::Jittered(700, 400);
+  config.check_consistency = check;
+  config.warehouse.base.log_installs = check;
+  RunResult r = RunScenario(config);
+  benchmark::DoNotOptimize(r.final_view);
+}
+
+void BM_SweepEndToEnd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int txns = 64;
+  for (auto _ : state) {
+    RunOnce(Algorithm::kSweep, n, txns, /*check=*/false);
+  }
+  state.SetItemsProcessed(state.iterations() * txns);
+}
+BENCHMARK(BM_SweepEndToEnd)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_NestedSweepEndToEnd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int txns = 64;
+  for (auto _ : state) {
+    RunOnce(Algorithm::kNestedSweep, n, txns, /*check=*/false);
+  }
+  state.SetItemsProcessed(state.iterations() * txns);
+}
+BENCHMARK(BM_NestedSweepEndToEnd)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_StrobeEndToEnd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int txns = 64;
+  for (auto _ : state) {
+    RunOnce(Algorithm::kStrobe, n, txns, /*check=*/false);
+  }
+  state.SetItemsProcessed(state.iterations() * txns);
+}
+BENCHMARK(BM_StrobeEndToEnd)->Arg(3)->Arg(5);
+
+void BM_CStrobeEndToEnd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int txns = 48;
+  for (auto _ : state) {
+    RunOnce(Algorithm::kCStrobe, n, txns, /*check=*/false);
+  }
+  state.SetItemsProcessed(state.iterations() * txns);
+}
+BENCHMARK(BM_CStrobeEndToEnd)->Arg(3)->Arg(5);
+
+void BM_SweepWithConsistencyCheck(benchmark::State& state) {
+  // The replay checker's own cost, end to end.
+  for (auto _ : state) {
+    RunOnce(Algorithm::kSweep, 4, 32, /*check=*/true);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_SweepWithConsistencyCheck);
+
+void BM_SweepLargeBase(benchmark::State& state) {
+  // Scaling the base-relation size: sweep legs join deltas against
+  // progressively larger sources.
+  const int rows = static_cast<int>(state.range(0));
+  const int txns = 32;
+  for (auto _ : state) {
+    ScenarioConfig config;
+    config.algorithm = Algorithm::kSweep;
+    config.chain.num_relations = 3;
+    config.chain.initial_tuples = rows;
+    config.chain.join_domain = rows / 4;  // fixed ~4x fan-out per hop
+    config.workload.total_txns = txns;
+    config.workload.mean_interarrival = 1500;
+    config.latency = LatencyModel::Fixed(800);
+    config.check_consistency = false;
+    config.warehouse.base.log_installs = false;
+    RunResult r = RunScenario(config);
+    benchmark::DoNotOptimize(r.final_view);
+  }
+  state.SetItemsProcessed(state.iterations() * txns);
+}
+BENCHMARK(BM_SweepLargeBase)->Arg(64)->Arg(512)->Arg(4096);
+
+}  // namespace
+}  // namespace sweepmv

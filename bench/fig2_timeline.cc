@@ -1,0 +1,85 @@
+// Experiment F2 — Figure 2, "On-line Incremental View Computation",
+// rendered as a live space-time trace: the warehouse sweeps ΔR2 leftward
+// to R1 and rightward to R3 while interfering updates cross the queries
+// in flight, and every FIFO ordering the compensation argument leans on
+// is visible in the timestamps (the interfering update's notification
+// always lands before the contaminated answer).
+//
+//   $ ./fig2_timeline
+
+#include <cstdio>
+
+#include "consistency/checker.h"
+#include "core/factory.h"
+#include "harness/trace.h"
+#include "sim/simulator.h"
+#include "source/data_source.h"
+
+using namespace sweepmv;
+
+int main() {
+  ViewDef view = ViewDef::Builder()
+                     .AddRelation("R0", Schema::AllInts({"A", "B"}))
+                     .AddRelation("R1", Schema::AllInts({"C", "D"}))
+                     .AddRelation("R2", Schema::AllInts({"E", "F"}))
+                     .JoinOn(0, 1, 0)
+                     .JoinOn(1, 1, 0)
+                     .Project({3, 5})
+                     .Build();
+  std::vector<Relation> bases = {
+      Relation::OfInts(view.rel_schema(0), {{1, 3}, {2, 3}}),
+      Relation::OfInts(view.rel_schema(1), {{3, 7}}),
+      Relation::OfInts(view.rel_schema(2), {{5, 6}, {7, 8}}),
+  };
+
+  Simulator sim;
+  Network network(&sim, LatencyModel::Fixed(1000), 1);
+  TraceRecorder trace;
+  trace.Attach(&network);
+
+  UpdateIdGenerator ids;
+  std::vector<std::unique_ptr<DataSource>> sources;
+  for (int r = 0; r < 3; ++r) {
+    sources.push_back(std::make_unique<DataSource>(
+        r + 1, r, bases[static_cast<size_t>(r)], &view, &network, 0,
+        &ids));
+    network.RegisterSite(r + 1, sources.back().get());
+  }
+  std::unique_ptr<Warehouse> warehouse = MakeWarehouse(
+      Algorithm::kSweep, 0, view, &network, {1, 2, 3}, WarehouseConfig{});
+  network.RegisterSite(0, warehouse.get());
+  std::vector<const Relation*> rels{&bases[0], &bases[1], &bases[2]};
+  warehouse->InitializeView(view.EvaluateFull(rels));
+
+  sim.ScheduleAt(0, [&] { sources[1]->ApplyInsert(IntTuple({3, 5})); });
+  sim.ScheduleAt(400, [&] { sources[2]->ApplyDelete(IntTuple({7, 8})); });
+  sim.ScheduleAt(500, [&] { sources[0]->ApplyDelete(IntTuple({2, 3})); });
+  sim.Run();
+
+  std::printf(
+      "Figure 2 — on-line incremental view computation, traced.\n"
+      "System: WH = warehouse, R0..R2 = sources (0-based relation\n"
+      "indices); fixed one-way latency\n"
+      "1000 ticks. Scenario: the Section 5.2 concurrent updates.\n\n");
+  std::printf("%s\n",
+              RenderTimeline(trace.messages(),
+                             {{0, "WH"}, {1, "R0"}, {2, "R1"}, {3, "R2"}},
+                             *warehouse)
+                  .c_str());
+
+  std::vector<const StateLog*> logs;
+  for (const auto& s : sources) logs.push_back(&s->log());
+  ConsistencyReport report = CheckConsistency(view, logs, *warehouse);
+  std::printf(
+      "What to look for (the paper's FIFO argument, live):\n"
+      "  * WH gets 'update u1 of R2' and 'update u2 of R0' BEFORE it\n"
+      "    gets the answers those updates contaminated — so both error\n"
+      "    terms were subtracted locally, no compensating query appears\n"
+      "    anywhere in the trace;\n"
+      "  * the sweep for each update is exactly (n-1) query/answer\n"
+      "    round trips, left chain then right chain;\n"
+      "  * every INSTALL line is a Figure 5 state, in delivery order.\n"
+      "Measured consistency: %s\n",
+      ConsistencyLevelName(report.level));
+  return report.level == ConsistencyLevel::kComplete ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Experiment E1 — message complexity vs. number of sources (Sections 5.3,
+// 6.2): SWEEP needs exactly 2(n-1) maintenance messages per update;
+// Nested SWEEP at most that (amortized below it under interference);
+// Strobe ~2(n-1) per insert; C-Strobe grows past 2(n-1) with
+// interference; ECA is flat (single site).
+//
+//   $ ./msg_complexity
+
+#include <cstdio>
+#include <vector>
+
+#include "common/str.h"
+#include "common/table.h"
+#include "harness/scenario.h"
+
+using namespace sweepmv;
+
+namespace {
+
+double MsgsPerUpdate(Algorithm algorithm, int n, bool concurrent) {
+  ScenarioConfig config;
+  config.algorithm = algorithm;
+  config.chain.num_relations = n;
+  config.chain.initial_tuples = 12;
+  // Unit join fan-out: partial deltas stay small even across 12
+  // relations, so the bench measures message *counts*, not payload
+  // explosions.
+  config.chain.join_domain = 12;
+  config.workload.total_txns = 24;
+  // Concurrent: many updates per round trip; sequential: far apart.
+  config.workload.mean_interarrival = concurrent ? 1500 : 60000;
+  config.latency = LatencyModel::Fixed(1000);
+  RunResult r = RunScenario(config);
+  if (r.final_view != r.expected_view) {
+    std::fprintf(stderr, "%s diverged at n=%d!\n",
+                 AlgorithmName(algorithm), n);
+  }
+  return r.maintenance_msgs_per_update;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> kSources = {2, 3, 4, 6, 8, 10, 12};
+  const std::vector<Algorithm> kAlgorithms = {
+      Algorithm::kSweep, Algorithm::kNestedSweep, Algorithm::kStrobe,
+      Algorithm::kCStrobe, Algorithm::kEca};
+
+  for (bool concurrent : {false, true}) {
+    std::printf(
+        "Maintenance messages per update vs. number of sources n\n"
+        "(%s updates; 2(n-1) is SWEEP's analytical cost):\n\n",
+        concurrent ? "CONCURRENT" : "sequential, non-interfering");
+
+    std::vector<std::string> headers = {"n", "2(n-1)"};
+    for (Algorithm a : kAlgorithms) headers.push_back(AlgorithmName(a));
+    TablePrinter table(headers);
+
+    for (int n : kSources) {
+      std::vector<std::string> row = {StrFormat("%d", n),
+                                      StrFormat("%d", 2 * (n - 1))};
+      for (Algorithm a : kAlgorithms) {
+        row.push_back(StrFormat("%.1f", MsgsPerUpdate(a, n, concurrent)));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  std::printf(
+      "Shape check (paper): SWEEP tracks 2(n-1) exactly in both "
+      "regimes;\nNested SWEEP drops below SWEEP once updates interfere "
+      "(amortization);\nC-Strobe exceeds SWEEP under interference "
+      "(compensating queries);\nECA stays flat at 2 (one query + one "
+      "answer per update, single site).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Experiment E5 — Nested SWEEP's batch amortization and its
+// forced-termination switch (Section 6): the message cost of one
+// composite ViewChange is shared by every concurrent update it folds in,
+// so messages/update falls as the interfering batch grows; the recursion
+// budget ("periodically switching to the SWEEP algorithm") bounds the
+// oscillation an adversarial alternating stream can cause, trading
+// amortization for complete-consistency-style installs.
+//
+//   $ ./nested_amortization
+
+#include <cstdio>
+
+#include "common/str.h"
+#include "common/table.h"
+#include "harness/scenario.h"
+
+using namespace sweepmv;
+
+namespace {
+
+RunResult RunBatch(int batch, int depth_budget) {
+  ScenarioConfig config;
+  config.algorithm = Algorithm::kNestedSweep;
+  config.chain.num_relations = 4;
+  config.chain.initial_tuples = 12;
+  config.chain.join_domain = 5;
+  config.workload.total_txns = batch;
+  config.workload.mean_interarrival = 200;  // all inside one sweep
+  config.latency = LatencyModel::Fixed(4000);
+  config.warehouse.nested_max_recursion_depth = depth_budget;
+  RunResult r = RunScenario(config);
+  if (r.final_view != r.expected_view) {
+    std::fprintf(stderr, "diverged (batch=%d, depth=%d)!\n", batch,
+                 depth_budget);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Nested SWEEP amortization: B mutually concurrent updates (4 "
+      "sources,\nround trip >> inter-arrival). SWEEP would pay 2(n-1)=6 "
+      "msgs per\nupdate; Nested SWEEP shares one composite sweep.\n\n");
+
+  TablePrinter amort({"Batch B", "Installs", "Nested calls",
+                      "msgs/update", "SWEEP msgs/update (ref)"});
+  for (int batch : {1, 2, 4, 6, 8, 12}) {
+    RunResult r = RunBatch(batch, /*depth_budget=*/64);
+    amort.AddRow({StrFormat("%d", batch),
+                  StrFormat("%lld", static_cast<long long>(r.installs)),
+                  StrFormat("%lld", static_cast<long long>(r.nested_calls)),
+                  StrFormat("%.1f", r.maintenance_msgs_per_update),
+                  "6.0"});
+  }
+  std::printf("%s\n", amort.Render().c_str());
+
+  std::printf(
+      "Forced-termination switch: the same 12-update batch under "
+      "shrinking\nrecursion budgets (budget 1 = plain SWEEP):\n\n");
+  TablePrinter force({"Depth budget", "Installs", "Nested calls",
+                      "Forced deferrals", "msgs/update",
+                      "Consistency (measured)"});
+  for (int depth : {64, 8, 4, 2, 1}) {
+    RunResult r = RunBatch(12, depth);
+    force.AddRow(
+        {StrFormat("%d", depth),
+         StrFormat("%lld", static_cast<long long>(r.installs)),
+         StrFormat("%lld", static_cast<long long>(r.nested_calls)),
+         StrFormat("%lld", static_cast<long long>(r.forced_deferrals)),
+         StrFormat("%.1f", r.maintenance_msgs_per_update),
+         ConsistencyLevelName(r.consistency.level)});
+  }
+  std::printf("%s\n", force.Render().c_str());
+
+  std::printf(
+      "Shape check (paper): msgs/update decreases toward ~(one sweep)/B "
+      "as\nthe batch grows; with budget 1 Nested SWEEP degenerates to "
+      "SWEEP\n(installs == updates, complete consistency, 6 "
+      "msgs/update); every\nbudget in between keeps strong consistency "
+      "— the termination switch\nis safe.\n");
+  return 0;
+}

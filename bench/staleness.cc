@@ -1,0 +1,89 @@
+// Experiment E4 — quiescence and staleness (Sections 3, 5.3): under a
+// continuous update stream Strobe cannot install anything ("the
+// materialized view will never get updated if there is no period of
+// quiescence"), while SWEEP installs a consistent state per update with
+// no quiescence requirement. We run a long stream and report installs
+// during the stream, time of first install relative to the stream's end,
+// and the staleness integral.
+//
+//   $ ./staleness
+
+#include <cstdio>
+
+#include "common/str.h"
+#include "common/table.h"
+#include "harness/scenario.h"
+
+using namespace sweepmv;
+
+namespace {
+
+RunResult RunStream(Algorithm algorithm, double interarrival) {
+  ScenarioConfig config;
+  config.algorithm = algorithm;
+  config.chain.num_relations = 3;
+  config.chain.initial_tuples = 12;
+  config.chain.join_domain = 5;
+  config.workload.total_txns = 40;
+  config.workload.mean_interarrival = interarrival;
+  config.workload.insert_fraction = 1.0;  // every update opens a query
+  config.latency = LatencyModel::Fixed(800);
+  RunResult r = RunScenario(config);
+  if (r.final_view != r.expected_view) {
+    std::fprintf(stderr, "%s diverged!\n", AlgorithmName(algorithm));
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "View freshness under an update stream (40 inserts, one-way "
+      "latency\n800 ticks). 'Installs mid-stream' counts view refreshes "
+      "before the\nlast update arrived; staleness is the time integral "
+      "of delivered-but-\nunincorporated updates.\n\n");
+
+  for (double interarrival : {6000.0, 2000.0, 400.0}) {
+    std::printf("Mean inter-arrival %.0f ticks (%s):\n", interarrival,
+                interarrival > 4000 ? "sparse — quiescent gaps exist"
+                                    : "dense — no quiescence");
+    TablePrinter table({"Algorithm", "Installs", "Installs mid-stream",
+                        "First install vs stream end", "Staleness",
+                        "Mean lag/update"});
+    for (Algorithm a :
+         {Algorithm::kSweep, Algorithm::kNestedSweep, Algorithm::kStrobe,
+          Algorithm::kEca}) {
+      RunResult r = RunStream(a, interarrival);
+      int64_t mid_stream = 0;
+      // first_install_time < last_arrival_time means the view refreshed
+      // while updates were still flowing.
+      const char* first_vs_end =
+          r.first_install_time == 0
+              ? "never"
+              : (r.first_install_time < r.last_arrival_time ? "during"
+                                                            : "after");
+      if (r.first_install_time > 0 &&
+          r.first_install_time < r.last_arrival_time) {
+        mid_stream = r.installs;  // upper bound display; see note below
+      }
+      table.AddRow({r.algorithm_name,
+                    StrFormat("%lld", static_cast<long long>(r.installs)),
+                    mid_stream > 0 ? "yes" : "none",
+                    first_vs_end,
+                    StrFormat("%.2e", r.staleness_integral),
+                    StrFormat("%.0f", r.mean_incorporation_delay)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  std::printf(
+      "Shape check (paper): in the dense regime Strobe and ECA refresh\n"
+      "the view only AFTER the stream ends (quiescence requirement);\n"
+      "SWEEP refreshes throughout. Note the honest caveat: sequential\n"
+      "SWEEP's service rate is one update per sweep round trip, so on a\n"
+      "saturating stream its backlog (and staleness) grows too — the\n"
+      "pipelining optimization of Section 5.3 is the paper's own answer;\n"
+      "Nested SWEEP's batching shows the amortized effect.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation A2 — the Section 5.3 optimizations, measured: parallel
+// directional sweeps (latency per ViewChange) and pipelined ViewChanges
+// (throughput/staleness under saturating streams — the sequential
+// bottleneck experiment E4 exposes).
+//
+//   $ ./sweep_variants
+
+#include <cstdio>
+
+#include "common/str.h"
+#include "common/table.h"
+#include "harness/scenario.h"
+
+using namespace sweepmv;
+
+namespace {
+
+RunResult Run(Algorithm algorithm, int n, double interarrival,
+              int inflight) {
+  ScenarioConfig config;
+  config.algorithm = algorithm;
+  config.chain.num_relations = n;
+  config.chain.initial_tuples = 12;
+  config.chain.join_domain = 12;
+  config.workload.total_txns = 30;
+  config.workload.mean_interarrival = interarrival;
+  config.latency = LatencyModel::Fixed(1000);
+  config.warehouse.pipeline_max_inflight = inflight;
+  RunResult r = RunScenario(config);
+  if (r.final_view != r.expected_view) {
+    std::fprintf(stderr, "%s diverged!\n", AlgorithmName(algorithm));
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Part 1 — parallel directional sweeps: per-update latency (mean\n"
+      "incorporation delay) for sparse updates, n sweep. Messages are\n"
+      "identical; only the critical path shrinks from (n-1) to\n"
+      "ceil((n-1)/2)-ish round trips for mid-chain updates.\n\n");
+
+  TablePrinter lat({"n", "SWEEP mean lag", "ParallelSWEEP mean lag",
+                    "SWEEP msgs/upd", "Parallel msgs/upd",
+                    "Consistency (both)"});
+  for (int n : {3, 5, 7, 9}) {
+    RunResult seq = Run(Algorithm::kSweep, n, 60000, 1);
+    RunResult par = Run(Algorithm::kParallelSweep, n, 60000, 1);
+    lat.AddRow({StrFormat("%d", n),
+                StrFormat("%.0f", seq.mean_incorporation_delay),
+                StrFormat("%.0f", par.mean_incorporation_delay),
+                StrFormat("%.1f", seq.maintenance_msgs_per_update),
+                StrFormat("%.1f", par.maintenance_msgs_per_update),
+                StrFormat("%s / %s",
+                          ConsistencyLevelName(seq.consistency.level),
+                          ConsistencyLevelName(par.consistency.level))});
+  }
+  std::printf("%s\n", lat.Render().c_str());
+
+  std::printf(
+      "Part 2 — pipelined ViewChanges under a saturating stream (4\n"
+      "sources, inter-arrival 700 << per-update sweep time 6000):\n"
+      "sequential SWEEP's backlog grows; the pipeline keeps complete\n"
+      "consistency while overlapping sweeps.\n\n");
+
+  TablePrinter pipe({"Algorithm / inflight", "Staleness", "Mean lag",
+                     "Finish time", "msgs/update", "Consistency"});
+  {
+    RunResult seq = Run(Algorithm::kSweep, 4, 700, 1);
+    pipe.AddRow({"SWEEP (sequential)",
+                 StrFormat("%.2e", seq.staleness_integral),
+                 StrFormat("%.0f", seq.mean_incorporation_delay),
+                 StrFormat("%lld", static_cast<long long>(seq.finish_time)),
+                 StrFormat("%.1f", seq.maintenance_msgs_per_update),
+                 ConsistencyLevelName(seq.consistency.level)});
+  }
+  for (int inflight : {2, 4, 16}) {
+    RunResult r = Run(Algorithm::kPipelinedSweep, 4, 700, inflight);
+    pipe.AddRow({StrFormat("PipelinedSWEEP x%d", inflight),
+                 StrFormat("%.2e", r.staleness_integral),
+                 StrFormat("%.0f", r.mean_incorporation_delay),
+                 StrFormat("%lld", static_cast<long long>(r.finish_time)),
+                 StrFormat("%.1f", r.maintenance_msgs_per_update),
+                 ConsistencyLevelName(r.consistency.level)});
+  }
+  std::printf("%s\n", pipe.Render().c_str());
+
+  std::printf(
+      "Reading: pipelining recovers the staleness SWEEP loses to its\n"
+      "one-update-at-a-time service loop — at identical message cost and\n"
+      "still complete consistency — which is precisely why the paper\n"
+      "lists it as the optimization worth the added warehouse "
+      "complexity.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Runs the same randomized workload under every maintenance algorithm and
+// prints a side-by-side comparison: measured consistency, messages,
+// payload, staleness. A working miniature of Table 1.
+//
+//   $ ./algorithm_comparison [num_sources] [num_txns]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/str.h"
+#include "common/table.h"
+#include "harness/scenario.h"
+
+using namespace sweepmv;
+
+int main(int argc, char** argv) {
+  int num_sources = argc > 1 ? std::atoi(argv[1]) : 4;
+  int num_txns = argc > 2 ? std::atoi(argv[2]) : 30;
+
+  std::printf(
+      "Workload: %d sources, %d source-local transactions, exponential\n"
+      "arrivals racing jittered channels. Same seed for every "
+      "algorithm.\n\n",
+      num_sources, num_txns);
+
+  TablePrinter table({"Algorithm", "Consistency", "Installs",
+                      "Maint. msgs/update", "Payload (tuples)",
+                      "Mean lag", "Notes"});
+
+  for (Algorithm algorithm : AllAlgorithms()) {
+    ScenarioConfig config;
+    config.algorithm = algorithm;
+    config.chain.num_relations = num_sources;
+    config.chain.initial_tuples = 16;
+    config.chain.join_domain = 6;
+    config.workload.total_txns = num_txns;
+    config.workload.mean_interarrival = 2500;
+    config.latency = LatencyModel::Jittered(900, 600);
+
+    RunResult r = RunScenario(config);
+
+    std::vector<std::string> parts;
+    if (r.compensations > 0) {
+      parts.push_back(StrFormat("%lld local compensations",
+                                static_cast<long long>(r.compensations)));
+    }
+    if (r.nested_calls > 0) {
+      parts.push_back(StrFormat("%lld nested calls",
+                                static_cast<long long>(r.nested_calls)));
+    }
+    if (r.compensating_queries > 0) {
+      parts.push_back(
+          StrFormat("%lld compensating queries",
+                    static_cast<long long>(r.compensating_queries)));
+    }
+    if (r.max_query_terms > 1) {
+      parts.push_back(
+          StrFormat("max %lld terms/query",
+                    static_cast<long long>(r.max_query_terms)));
+    }
+    if (r.batch_installs > 0) {
+      parts.push_back(
+          StrFormat("%lld quiescent batches",
+                    static_cast<long long>(r.batch_installs)));
+    }
+    std::string notes = parts.empty() ? "-" : Join(parts, ", ");
+
+    table.AddRow({r.algorithm_name,
+                  ConsistencyLevelName(r.consistency.level),
+                  StrFormat("%lld", static_cast<long long>(r.installs)),
+                  StrFormat("%.1f", r.maintenance_msgs_per_update),
+                  StrFormat("%lld", static_cast<long long>(
+                                        r.net.TotalPayload())),
+                  StrFormat("%.0f", r.mean_incorporation_delay), notes});
+
+    if (r.final_view != r.expected_view) {
+      std::printf("ERROR: %s diverged from ground truth!\n",
+                  r.algorithm_name.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "All algorithms converged to the identical ground-truth view;\n"
+      "they differ in which intermediate states analysts can observe\n"
+      "and what the network pays for it.\n");
+  return 0;
+}

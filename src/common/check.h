@@ -1,0 +1,47 @@
+// Invariant-checking macros.
+//
+// The library does not use exceptions for control flow (fallible public APIs
+// return values or Status). SWEEP_CHECK guards *internal invariants*: a
+// failure indicates a bug in the library or misuse of an API whose contract
+// is documented, and aborts with a diagnostic.
+
+#ifndef SWEEPMV_COMMON_CHECK_H_
+#define SWEEPMV_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sweepmv {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "SWEEP_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace sweepmv
+
+// Aborts with a diagnostic if `cond` is false. Always on (also in release
+// builds): view-maintenance correctness bugs are silent data corruption, and
+// the checks are off hot paths or cheap.
+#define SWEEP_CHECK(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::sweepmv::internal_check::CheckFailed(#cond, __FILE__, __LINE__,   \
+                                             "");                         \
+    }                                                                     \
+  } while (0)
+
+// SWEEP_CHECK with an explanatory message (plain C string).
+#define SWEEP_CHECK_MSG(cond, msg)                                        \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::sweepmv::internal_check::CheckFailed(#cond, __FILE__, __LINE__,   \
+                                             (msg));                      \
+    }                                                                     \
+  } while (0)
+
+#endif  // SWEEPMV_COMMON_CHECK_H_

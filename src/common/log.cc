@@ -1,0 +1,50 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace sweepmv {
+
+namespace {
+LogLevel g_level = LogLevel::kNone;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kNone:
+      return "NONE";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kTrace:
+      return "TRACE";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal_log {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) <= static_cast<int>(g_level)),
+      level_(level) {
+  if (enabled_) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+}
+
+}  // namespace internal_log
+}  // namespace sweepmv

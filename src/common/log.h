@@ -1,0 +1,57 @@
+// Minimal leveled logging to stderr.
+//
+// Intended for tracing simulator runs and debugging algorithm state
+// machines. Logging is off by default; tests and benches can raise the
+// level to watch a run unfold. Not thread-safe by design: the simulator is
+// single-threaded.
+
+#ifndef SWEEPMV_COMMON_LOG_H_
+#define SWEEPMV_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace sweepmv {
+
+enum class LogLevel : int {
+  kNone = 0,
+  kInfo = 1,
+  kDebug = 2,
+  kTrace = 3,
+};
+
+// Process-wide log threshold. Messages with a level above it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_log {
+
+// Stream-style collector that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+}  // namespace sweepmv
+
+#define SWEEP_LOG(level)                                      \
+  ::sweepmv::internal_log::LogMessage(                        \
+      ::sweepmv::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // SWEEPMV_COMMON_LOG_H_

@@ -1,0 +1,30 @@
+// Small string helpers used across the library (formatting, joining).
+
+#ifndef SWEEPMV_COMMON_STR_H_
+#define SWEEPMV_COMMON_STR_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sweepmv {
+
+// Joins the elements of `parts` with `sep` between them.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Streams any << -able value into a string.
+template <typename T>
+std::string ToString(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_COMMON_STR_H_

@@ -1,0 +1,37 @@
+// ASCII table rendering for bench harnesses and examples.
+//
+// The benchmark binaries regenerate the paper's tables; TablePrinter gives
+// them a uniform, column-aligned text rendering.
+
+#ifndef SWEEPMV_COMMON_TABLE_H_
+#define SWEEPMV_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace sweepmv {
+
+class TablePrinter {
+ public:
+  // Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends a row; the row must have exactly as many cells as there are
+  // headers.
+  void AddRow(std::vector<std::string> row);
+
+  // Inserts a horizontal separator line before the next row.
+  void AddSeparator();
+
+  // Renders the table, including a header rule, to a string.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  // A row that is empty represents a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_COMMON_TABLE_H_

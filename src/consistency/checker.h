@@ -1,0 +1,47 @@
+// Consistency classification (Section 2's levels, checked by replay).
+//
+// Given the sources' ground-truth logs and the warehouse's delivery and
+// install logs, classifies a finished run as:
+//
+//   * complete   — the view stepped through *every* source state exactly
+//                  once, in warehouse delivery order (one install per
+//                  update, views equal to the replayed prefix views);
+//   * strong     — each installed view equals the replayed view at some
+//                  consistent version vector, version vectors grow
+//                  monotonically (each relation's incorporated updates
+//                  form a prefix of its source order), and the final state
+//                  is reached;
+//   * convergent — only the final state matches;
+//   * inconsistent — not even that.
+//
+// The checker trusts nothing but the logs: every expected view is
+// recomputed from scratch from the initial snapshots and deltas.
+
+#ifndef SWEEPMV_CONSISTENCY_CHECKER_H_
+#define SWEEPMV_CONSISTENCY_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "core/warehouse.h"
+#include "source/state_log.h"
+
+namespace sweepmv {
+
+struct ConsistencyReport {
+  ConsistencyLevel level = ConsistencyLevel::kInconsistent;
+  // Human-readable reason the next-stricter level was not reached.
+  std::string detail;
+  bool final_state_correct = false;
+  size_t installs = 0;
+  size_t updates = 0;
+};
+
+ConsistencyReport CheckConsistency(
+    const ViewDef& view, const std::vector<const StateLog*>& source_logs,
+    const Warehouse& warehouse);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_CONSISTENCY_CHECKER_H_

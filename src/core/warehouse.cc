@@ -1,0 +1,138 @@
+#include "core/warehouse.h"
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace sweepmv {
+
+Warehouse::Warehouse(int site_id, ViewDef view_def, Network* network,
+                     std::vector<int> source_sites, Options options)
+    : site_id_(site_id),
+      view_def_(std::move(view_def)),
+      network_(network),
+      source_sites_(std::move(source_sites)),
+      options_(options),
+      view_(view_def_.view_schema()) {
+  SWEEP_CHECK(network != nullptr);
+  SWEEP_CHECK(static_cast<int>(source_sites_.size()) ==
+              view_def_.num_relations());
+}
+
+void Warehouse::InitializeView(Relation initial_view) {
+  SWEEP_CHECK_MSG(arrival_log_.empty() && installs_.empty(),
+                  "InitializeView must precede the first update");
+  view_ = std::move(initial_view);
+}
+
+void Warehouse::OnMessage(int from, Message msg) {
+  (void)from;
+  if (auto* update = std::get_if<UpdateMessage>(&msg)) {
+    arrival_log_.emplace_back(update->update.id,
+                              network_->simulator()->now());
+    SWEEP_LOG(Debug) << name() << " received "
+                     << update->update.ToDisplayString();
+    queue_.push_back(std::move(update->update));
+    HandleUpdateArrival();
+    return;
+  }
+  if (auto* answer = std::get_if<QueryAnswer>(&msg)) {
+    HandleQueryAnswer(std::move(*answer));
+    return;
+  }
+  if (auto* answer = std::get_if<EcaQueryAnswer>(&msg)) {
+    HandleEcaAnswer(std::move(*answer));
+    return;
+  }
+  if (auto* answer = std::get_if<SnapshotAnswer>(&msg)) {
+    HandleSnapshotAnswer(std::move(*answer));
+    return;
+  }
+  SWEEP_CHECK_MSG(false, "warehouse received an unexpected message type");
+}
+
+void Warehouse::HandleQueryAnswer(QueryAnswer) {
+  SWEEP_CHECK_MSG(false, "this algorithm does not use sweep queries");
+}
+
+void Warehouse::HandleEcaAnswer(EcaQueryAnswer) {
+  SWEEP_CHECK_MSG(false, "this algorithm does not use ECA queries");
+}
+
+void Warehouse::HandleSnapshotAnswer(SnapshotAnswer) {
+  SWEEP_CHECK_MSG(false, "this algorithm does not use snapshots");
+}
+
+int64_t Warehouse::SendSweepQuery(int target_rel, bool extend_left,
+                                  PartialDelta partial) {
+  int64_t id = next_query_id_++;
+  ++queries_sent_;
+  QueryRequest request;
+  request.query_id = id;
+  request.target_rel = target_rel;
+  request.extend_left = extend_left;
+  request.partial = std::move(partial);
+  network_->Send(site_id_, source_site(target_rel), std::move(request));
+  return id;
+}
+
+int64_t Warehouse::SendEcaQuery(std::vector<EcaTerm> terms) {
+  int64_t id = next_query_id_++;
+  ++queries_sent_;
+  network_->Send(site_id_, source_site(0),
+                 EcaQueryRequest{id, std::move(terms)});
+  return id;
+}
+
+int64_t Warehouse::SendSnapshotRequest(int target_rel) {
+  int64_t id = next_query_id_++;
+  ++queries_sent_;
+  network_->Send(site_id_, source_site(target_rel), SnapshotRequest{id});
+  return id;
+}
+
+void Warehouse::InstallViewDelta(const Relation& view_delta,
+                                 std::vector<int64_t> update_ids) {
+  view_.Merge(view_delta);
+  SWEEP_LOG(Debug) << name() << " installed delta "
+                   << view_delta.ToDisplayString() << " -> "
+                   << view_.ToDisplayString();
+  if (observer_) observer_(view_delta, update_ids);
+  RecordInstall(std::move(update_ids));
+}
+
+void Warehouse::InstallAbsoluteView(Relation new_view,
+                                    std::vector<int64_t> update_ids) {
+  if (observer_) {
+    Relation delta = new_view;
+    delta.MergeNegated(view_);
+    observer_(delta, update_ids);
+  }
+  view_ = std::move(new_view);
+  RecordInstall(std::move(update_ids));
+}
+
+void Warehouse::RecordInstall(std::vector<int64_t> update_ids) {
+  updates_incorporated_ += static_cast<int64_t>(update_ids.size());
+  if (!options_.log_installs) return;
+  InstallRecord record;
+  record.time = network_->simulator()->now();
+  record.update_ids = std::move(update_ids);
+  record.view_after = view_;
+  record.negative_counts = view_.HasNegative();
+  installs_.push_back(std::move(record));
+}
+
+Relation Warehouse::MergedQueueDeltaFor(int rel) const {
+  Relation merged(view_def_.rel_schema(rel));
+  for (const Update& u : queue_) {
+    if (u.relation == rel) merged.Merge(u.delta);
+  }
+  return merged;
+}
+
+int Warehouse::source_site(int rel) const {
+  SWEEP_CHECK(rel >= 0 && rel < static_cast<int>(source_sites_.size()));
+  return source_sites_[static_cast<size_t>(rel)];
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,166 @@
+// Warehouse base: shared infrastructure of every maintenance algorithm.
+//
+// Figure 4's DataWarehouse module splits into two concerns. This class
+// provides the algorithm-independent half:
+//   * the LogUpdates process — arriving UpdateMessages are appended to the
+//     UpdateMessageQueue and timestamped (the arrival order *defines* the
+//     total order complete consistency must preserve);
+//   * the materialized view with multiplicity counts, and an install log
+//     recording, for every view transition, which update ids it
+//     incorporated (instrumentation for the consistency checker);
+//   * query plumbing toward the sources.
+// Subclasses implement the UpdateView / ViewChange logic of a specific
+// algorithm as an event-driven state machine.
+
+#ifndef SWEEPMV_CORE_WAREHOUSE_H_
+#define SWEEPMV_CORE_WAREHOUSE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "relational/partial_delta.h"
+#include "relational/relation.h"
+#include "relational/view_def.h"
+#include "sim/network.h"
+#include "sim/site.h"
+#include "source/update.h"
+
+namespace sweepmv {
+
+// One view transition.
+struct InstallRecord {
+  SimTime time = 0;
+  // Updates newly incorporated by this transition (empty only for the
+  // recompute baseline's absolute installs, which list ids separately).
+  std::vector<int64_t> update_ids;
+  // Snapshot of the view after the transition.
+  Relation view_after;
+  // True if the view held a negative count after the install — a
+  // correctness red flag the checker also looks at.
+  bool negative_counts = false;
+};
+
+class Warehouse : public Site {
+ public:
+  struct Options {
+    // Record a full view snapshot per install (consistency checking).
+    // Disable for large throughput benches.
+    bool log_installs = true;
+  };
+
+  // `source_sites[r]` is the site id serving queries for relation r (all
+  // entries alias the same site for ECA's single-source architecture).
+  Warehouse(int site_id, ViewDef view_def, Network* network,
+            std::vector<int> source_sites, Options options);
+
+  ~Warehouse() override = default;
+
+  // Sets the initial materialized view ("V is initialized to the correct
+  // value", Figure 4). Must be called before any update arrives.
+  void InitializeView(Relation initial_view);
+
+  // Algorithm-specific initial state derived from the initial base
+  // relations (e.g. the Strobe family's full-span key-preserving view).
+  // Called by the scenario harness right after InitializeView.
+  virtual void InitializeAuxiliary(
+      const std::vector<Relation>& initial_bases) {
+    (void)initial_bases;
+  }
+
+  void OnMessage(int from, Message msg) final;
+
+  // True while the warehouse has in-flight work beyond queued updates
+  // (outstanding queries, an active sweep, a pending action list...).
+  virtual bool Busy() const = 0;
+
+  // Algorithm name for reports.
+  virtual std::string name() const = 0;
+
+  const ViewDef& view_def() const { return view_def_; }
+  const Relation& view() const { return view_; }
+  const std::deque<Update>& update_queue() const { return queue_; }
+  const std::vector<InstallRecord>& install_log() const { return installs_; }
+
+  // Delivery log: (update id, arrival time) in warehouse arrival order.
+  const std::vector<std::pair<int64_t, SimTime>>& arrival_log() const {
+    return arrival_log_;
+  }
+
+  // Observer invoked on every view transition with the signed view delta
+  // and the ids it incorporated — the hook downstream incremental
+  // consumers (e.g. MaintainedAggregate) attach to.
+  using InstallObserver = std::function<void(
+      const Relation& view_delta, const std::vector<int64_t>& ids)>;
+  void SetInstallObserver(InstallObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  int64_t updates_received() const {
+    return static_cast<int64_t>(arrival_log_.size());
+  }
+  int64_t updates_incorporated() const { return updates_incorporated_; }
+  int64_t queries_sent() const { return queries_sent_; }
+
+ protected:
+  // Invoked after an update was appended to the queue.
+  virtual void HandleUpdateArrival() = 0;
+  virtual void HandleQueryAnswer(QueryAnswer answer);
+  virtual void HandleEcaAnswer(EcaQueryAnswer answer);
+  virtual void HandleSnapshotAnswer(SnapshotAnswer answer);
+
+  // Sends a sweep-style incremental query asking the source of
+  // `target_rel` to widen `partial` on the given side. Returns the query
+  // id.
+  int64_t SendSweepQuery(int target_rel, bool extend_left,
+                         PartialDelta partial);
+
+  // Sends an ECA signed-term query to the (single) source site.
+  int64_t SendEcaQuery(std::vector<EcaTerm> terms);
+
+  // Asks the source of `target_rel` for a full snapshot (recompute
+  // baseline).
+  int64_t SendSnapshotRequest(int target_rel);
+
+  // Merges `view_delta` (over the view's output schema) into the
+  // materialized view and logs the transition.
+  void InstallViewDelta(const Relation& view_delta,
+                        std::vector<int64_t> update_ids);
+
+  // Replaces the view wholesale (recompute baseline) and logs.
+  void InstallAbsoluteView(Relation new_view,
+                           std::vector<int64_t> update_ids);
+
+  // Merges every queued update of relation `rel` into one delta (the
+  // paper's "multiple interfering updates ... merged into a single ΔRj").
+  Relation MergedQueueDeltaFor(int rel) const;
+
+  std::deque<Update>& mutable_queue() { return queue_; }
+  Network* network() { return network_; }
+  int site_id() const { return site_id_; }
+  int source_site(int rel) const;
+
+ private:
+  void RecordInstall(std::vector<int64_t> update_ids);
+
+  int site_id_;
+  ViewDef view_def_;
+  Network* network_;
+  std::vector<int> source_sites_;
+  Options options_;
+
+  Relation view_;
+  std::deque<Update> queue_;
+  std::vector<std::pair<int64_t, SimTime>> arrival_log_;
+  std::vector<InstallRecord> installs_;
+  int64_t updates_incorporated_ = 0;
+  int64_t queries_sent_ = 0;
+  int64_t next_query_id_ = 0;
+  InstallObserver observer_;
+};
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_CORE_WAREHOUSE_H_

@@ -1,0 +1,190 @@
+#include "harness/scenario.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+#include "consistency/replay.h"
+#include "core/cstrobe.h"
+#include "core/eca.h"
+#include "core/nested_sweep.h"
+#include "core/strobe.h"
+#include "core/sweep.h"
+#include "harness/stats.h"
+#include "sim/simulator.h"
+#include "source/data_source.h"
+#include "source/eca_source.h"
+#include "source/multi_source.h"
+
+namespace sweepmv {
+
+namespace {
+
+constexpr int kWarehouseSite = 0;
+
+void ExtractAlgorithmCounters(const Warehouse& warehouse,
+                              RunResult* result) {
+  if (auto* sweep = dynamic_cast<const SweepWarehouse*>(&warehouse)) {
+    result->compensations = sweep->compensations();
+  } else if (auto* nested =
+                 dynamic_cast<const NestedSweepWarehouse*>(&warehouse)) {
+    result->compensations = nested->compensations();
+    result->nested_calls = nested->nested_calls();
+    result->forced_deferrals = nested->forced_deferrals();
+  } else if (auto* strobe =
+                 dynamic_cast<const StrobeWarehouse*>(&warehouse)) {
+    result->batch_installs = strobe->batch_installs();
+  } else if (auto* cstrobe =
+                 dynamic_cast<const CStrobeWarehouse*>(&warehouse)) {
+    result->compensating_queries = cstrobe->compensating_queries();
+  } else if (auto* eca = dynamic_cast<const EcaWarehouse*>(&warehouse)) {
+    result->batch_installs = eca->batch_installs();
+    result->max_query_terms = eca->max_query_terms();
+    result->total_query_terms = eca->total_query_terms();
+  }
+}
+
+}  // namespace
+
+RunResult RunExplicitScenario(const ScenarioConfig& config,
+                              const ViewDef& view,
+                              const std::vector<Relation>& initial_bases,
+                              const std::vector<ScheduledTxn>& txns) {
+  const int n = view.num_relations();
+  SWEEP_CHECK(static_cast<int>(initial_bases.size()) == n);
+
+  Simulator sim;
+  Network network(&sim, config.latency, config.network_seed);
+  UpdateIdGenerator ids;
+
+  const bool single_source = RequiresSingleSource(config.algorithm);
+  const int per_site = std::max(1, config.relations_per_site);
+
+  // Topology: site id per relation, one SourceSite per relation for
+  // transaction injection and ground-truth logs.
+  std::vector<int> source_sites(static_cast<size_t>(n), 1);
+  std::vector<SourceSite*> site_of_relation(static_cast<size_t>(n),
+                                            nullptr);
+  std::vector<std::unique_ptr<SourceSite>> owned_sources;
+  if (single_source) {
+    auto eca = std::make_unique<EcaSource>(
+        /*site_id=*/1, initial_bases, &view, &network, kWarehouseSite,
+        &ids);
+    network.RegisterSite(1, eca.get());
+    for (int r = 0; r < n; ++r) site_of_relation[static_cast<size_t>(r)] =
+        eca.get();
+    owned_sources.push_back(std::move(eca));
+  } else {
+    int next_site = 1;
+    for (int lo = 0; lo < n; lo += per_site) {
+      int hi = std::min(n, lo + per_site);
+      int site_id = next_site++;
+      std::unique_ptr<SourceSite> site;
+      if (hi - lo == 1) {
+        site = std::make_unique<DataSource>(
+            site_id, lo, initial_bases[static_cast<size_t>(lo)], &view,
+            &network, kWarehouseSite, &ids);
+      } else {
+        std::vector<std::pair<int, Relation>> hosted;
+        for (int r = lo; r < hi; ++r) {
+          hosted.emplace_back(r, initial_bases[static_cast<size_t>(r)]);
+        }
+        site = std::make_unique<MultiRelationSource>(
+            site_id, std::move(hosted), &view, &network, kWarehouseSite,
+            &ids);
+      }
+      network.RegisterSite(site_id, site.get());
+      for (int r = lo; r < hi; ++r) {
+        source_sites[static_cast<size_t>(r)] = site_id;
+        site_of_relation[static_cast<size_t>(r)] = site.get();
+      }
+      owned_sources.push_back(std::move(site));
+    }
+  }
+
+  std::unique_ptr<Warehouse> warehouse =
+      MakeWarehouse(config.algorithm, kWarehouseSite, view, &network,
+                    source_sites, config.warehouse);
+  network.RegisterSite(kWarehouseSite, warehouse.get());
+
+  // Initialize the materialized view to the correct value (Figure 4).
+  std::vector<const Relation*> rels;
+  for (const Relation& r : initial_bases) rels.push_back(&r);
+  warehouse->InitializeView(view.EvaluateFull(rels));
+  warehouse->InitializeAuxiliary(initial_bases);
+
+  // Schedule the workload.
+  for (const ScheduledTxn& txn : txns) {
+    SourceSite* src = site_of_relation[static_cast<size_t>(txn.relation)];
+    int rel = txn.relation;
+    auto ops = txn.ops;
+    sim.ScheduleAt(txn.at,
+                   [src, rel, ops]() { src->ApplyTxn(rel, ops); });
+  }
+
+  int64_t executed = sim.Run(config.max_events);
+  SWEEP_CHECK_MSG(executed < config.max_events,
+                  "scenario exceeded the event budget (runaway protocol?)");
+  SWEEP_CHECK_MSG(warehouse->update_queue().empty() && !warehouse->Busy(),
+                  "simulation drained but the warehouse is still busy");
+
+  RunResult result;
+  result.algorithm_name = warehouse->name();
+  result.net = network.stats();
+  result.updates_delivered = warehouse->updates_received();
+  result.installs = static_cast<int64_t>(warehouse->install_log().size());
+  result.final_view = warehouse->view();
+  result.finish_time = sim.now();
+  if (!warehouse->install_log().empty()) {
+    result.first_install_time = warehouse->install_log().front().time;
+  }
+  if (!warehouse->arrival_log().empty()) {
+    result.last_arrival_time = warehouse->arrival_log().back().second;
+  }
+  result.staleness_integral = StalenessIntegral(*warehouse);
+  result.mean_incorporation_delay = MeanIncorporationDelay(*warehouse);
+  if (result.updates_delivered > 0) {
+    int64_t maintenance =
+        result.net.Of(MessageClass::kQueryRequest).messages +
+        result.net.Of(MessageClass::kQueryAnswer).messages;
+    result.maintenance_msgs_per_update =
+        static_cast<double>(maintenance) /
+        static_cast<double>(result.updates_delivered);
+  }
+  ExtractAlgorithmCounters(*warehouse, &result);
+
+  // Ground truth + consistency classification.
+  std::vector<const StateLog*> logs;
+  for (int r = 0; r < n; ++r) {
+    logs.push_back(&site_of_relation[static_cast<size_t>(r)]->LogOf(r));
+  }
+  {
+    Replayer replay(&view, logs);
+    std::vector<size_t> final_versions;
+    for (int r = 0; r < n; ++r) {
+      final_versions.push_back(replay.TotalUpdates(r));
+    }
+    replay.AdvanceTo(final_versions);
+    result.expected_view = replay.CurrentView();
+  }
+  if (config.check_consistency) {
+    result.consistency = CheckConsistency(view, logs, *warehouse);
+  } else {
+    result.consistency.final_state_correct =
+        result.final_view == result.expected_view;
+    result.consistency.level = result.consistency.final_state_correct
+                                   ? ConsistencyLevel::kConvergent
+                                   : ConsistencyLevel::kInconsistent;
+  }
+  return result;
+}
+
+RunResult RunScenario(const ScenarioConfig& config) {
+  ViewDef view = MakeChainView(config.chain);
+  std::vector<Relation> initial = MakeInitialBases(view, config.chain);
+  std::vector<ScheduledTxn> txns =
+      GenerateWorkload(view, initial, config.chain, config.workload);
+  return RunExplicitScenario(config, view, initial, txns);
+}
+
+}  // namespace sweepmv

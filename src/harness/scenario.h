@@ -1,0 +1,86 @@
+// One-call experiment runner.
+//
+// Builds the whole simulated system — sources (or ECA's single
+// multi-relation source), FIFO network, warehouse running the chosen
+// algorithm — injects a workload, runs the simulation to completion, and
+// returns everything the benches and tests need: traffic statistics, the
+// measured consistency level, staleness metrics, and algorithm-specific
+// counters.
+
+#ifndef SWEEPMV_HARNESS_SCENARIO_H_
+#define SWEEPMV_HARNESS_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "consistency/checker.h"
+#include "core/factory.h"
+#include "sim/latency.h"
+#include "sim/network.h"
+#include "workload/schema_gen.h"
+#include "workload/update_gen.h"
+
+namespace sweepmv {
+
+struct ScenarioConfig {
+  Algorithm algorithm = Algorithm::kSweep;
+  ChainSpec chain;
+  WorkloadSpec workload;
+  LatencyModel latency = LatencyModel::Fixed(1000);
+  WarehouseConfig warehouse;
+  uint64_t network_seed = 99;
+  // Topology: how many consecutive chain relations each source site
+  // hosts (Section 2 allows "any number of base relations" per source).
+  // 1 = the paper's conceptual one-relation-per-source model. Ignored for
+  // ECA, which always uses one site for everything.
+  int relations_per_site = 1;
+  // Verify consistency by replay (skip for large throughput benches).
+  bool check_consistency = true;
+  // Safety valve for runaway protocols (C-Strobe under heavy
+  // interference): abort the run after this many simulator events.
+  int64_t max_events = 50'000'000;
+};
+
+struct RunResult {
+  std::string algorithm_name;
+  NetworkStats net;
+  int64_t updates_delivered = 0;
+  int64_t installs = 0;
+  ConsistencyReport consistency;
+  Relation final_view;
+  Relation expected_view;
+
+  SimTime finish_time = 0;
+  SimTime first_install_time = 0;  // 0 if nothing installed
+  SimTime last_arrival_time = 0;
+  double staleness_integral = 0.0;
+  double mean_incorporation_delay = 0.0;
+
+  // Query+answer messages divided by delivered updates.
+  double maintenance_msgs_per_update = 0.0;
+
+  // Algorithm-specific counters (0 when not applicable).
+  int64_t compensations = 0;         // SWEEP / Nested SWEEP
+  int64_t nested_calls = 0;          // Nested SWEEP
+  int64_t forced_deferrals = 0;      // Nested SWEEP
+  int64_t batch_installs = 0;        // Strobe / ECA
+  int64_t compensating_queries = 0;  // C-Strobe
+  int64_t max_query_terms = 0;       // ECA
+  int64_t total_query_terms = 0;     // ECA
+};
+
+// Runs the scenario built from generated schema + workload.
+RunResult RunScenario(const ScenarioConfig& config);
+
+// Runs a fully explicit scenario: caller-provided view, initial bases and
+// transaction schedule (used by the paper's Figure 5 reproduction and by
+// tests that need exact control over interleavings).
+RunResult RunExplicitScenario(const ScenarioConfig& config,
+                              const ViewDef& view,
+                              const std::vector<Relation>& initial_bases,
+                              const std::vector<ScheduledTxn>& txns);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_HARNESS_SCENARIO_H_

@@ -1,0 +1,72 @@
+#include "harness/stats.h"
+
+#include <algorithm>
+#include <map>
+
+namespace sweepmv {
+
+namespace {
+
+// Builds the map update id -> install time.
+std::map<int64_t, SimTime> InstallTimes(const Warehouse& warehouse) {
+  std::map<int64_t, SimTime> times;
+  for (const InstallRecord& install : warehouse.install_log()) {
+    for (int64_t id : install.update_ids) {
+      times.emplace(id, install.time);
+    }
+  }
+  return times;
+}
+
+}  // namespace
+
+double StalenessIntegral(const Warehouse& warehouse) {
+  const auto& arrivals = warehouse.arrival_log();
+  if (arrivals.empty()) return 0.0;
+
+  std::map<int64_t, SimTime> installed = InstallTimes(warehouse);
+  SimTime end = arrivals.back().second;
+  for (const auto& [id, t] : installed) end = std::max(end, t);
+
+  // Sweep events: +1 at arrival, -1 at install (or run end).
+  std::multimap<SimTime, int> events;
+  for (const auto& [id, at] : arrivals) {
+    events.emplace(at, +1);
+    auto it = installed.find(id);
+    events.emplace(it == installed.end() ? end : it->second, -1);
+  }
+
+  double integral = 0.0;
+  int outstanding = 0;
+  SimTime prev = arrivals.front().second;
+  for (const auto& [t, delta] : events) {
+    integral += static_cast<double>(t - prev) * outstanding;
+    outstanding += delta;
+    prev = t;
+  }
+  return integral;
+}
+
+double MeanIncorporationDelay(const Warehouse& warehouse) {
+  const auto& arrivals = warehouse.arrival_log();
+  if (arrivals.empty()) return 0.0;
+
+  std::map<int64_t, SimTime> installed = InstallTimes(warehouse);
+  SimTime end = arrivals.back().second;
+  for (const auto& [id, t] : installed) end = std::max(end, t);
+
+  double total = 0.0;
+  for (const auto& [id, at] : arrivals) {
+    auto it = installed.find(id);
+    SimTime done = it == installed.end() ? end : it->second;
+    total += static_cast<double>(done - at);
+  }
+  return total / static_cast<double>(arrivals.size());
+}
+
+SimTime LastInstallTime(const Warehouse& warehouse) {
+  const auto& installs = warehouse.install_log();
+  return installs.empty() ? 0 : installs.back().time;
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,29 @@
+// Post-run metrics derived from warehouse logs.
+
+#ifndef SWEEPMV_HARNESS_STATS_H_
+#define SWEEPMV_HARNESS_STATS_H_
+
+#include <cstdint>
+
+#include "core/warehouse.h"
+
+namespace sweepmv {
+
+// Time integral of the number of delivered-but-not-yet-incorporated
+// updates, from the first arrival to the later of (last install, last
+// arrival). Unit: update·ticks. This is the paper's "the materialized
+// view trails the updated state of the data sources" made quantitative —
+// Strobe's need for quiescence shows up as a large value under continuous
+// update streams.
+double StalenessIntegral(const Warehouse& warehouse);
+
+// Mean per-update incorporation delay (arrival -> install), in ticks.
+// Updates never incorporated count up to the end of the run.
+double MeanIncorporationDelay(const Warehouse& warehouse);
+
+// Virtual time of the last install (0 if none).
+SimTime LastInstallTime(const Warehouse& warehouse);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_HARNESS_STATS_H_

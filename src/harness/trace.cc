@@ -1,0 +1,120 @@
+#include "harness/trace.h"
+
+#include <algorithm>
+
+#include "common/str.h"
+
+namespace sweepmv {
+
+namespace {
+
+std::string Describe(const Message& msg) {
+  struct Visitor {
+    std::string operator()(const UpdateMessage& m) const {
+      return StrFormat("update u%lld of R%d ",
+                       static_cast<long long>(m.update.id),
+                       m.update.relation) +
+             m.update.delta.ToDisplayString();
+    }
+    std::string operator()(const QueryRequest& m) const {
+      return StrFormat("query #%lld -> R%d (extend %s, span[%d,%d], %zu "
+                       "tuples)",
+                       static_cast<long long>(m.query_id), m.target_rel,
+                       m.extend_left ? "left" : "right", m.partial.lo,
+                       m.partial.hi, m.partial.rel.DistinctSize());
+    }
+    std::string operator()(const QueryAnswer& m) const {
+      return StrFormat("answer #%lld span[%d,%d] (%zu tuples)",
+                       static_cast<long long>(m.query_id), m.partial.lo,
+                       m.partial.hi, m.partial.rel.DistinctSize());
+    }
+    std::string operator()(const EcaQueryRequest& m) const {
+      return StrFormat("ECA query #%lld (%zu terms)",
+                       static_cast<long long>(m.query_id),
+                       m.terms.size());
+    }
+    std::string operator()(const EcaQueryAnswer& m) const {
+      return StrFormat("ECA answer #%lld (%zu tuples)",
+                       static_cast<long long>(m.query_id),
+                       m.result.DistinctSize());
+    }
+    std::string operator()(const SnapshotRequest& m) const {
+      return StrFormat("snapshot request #%lld",
+                       static_cast<long long>(m.query_id));
+    }
+    std::string operator()(const SnapshotAnswer& m) const {
+      return StrFormat("snapshot of R%d (%zu tuples)", m.relation,
+                       m.snapshot.DistinctSize());
+    }
+  };
+  return std::visit(Visitor{}, msg);
+}
+
+}  // namespace
+
+void TraceRecorder::Attach(Network* network) {
+  network->SetTap([this](const TapEvent& event) {
+    TracedMessage traced;
+    traced.send_time = event.send_time;
+    traced.arrival_time = event.arrival_time;
+    traced.from = event.from;
+    traced.to = event.to;
+    traced.cls = ClassOf(*event.message);
+    traced.payload_tuples = PayloadTuples(*event.message);
+    traced.label = Describe(*event.message);
+    messages_.push_back(std::move(traced));
+  });
+}
+
+std::string RenderTimeline(const std::vector<TracedMessage>& trace,
+                           const std::map<int, std::string>& site_names,
+                           const Warehouse& warehouse) {
+  auto name_of = [&](int site) {
+    auto it = site_names.find(site);
+    return it == site_names.end() ? StrFormat("site%d", site)
+                                  : it->second;
+  };
+
+  // Interleave sends, arrivals and installs chronologically.
+  struct Line {
+    SimTime at;
+    int order;  // tie-break: arrivals(0) before installs(1) before sends(2)
+    std::string text;
+  };
+  std::vector<Line> lines;
+  for (const TracedMessage& m : trace) {
+    lines.push_back(
+        {m.send_time, 2,
+         StrFormat("%-4s sends   %s", name_of(m.from).c_str(),
+                   m.label.c_str())});
+    lines.push_back(
+        {m.arrival_time, 0,
+         StrFormat("%-4s gets    %s  (from %s)", name_of(m.to).c_str(),
+                   m.label.c_str(), name_of(m.from).c_str())});
+  }
+  for (const InstallRecord& install : warehouse.install_log()) {
+    std::vector<std::string> ids;
+    for (int64_t id : install.update_ids) {
+      ids.push_back(StrFormat("u%lld", static_cast<long long>(id)));
+    }
+    lines.push_back(
+        {install.time, 1,
+         StrFormat("WH   INSTALLS [%s] -> %s", Join(ids, ",").c_str(),
+                   install.view_after.ToDisplayString().c_str())});
+  }
+
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const Line& a, const Line& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     return a.order < b.order;
+                   });
+
+  std::string out;
+  for (const Line& line : lines) {
+    out += StrFormat("t=%-7lld %s\n", static_cast<long long>(line.at),
+                     line.text.c_str());
+  }
+  return out;
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,58 @@
+// Message tracing and space-time rendering.
+//
+// TraceRecorder taps a Network and keeps a compact record of every
+// transmission; RenderTimeline turns a trace (plus the warehouse's
+// install log) into the kind of space-time narrative Figure 2 of the
+// paper sketches: update notifications, the leftward then rightward
+// incremental queries, interfering updates crossing them in flight, and
+// the resulting view installs.
+
+#ifndef SWEEPMV_HARNESS_TRACE_H_
+#define SWEEPMV_HARNESS_TRACE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/warehouse.h"
+#include "sim/network.h"
+
+namespace sweepmv {
+
+struct TracedMessage {
+  SimTime send_time = 0;
+  SimTime arrival_time = 0;
+  int from = -1;
+  int to = -1;
+  MessageClass cls = MessageClass::kUpdateNotification;
+  int64_t payload_tuples = 0;
+  // Human-readable summary, e.g. "update u3 of R1 {-(2,3)[1]}",
+  // "query #2 -> R1 (extend left, span[1,2])", "answer #2 span[0,2]".
+  std::string label;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+
+  // Installs this recorder as the network's tap (replacing any previous
+  // tap). The recorder must outlive the network's sends.
+  void Attach(Network* network);
+
+  const std::vector<TracedMessage>& messages() const { return messages_; }
+  void Clear() { messages_.clear(); }
+
+ private:
+  std::vector<TracedMessage> messages_;
+};
+
+// Renders a chronological space-time narrative. `site_names` maps site id
+// to a display name (e.g. {0: "WH", 1: "R1", ...}); installs from
+// `warehouse` are interleaved as local events.
+std::string RenderTimeline(const std::vector<TracedMessage>& trace,
+                           const std::map<int, std::string>& site_names,
+                           const Warehouse& warehouse);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_HARNESS_TRACE_H_

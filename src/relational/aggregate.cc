@@ -1,0 +1,76 @@
+#include "relational/aggregate.h"
+
+#include "common/check.h"
+
+namespace sweepmv {
+
+MaintainedAggregate::MaintainedAggregate(Schema view_schema, AggSpec spec)
+    : view_schema_(std::move(view_schema)), spec_(std::move(spec)) {
+  std::vector<Attribute> attrs;
+  for (int pos : spec_.group_by) {
+    SWEEP_CHECK(pos >= 0 &&
+                static_cast<size_t>(pos) < view_schema_.arity());
+    attrs.push_back(view_schema_.attr(static_cast<size_t>(pos)));
+  }
+  if (spec_.fn == AggFn::kSum) {
+    SWEEP_CHECK_MSG(
+        spec_.value_column >= 0 &&
+            static_cast<size_t>(spec_.value_column) <
+                view_schema_.arity() &&
+            view_schema_.attr(static_cast<size_t>(spec_.value_column))
+                    .type == ValueType::kInt,
+        "SUM requires an integer value column");
+  }
+  attrs.push_back(Attribute{"agg", ValueType::kInt});
+  result_schema_ = Schema(std::move(attrs));
+}
+
+void MaintainedAggregate::Initialize(const Relation& view) {
+  groups_.clear();
+  Fold(view);
+}
+
+void MaintainedAggregate::ApplyDelta(const Relation& view_delta) {
+  Fold(view_delta);
+}
+
+void MaintainedAggregate::Fold(const Relation& rel) {
+  for (const auto& [t, c] : rel.entries()) {
+    Tuple group = t.Project(spec_.group_by);
+    GroupState& state = groups_[group];
+    state.multiplicity += c;
+    if (spec_.fn == AggFn::kSum) {
+      state.sum +=
+          t.at(static_cast<size_t>(spec_.value_column)).AsInt() * c;
+    }
+    SWEEP_CHECK_MSG(state.multiplicity >= 0,
+                    "aggregate group multiplicity went negative — the "
+                    "observed deltas are not consistent");
+    if (state.multiplicity == 0) groups_.erase(group);
+  }
+}
+
+Relation MaintainedAggregate::Result() const {
+  Relation out(result_schema_);
+  for (const auto& [group, state] : groups_) {
+    int64_t value =
+        spec_.fn == AggFn::kCount ? state.multiplicity : state.sum;
+    std::vector<Value> values = group.values();
+    values.emplace_back(value);
+    out.Add(Tuple(std::move(values)), 1);
+  }
+  return out;
+}
+
+int64_t MaintainedAggregate::ValueOf(const Tuple& group) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return 0;
+  return spec_.fn == AggFn::kCount ? it->second.multiplicity
+                                   : it->second.sum;
+}
+
+bool MaintainedAggregate::HasGroup(const Tuple& group) const {
+  return groups_.count(group) != 0;
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,75 @@
+// Incrementally maintained aggregates over a materialized view.
+//
+// Section 2 notes the warehouse model extends to aggregate view functions;
+// this module provides that extension on top of the counting algebra: a
+// COUNT or SUM grouped by a column subset of the view's output, maintained
+// purely from view *deltas* (the same ΔV every algorithm installs), never
+// by rescanning the view. Deletions that empty a group remove it, exactly
+// as re-evaluation would.
+
+#ifndef SWEEPMV_RELATIONAL_AGGREGATE_H_
+#define SWEEPMV_RELATIONAL_AGGREGATE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/schema.h"
+
+namespace sweepmv {
+
+enum class AggFn : uint8_t {
+  kCount = 0,  // Σ multiplicities per group
+  kSum = 1,    // Σ value_column * multiplicity per group
+};
+
+struct AggSpec {
+  // Positions (in the view's output schema) to group by. May be empty for
+  // a single global aggregate.
+  std::vector<int> group_by;
+  AggFn fn = AggFn::kCount;
+  // For kSum: position of the (integer) column to sum.
+  int value_column = -1;
+};
+
+class MaintainedAggregate {
+ public:
+  // `view_schema` is the schema of the view this aggregate observes.
+  MaintainedAggregate(Schema view_schema, AggSpec spec);
+
+  // (Re)initializes from a full view state.
+  void Initialize(const Relation& view);
+
+  // Folds one signed view delta into the aggregate.
+  void ApplyDelta(const Relation& view_delta);
+
+  // Materializes the current aggregate as a relation with schema
+  // (group columns..., "agg"); every tuple has count 1. Groups whose
+  // underlying multiplicity dropped to zero are absent.
+  Relation Result() const;
+
+  // Value for a specific group (0 if the group is absent).
+  int64_t ValueOf(const Tuple& group) const;
+  bool HasGroup(const Tuple& group) const;
+  size_t num_groups() const { return groups_.size(); }
+
+  const Schema& result_schema() const { return result_schema_; }
+
+ private:
+  struct GroupState {
+    int64_t multiplicity = 0;  // Σ view counts in the group
+    int64_t sum = 0;           // Σ value * count (kSum only)
+  };
+
+  void Fold(const Relation& rel);
+
+  Schema view_schema_;
+  AggSpec spec_;
+  Schema result_schema_;
+  std::map<Tuple, GroupState> groups_;
+};
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_RELATIONAL_AGGREGATE_H_

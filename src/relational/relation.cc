@@ -1,0 +1,109 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/str.h"
+
+namespace sweepmv {
+
+Relation Relation::OfInts(
+    Schema schema,
+    std::initializer_list<std::initializer_list<int64_t>> rows) {
+  Relation r(std::move(schema));
+  for (const auto& row : rows) {
+    r.Add(IntTuple(row), 1);
+  }
+  return r;
+}
+
+void Relation::Add(const Tuple& t, int64_t count) {
+  if (count == 0) return;
+  SWEEP_CHECK_MSG(schema_.arity() == 0 || schema_.Matches(t),
+                  "tuple does not match relation schema");
+  auto [it, inserted] = counts_.try_emplace(t, count);
+  if (!inserted) {
+    it->second += count;
+    if (it->second == 0) counts_.erase(it);
+  }
+}
+
+int64_t Relation::CountOf(const Tuple& t) const {
+  auto it = counts_.find(t);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+int64_t Relation::TotalCount() const {
+  int64_t total = 0;
+  for (const auto& [t, c] : counts_) total += c;
+  return total;
+}
+
+int64_t Relation::AbsoluteCount() const {
+  int64_t total = 0;
+  for (const auto& [t, c] : counts_) total += c < 0 ? -c : c;
+  return total;
+}
+
+bool Relation::HasNegative() const {
+  for (const auto& [t, c] : counts_) {
+    if (c < 0) return true;
+  }
+  return false;
+}
+
+void Relation::Merge(const Relation& other) {
+  for (const auto& [t, c] : other.counts_) Add(t, c);
+}
+
+void Relation::MergeNegated(const Relation& other) {
+  for (const auto& [t, c] : other.counts_) Add(t, -c);
+}
+
+Relation Relation::Negated() const {
+  Relation out(schema_);
+  for (const auto& [t, c] : counts_) out.counts_.emplace(t, -c);
+  return out;
+}
+
+size_t Relation::EraseMatching(const std::vector<int>& positions,
+                               const Tuple& key) {
+  size_t erased = 0;
+  for (auto it = counts_.begin(); it != counts_.end();) {
+    if (it->first.Project(positions) == key) {
+      it = counts_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
+}
+
+void Relation::ClampToSet() {
+  for (auto& [t, c] : counts_) {
+    if (c > 1) c = 1;
+  }
+}
+
+std::vector<std::pair<Tuple, int64_t>> Relation::SortedEntries() const {
+  std::vector<std::pair<Tuple, int64_t>> out(counts_.begin(), counts_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::string Relation::ToDisplayString() const {
+  std::vector<std::string> parts;
+  for (const auto& [t, c] : SortedEntries()) {
+    parts.push_back(t.ToDisplayString() + "[" + std::to_string(c) + "]");
+  }
+  return "{" + Join(parts, ", ") + "}";
+}
+
+std::ostream& operator<<(std::ostream& os, const Relation& r) {
+  return os << r.ToDisplayString();
+}
+
+}  // namespace sweepmv

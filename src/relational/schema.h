@@ -1,0 +1,60 @@
+// Relation schemas: named, typed attribute lists.
+
+#ifndef SWEEPMV_RELATIONAL_SCHEMA_H_
+#define SWEEPMV_RELATIONAL_SCHEMA_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace sweepmv {
+
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kInt;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {}
+
+  // Builds an all-int schema "name[a0,a1,...]" from attribute names; the
+  // common case in tests and the paper's examples.
+  static Schema AllInts(const std::vector<std::string>& names);
+
+  size_t arity() const { return attrs_.size(); }
+  const Attribute& attr(size_t i) const;
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+
+  // Position of the attribute with the given name, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  // Concatenation (for join results). Attribute names are kept as-is;
+  // callers that need uniqueness qualify names up front (e.g. "R1.B").
+  Schema Concat(const Schema& other) const;
+
+  // True if `t` has matching arity and per-position value types.
+  bool Matches(const Tuple& t) const;
+
+  bool operator==(const Schema& other) const { return attrs_ == other.attrs_; }
+
+  // "[A:int, B:string]"
+  std::string ToDisplayString() const;
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Schema& s);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_RELATIONAL_SCHEMA_H_

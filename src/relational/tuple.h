@@ -1,0 +1,58 @@
+// Tuples: fixed-arity sequences of Values.
+
+#ifndef SWEEPMV_RELATIONAL_TUPLE_H_
+#define SWEEPMV_RELATIONAL_TUPLE_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace sweepmv {
+
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t arity() const { return values_.size(); }
+  const Value& at(size_t i) const;
+  const std::vector<Value>& values() const { return values_; }
+
+  // Concatenation of this tuple followed by `other` (used by joins).
+  Tuple Concat(const Tuple& other) const;
+
+  // Projection onto the given attribute positions (order preserved,
+  // duplicates allowed).
+  Tuple Project(const std::vector<int>& positions) const;
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return values_ != other.values_; }
+  bool operator<(const Tuple& other) const { return values_ < other.values_; }
+
+  size_t Hash() const;
+
+  // "(1, 3, \"x\")"
+  std::string ToDisplayString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+// Convenience builder for all-integer tuples (the dominant case in tests
+// and in the paper's examples).
+Tuple IntTuple(std::initializer_list<int64_t> ints);
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_RELATIONAL_TUPLE_H_

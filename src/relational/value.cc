@@ -1,0 +1,72 @@
+#include "relational/value.h"
+
+#include <functional>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/str.h"
+
+namespace sweepmv {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+int64_t Value::AsInt() const {
+  SWEEP_CHECK_MSG(type() == ValueType::kInt, "Value is not an int");
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  SWEEP_CHECK_MSG(type() == ValueType::kDouble, "Value is not a double");
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  SWEEP_CHECK_MSG(type() == ValueType::kString, "Value is not a string");
+  return std::get<std::string>(data_);
+}
+
+size_t Value::Hash() const {
+  size_t seed = data_.index();
+  size_t h = 0;
+  switch (type()) {
+    case ValueType::kInt:
+      h = std::hash<int64_t>{}(std::get<int64_t>(data_));
+      break;
+    case ValueType::kDouble:
+      h = std::hash<double>{}(std::get<double>(data_));
+      break;
+    case ValueType::kString:
+      h = std::hash<std::string>{}(std::get<std::string>(data_));
+      break;
+  }
+  // Boost-style hash combine to mix the type tag in.
+  return h ^ (seed + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble:
+      return StrFormat("%g", std::get<double>(data_));
+    case ValueType::kString:
+      return "\"" + std::get<std::string>(data_) + "\"";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToDisplayString();
+}
+
+}  // namespace sweepmv

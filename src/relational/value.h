@@ -1,0 +1,63 @@
+// Typed cell values for tuples.
+//
+// The paper's model is a plain relational model; three scalar types (64-bit
+// integer, double, string) cover everything the experiments and examples
+// need. Values are ordered and hashable so they can serve as join keys and
+// live in hash-based bag relations.
+
+#ifndef SWEEPMV_RELATIONAL_VALUE_H_
+#define SWEEPMV_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+namespace sweepmv {
+
+enum class ValueType : uint8_t {
+  kInt = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+// Returns a human-readable name ("int", "double", "string").
+const char* ValueTypeName(ValueType type);
+
+// Immutable scalar cell. Comparison across different types is defined (by
+// type tag first) so Values can key ordered containers, but predicates only
+// ever compare same-typed values (schemas are type-checked).
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(int v) : data_(static_cast<int64_t>(v)) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  ValueType type() const { return static_cast<ValueType>(data_.index()); }
+
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  // Total order: type tag first, then value. Equality requires same type.
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return data_ != other.data_; }
+  bool operator<(const Value& other) const { return data_ < other.data_; }
+
+  size_t Hash() const;
+
+  // Renders the value for display ("7", "3.5", "\"abc\"").
+  std::string ToDisplayString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_RELATIONAL_VALUE_H_

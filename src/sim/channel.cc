@@ -1,0 +1,13 @@
+#include "sim/channel.h"
+
+namespace sweepmv {
+
+SimTime Channel::NextArrival(SimTime now, int64_t payload_tuples) {
+  SimTime arrival = now + latency_.Sample(rng_, payload_tuples);
+  if (arrival < last_arrival_) arrival = last_arrival_;
+  last_arrival_ = arrival;
+  ++messages_sent_;
+  return arrival;
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,48 @@
+// Reliable FIFO channels.
+//
+// The paper's only communication assumption (Section 2): channels between
+// each source and the warehouse are reliable and FIFO. Channel enforces
+// FIFO even under latency jitter by never scheduling a delivery earlier
+// than the previously scheduled one on the same directed link. SWEEP's
+// correctness argument leans on this: an update notification sent before a
+// query answer must arrive before it.
+
+#ifndef SWEEPMV_SIM_CHANNEL_H_
+#define SWEEPMV_SIM_CHANNEL_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sim/latency.h"
+#include "sim/time.h"
+
+namespace sweepmv {
+
+// Bookkeeping for one directed link. Delivery scheduling itself lives in
+// Network (which owns the simulator hookup); Channel computes arrival
+// times that respect FIFO.
+class Channel {
+ public:
+  Channel(LatencyModel latency, Rng rng)
+      : latency_(latency), rng_(rng) {}
+
+  // Arrival time for a message of `payload_tuples` sent at `now`:
+  // now + sampled latency, but never before a previously scheduled
+  // arrival on this link.
+  SimTime NextArrival(SimTime now, int64_t payload_tuples = 0);
+
+  int64_t messages_sent() const { return messages_sent_; }
+
+  void set_latency(LatencyModel latency) { latency_ = latency; }
+  const LatencyModel& latency() const { return latency_; }
+
+ private:
+  LatencyModel latency_;
+  Rng rng_;
+  SimTime last_arrival_ = 0;
+  int64_t messages_sent_ = 0;
+};
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_SIM_CHANNEL_H_

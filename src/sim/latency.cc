@@ -1,0 +1,17 @@
+#include "sim/latency.h"
+
+#include "common/check.h"
+
+namespace sweepmv {
+
+SimTime LatencyModel::Sample(Rng& rng, int64_t payload_tuples) const {
+  SWEEP_CHECK(base >= 0);
+  SWEEP_CHECK(jitter >= 0);
+  SWEEP_CHECK(per_tuple >= 0);
+  SWEEP_CHECK(payload_tuples >= 0);
+  SimTime delay = base + per_tuple * payload_tuples;
+  if (jitter > 0) delay += rng.Uniform(0, jitter);
+  return delay;
+}
+
+}  // namespace sweepmv

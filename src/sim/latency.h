@@ -1,0 +1,40 @@
+// Channel latency models.
+//
+// Interference between updates and in-flight queries — the paper's central
+// difficulty — is a function of message latency relative to update
+// inter-arrival time. The latency model is therefore a first-class
+// experiment knob: base delay plus uniform jitter, sampled from the
+// network's deterministic RNG.
+
+#ifndef SWEEPMV_SIM_LATENCY_H_
+#define SWEEPMV_SIM_LATENCY_H_
+
+#include "common/rng.h"
+#include "sim/time.h"
+
+namespace sweepmv {
+
+struct LatencyModel {
+  SimTime base = 1000;     // fixed one-way delay
+  SimTime jitter = 0;      // additional uniform delay in [0, jitter]
+  SimTime per_tuple = 0;   // serialization cost per payload tuple
+                           // (bandwidth modeling: bulk messages are slow)
+
+  static LatencyModel Fixed(SimTime base) {
+    return LatencyModel{base, 0, 0};
+  }
+  static LatencyModel Jittered(SimTime base, SimTime jitter) {
+    return LatencyModel{base, jitter, 0};
+  }
+  static LatencyModel Bandwidth(SimTime base, SimTime jitter,
+                                SimTime per_tuple) {
+    return LatencyModel{base, jitter, per_tuple};
+  }
+
+  // Samples a one-way delay for a message carrying `payload_tuples`.
+  SimTime Sample(Rng& rng, int64_t payload_tuples = 0) const;
+};
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_SIM_LATENCY_H_

@@ -1,0 +1,101 @@
+// Message taxonomy of the warehouse protocols.
+//
+// Five algorithm families share this vocabulary:
+//   * UpdateMessage       — source → warehouse update notification.
+//   * QueryRequest/Answer — the sweep-style incremental query: the
+//     warehouse ships a partial delta, the source joins its base relation
+//     on the appropriate side and ships the widened partial back. Used by
+//     SWEEP, Nested SWEEP, Strobe and C-Strobe.
+//   * EcaQueryRequest/Answer — ECA's compensated queries against a single
+//     multi-relation source: a signed sum of join terms in which some
+//     positions are fixed to delta relations and the rest are filled from
+//     the source's current base relations.
+//   * SnapshotRequest/Answer — full base-relation fetch for the naive
+//     recompute baseline.
+
+#ifndef SWEEPMV_SIM_MESSAGE_H_
+#define SWEEPMV_SIM_MESSAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "relational/partial_delta.h"
+#include "relational/relation.h"
+#include "source/update.h"
+
+namespace sweepmv {
+
+struct UpdateMessage {
+  Update update;
+};
+
+struct QueryRequest {
+  int64_t query_id = -1;
+  // Relation index the addressed source must join into the partial.
+  int target_rel = -1;
+  // True: the source extends the partial on the left (target_rel ==
+  // partial.lo - 1); false: on the right (target_rel == partial.hi + 1).
+  bool extend_left = false;
+  PartialDelta partial;
+};
+
+struct QueryAnswer {
+  int64_t query_id = -1;
+  PartialDelta partial;
+};
+
+// One signed join term of an ECA query. `fixed[r]`, when present, pins
+// relation r to the given delta; absent positions are filled from the
+// source's current base relations.
+struct EcaTerm {
+  int sign = 1;
+  std::vector<std::optional<Relation>> fixed;
+};
+
+struct EcaQueryRequest {
+  int64_t query_id = -1;
+  std::vector<EcaTerm> terms;
+};
+
+struct EcaQueryAnswer {
+  int64_t query_id = -1;
+  // Signed sum of the evaluated terms, over the view's joined schema.
+  Relation result;
+};
+
+struct SnapshotRequest {
+  int64_t query_id = -1;
+};
+
+struct SnapshotAnswer {
+  int64_t query_id = -1;
+  int relation = -1;
+  Relation snapshot;
+};
+
+using Message =
+    std::variant<UpdateMessage, QueryRequest, QueryAnswer, EcaQueryRequest,
+                 EcaQueryAnswer, SnapshotRequest, SnapshotAnswer>;
+
+// Broad classes for traffic accounting.
+enum class MessageClass : int {
+  kUpdateNotification = 0,
+  kQueryRequest = 1,
+  kQueryAnswer = 2,
+  kNumClasses = 3,
+};
+
+MessageClass ClassOf(const Message& msg);
+
+// Number of tuples the message carries — the size proxy used by the
+// benches (the paper discusses message *size* for ECA in these terms).
+int64_t PayloadTuples(const Message& msg);
+
+const char* MessageClassName(MessageClass c);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_SIM_MESSAGE_H_

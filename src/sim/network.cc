@@ -1,0 +1,85 @@
+#include "sim/network.h"
+
+#include "common/check.h"
+#include "common/str.h"
+
+namespace sweepmv {
+
+int64_t NetworkStats::TotalMessages() const {
+  int64_t total = 0;
+  for (const auto& c : by_class) total += c.messages;
+  return total;
+}
+
+int64_t NetworkStats::TotalPayload() const {
+  int64_t total = 0;
+  for (const auto& c : by_class) total += c.payload_tuples;
+  return total;
+}
+
+std::string NetworkStats::ToDisplayString() const {
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < by_class.size(); ++i) {
+    parts.push_back(StrFormat(
+        "%s: %lld msgs / %lld tuples",
+        MessageClassName(static_cast<MessageClass>(i)),
+        static_cast<long long>(by_class[i].messages),
+        static_cast<long long>(by_class[i].payload_tuples)));
+  }
+  return Join(parts, ", ");
+}
+
+Network::Network(Simulator* sim, LatencyModel latency, uint64_t seed)
+    : sim_(sim), default_latency_(latency), rng_(seed) {
+  SWEEP_CHECK(sim != nullptr);
+}
+
+void Network::RegisterSite(int id, Site* site) {
+  SWEEP_CHECK(site != nullptr);
+  auto [it, inserted] = sites_.emplace(id, site);
+  SWEEP_CHECK_MSG(inserted, "site id already registered");
+  (void)it;
+}
+
+Channel& Network::LinkFor(int from, int to) {
+  auto key = std::make_pair(from, to);
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    it = links_.emplace(key, Channel(default_latency_, rng_.Fork())).first;
+  }
+  return it->second;
+}
+
+void Network::Send(int from, int to, Message msg) {
+  auto site_it = sites_.find(to);
+  SWEEP_CHECK_MSG(site_it != sites_.end(), "unknown destination site");
+  Site* dest = site_it->second;
+
+  int64_t payload = PayloadTuples(msg);
+  auto& cls = stats_.by_class[static_cast<size_t>(ClassOf(msg))];
+  ++cls.messages;
+  cls.payload_tuples += payload;
+
+  SimTime arrival = LinkFor(from, to).NextArrival(sim_->now(), payload);
+  if (tap_) {
+    TapEvent event;
+    event.send_time = sim_->now();
+    event.arrival_time = arrival;
+    event.from = from;
+    event.to = to;
+    event.message = &msg;
+    tap_(event);
+  }
+  // The shared_ptr makes the lambda copyable (std::function requires it)
+  // without copying the payload relation on every move of the closure.
+  auto boxed = std::make_shared<Message>(std::move(msg));
+  sim_->ScheduleAt(arrival, [dest, from, boxed]() {
+    dest->OnMessage(from, std::move(*boxed));
+  });
+}
+
+void Network::SetLinkLatency(int from, int to, LatencyModel latency) {
+  LinkFor(from, to).set_latency(latency);
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,96 @@
+// The simulated network: site registry, FIFO links, traffic statistics.
+
+#ifndef SWEEPMV_SIM_NETWORK_H_
+#define SWEEPMV_SIM_NETWORK_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "sim/channel.h"
+#include "sim/latency.h"
+#include "sim/message.h"
+#include "sim/simulator.h"
+#include "sim/site.h"
+
+namespace sweepmv {
+
+// Per-class traffic counters. The benches read these to report message
+// complexity (Table 1, experiments E1-E3).
+struct NetworkStats {
+  struct ClassStats {
+    int64_t messages = 0;
+    int64_t payload_tuples = 0;
+  };
+  std::array<ClassStats, static_cast<size_t>(MessageClass::kNumClasses)>
+      by_class;
+
+  int64_t TotalMessages() const;
+  int64_t TotalPayload() const;
+  const ClassStats& Of(MessageClass c) const {
+    return by_class[static_cast<size_t>(c)];
+  }
+
+  std::string ToDisplayString() const;
+};
+
+// One observed transmission, reported to the network tap at send time
+// (the arrival instant is already determined then — delivery is
+// deterministic).
+struct TapEvent {
+  SimTime send_time = 0;
+  SimTime arrival_time = 0;
+  int from = -1;
+  int to = -1;
+  // Borrowed view of the in-flight message; valid only for the duration
+  // of the tap callback.
+  const Message* message = nullptr;
+};
+
+class Network {
+ public:
+  // All links share `latency` unless overridden per-link; `seed` drives
+  // the jitter sampling deterministically.
+  Network(Simulator* sim, LatencyModel latency, uint64_t seed);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Registers a site under `id`. The site must outlive the network runs.
+  void RegisterSite(int id, Site* site);
+
+  // Sends `msg` from site `from` to site `to`: samples a FIFO-respecting
+  // arrival time and schedules the delivery. Counts traffic.
+  void Send(int from, int to, Message msg);
+
+  // Overrides the latency model of the directed link from->to.
+  void SetLinkLatency(int from, int to, LatencyModel latency);
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+  // Observer invoked for every Send (tracing / visualization).
+  using Tap = std::function<void(const TapEvent&)>;
+  void SetTap(Tap tap) { tap_ = std::move(tap); }
+
+  Simulator* simulator() { return sim_; }
+
+ private:
+  Channel& LinkFor(int from, int to);
+
+  Simulator* sim_;
+  LatencyModel default_latency_;
+  Rng rng_;
+  std::map<int, Site*> sites_;
+  std::map<std::pair<int, int>, Channel> links_;
+  NetworkStats stats_;
+  Tap tap_;
+};
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_SIM_NETWORK_H_

@@ -1,0 +1,47 @@
+#include "sim/simulator.h"
+
+#include "common/check.h"
+
+namespace sweepmv {
+
+void Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  SWEEP_CHECK(delay >= 0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  SWEEP_CHECK_MSG(when >= now_, "cannot schedule in the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the handler is moved out before
+  // pop via a const_cast-free copy of the callable wrapper.
+  Event ev = queue_.top();
+  queue_.pop();
+  SWEEP_CHECK(ev.when >= now_);
+  now_ = ev.when;
+  ev.fn();
+  return true;
+}
+
+int64_t Simulator::Run(int64_t max_events) {
+  int64_t executed = 0;
+  while ((max_events < 0 || executed < max_events) && Step()) {
+    ++executed;
+  }
+  return executed;
+}
+
+int64_t Simulator::RunUntil(SimTime until) {
+  SWEEP_CHECK(until >= now_);
+  int64_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= until && Step()) {
+    ++executed;
+  }
+  now_ = until;
+  return executed;
+}
+
+}  // namespace sweepmv

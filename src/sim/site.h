@@ -1,0 +1,21 @@
+// Site interface: anything addressable on the simulated network.
+
+#ifndef SWEEPMV_SIM_SITE_H_
+#define SWEEPMV_SIM_SITE_H_
+
+#include "sim/message.h"
+
+namespace sweepmv {
+
+class Site {
+ public:
+  virtual ~Site() = default;
+
+  // Delivered by the network when a message addressed to this site
+  // arrives. `from` is the sender's site id.
+  virtual void OnMessage(int from, Message msg) = 0;
+};
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_SIM_SITE_H_

@@ -1,0 +1,16 @@
+// Simulated-time type shared across the library.
+
+#ifndef SWEEPMV_SIM_TIME_H_
+#define SWEEPMV_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace sweepmv {
+
+// Virtual clock ticks. The unit is arbitrary; by convention the workloads
+// and latency models treat one tick as a microsecond.
+using SimTime = int64_t;
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_SIM_TIME_H_

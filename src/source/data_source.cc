@@ -1,0 +1,102 @@
+#include "source/data_source.h"
+
+#include "common/check.h"
+#include "common/log.h"
+#include "relational/partial_delta.h"
+
+namespace sweepmv {
+
+DataSource::DataSource(int site_id, int relation_index, Relation initial,
+                       const ViewDef* view, Network* network,
+                       int warehouse_site, UpdateIdGenerator* ids)
+    : site_id_(site_id),
+      relation_index_(relation_index),
+      relation_(std::move(initial)),
+      view_(view),
+      network_(network),
+      warehouse_sites_{warehouse_site},
+      ids_(ids) {
+  SWEEP_CHECK(view != nullptr && network != nullptr && ids != nullptr);
+  SWEEP_CHECK(relation_index >= 0 &&
+              relation_index < view->num_relations());
+  SWEEP_CHECK_MSG(!relation_.HasNegative(),
+                  "base relations must have positive counts");
+  log_.SetInitial(relation_);
+}
+
+int64_t DataSource::ApplyTransaction(const std::vector<UpdateOp>& ops) {
+  Relation delta = OpsToDelta(view_->rel_schema(relation_index_), ops);
+  if (delta.Empty()) return -1;
+
+  relation_.Merge(delta);
+  SWEEP_CHECK_MSG(!relation_.HasNegative(),
+                  "transaction deleted a tuple that was not present");
+
+  Update update;
+  update.id = ids_->Next();
+  update.relation = relation_index_;
+  update.delta = delta;
+  update.applied_at = network_->simulator()->now();
+  log_.Append(update.id, delta, update.applied_at);
+
+  SWEEP_LOG(Trace) << "source R" << relation_index_ << " applied "
+                   << update.ToDisplayString();
+  int64_t id = update.id;
+  for (int warehouse : warehouse_sites_) {
+    network_->Send(site_id_, warehouse, UpdateMessage{update});
+  }
+  return id;
+}
+
+void DataSource::AddWarehouse(int warehouse_site) {
+  warehouse_sites_.push_back(warehouse_site);
+}
+
+int64_t DataSource::ApplyTxn(int relation_index,
+                             const std::vector<UpdateOp>& ops) {
+  SWEEP_CHECK_MSG(relation_index == relation_index_,
+                  "this site does not host that relation");
+  return ApplyTransaction(ops);
+}
+
+const StateLog& DataSource::LogOf(int relation_index) const {
+  SWEEP_CHECK(relation_index == relation_index_);
+  return log_;
+}
+
+const Relation& DataSource::RelationOf(int relation_index) const {
+  SWEEP_CHECK(relation_index == relation_index_);
+  return relation_;
+}
+
+int64_t DataSource::ApplyInsert(Tuple t) {
+  return ApplyTransaction({UpdateOp::Insert(std::move(t))});
+}
+
+int64_t DataSource::ApplyDelete(Tuple t) {
+  return ApplyTransaction({UpdateOp::Delete(std::move(t))});
+}
+
+void DataSource::OnMessage(int from, Message msg) {
+  if (auto* query = std::get_if<QueryRequest>(&msg)) {
+    SWEEP_CHECK_MSG(query->target_rel == relation_index_,
+                    "query routed to the wrong source");
+    PartialDelta result =
+        query->extend_left
+            ? ExtendLeft(*view_, relation_, query->partial)
+            : ExtendRight(*view_, query->partial, relation_);
+    ++queries_answered_;
+    network_->Send(site_id_, from,
+                   QueryAnswer{query->query_id, std::move(result)});
+    return;
+  }
+  if (auto* snap = std::get_if<SnapshotRequest>(&msg)) {
+    network_->Send(site_id_, from,
+                   SnapshotAnswer{snap->query_id, relation_index_,
+                                  relation_});
+    return;
+  }
+  SWEEP_CHECK_MSG(false, "data source received an unexpected message type");
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,90 @@
+// A data-source site: one base relation plus the paper's Update & Query
+// Server (Figure 3).
+//
+// The server has two duties:
+//   * SendUpdates — every locally executed transaction is forwarded to the
+//     warehouse as one atomic unit (an UpdateMessage);
+//   * ProcessQuery — an incremental query from the warehouse (a partial
+//     delta) is joined with the *current* local relation and sent back.
+// Requests are serviced sequentially and the join is synchronized with
+// local update transactions, which the single-threaded simulator gives us
+// for free: each event runs to completion.
+
+#ifndef SWEEPMV_SOURCE_DATA_SOURCE_H_
+#define SWEEPMV_SOURCE_DATA_SOURCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/view_def.h"
+#include "sim/network.h"
+#include "source/source_site.h"
+#include "source/state_log.h"
+#include "source/update.h"
+
+namespace sweepmv {
+
+// Issues globally unique update ids (instrumentation only; a real
+// deployment needs no such shared counter).
+class UpdateIdGenerator {
+ public:
+  int64_t Next() { return next_++; }
+
+ private:
+  int64_t next_ = 0;
+};
+
+class DataSource : public SourceSite {
+ public:
+  // `relation_index` is the position of this source's base relation in the
+  // view chain. `warehouse_site` is where updates and answers are sent.
+  DataSource(int site_id, int relation_index, Relation initial,
+             const ViewDef* view, Network* network, int warehouse_site,
+             UpdateIdGenerator* ids);
+
+  // Executes a source-local transaction atomically: applies every op in
+  // order, logs the resulting delta, and ships it to the warehouse as a
+  // single unit. No-op transactions (net-zero delta) are not shipped.
+  // Returns the update id, or -1 for a net no-op.
+  int64_t ApplyTransaction(const std::vector<UpdateOp>& ops);
+
+  // Single-op conveniences.
+  int64_t ApplyInsert(Tuple t);
+  int64_t ApplyDelete(Tuple t);
+
+  void OnMessage(int from, Message msg) override;
+
+  // Registers an additional warehouse site; every subsequent update is
+  // shipped to all registered warehouses (multi-view deployments where
+  // several warehouses materialize different views over the same
+  // sources). Queries are always answered to their sender.
+  void AddWarehouse(int warehouse_site);
+
+  // SourceSite interface (single hosted relation).
+  int64_t ApplyTxn(int relation_index,
+                   const std::vector<UpdateOp>& ops) override;
+  const StateLog& LogOf(int relation_index) const override;
+  const Relation& RelationOf(int relation_index) const override;
+
+  int site_id() const { return site_id_; }
+  int relation_index() const { return relation_index_; }
+  const Relation& relation() const { return relation_; }
+  const StateLog& log() const { return log_; }
+  int64_t queries_answered() const { return queries_answered_; }
+
+ private:
+  int site_id_;
+  int relation_index_;
+  Relation relation_;
+  const ViewDef* view_;
+  Network* network_;
+  std::vector<int> warehouse_sites_;
+  UpdateIdGenerator* ids_;
+  StateLog log_;
+  int64_t queries_answered_ = 0;
+};
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_SOURCE_DATA_SOURCE_H_

@@ -1,0 +1,69 @@
+// A source site hosting several base relations.
+//
+// Realizes the general form of the paper's model: one autonomous site
+// stores a subset of the view's chain relations. All hosted relations
+// share the site's FIFO channel to the warehouse; transactions touch one
+// relation at a time (source-local, type 2 — global transactions across
+// sites remain out of scope, as in the paper). Incremental queries are
+// answered against the addressed relation's current state, in one atomic
+// event, exactly like DataSource. The SWEEP compensation argument is
+// unaffected: FIFO per link still guarantees that an update of R_j
+// applied before a query-for-R_j evaluated is delivered before the
+// answer — co-hosted relations only add unrelated traffic to the link.
+
+#ifndef SWEEPMV_SOURCE_MULTI_SOURCE_H_
+#define SWEEPMV_SOURCE_MULTI_SOURCE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/view_def.h"
+#include "sim/network.h"
+#include "source/data_source.h"
+#include "source/source_site.h"
+
+namespace sweepmv {
+
+class MultiRelationSource : public SourceSite {
+ public:
+  // `relations` pairs chain indices with their initial states.
+  MultiRelationSource(int site_id,
+                      std::vector<std::pair<int, Relation>> relations,
+                      const ViewDef* view, Network* network,
+                      int warehouse_site, UpdateIdGenerator* ids);
+
+  int64_t ApplyTxn(int relation_index,
+                   const std::vector<UpdateOp>& ops) override;
+  const StateLog& LogOf(int relation_index) const override;
+  const Relation& RelationOf(int relation_index) const override;
+
+  void OnMessage(int from, Message msg) override;
+
+  int site_id() const { return site_id_; }
+  // Chain indices hosted here, ascending.
+  std::vector<int> hosted_relations() const;
+  int64_t queries_answered() const { return queries_answered_; }
+
+ private:
+  struct Hosted {
+    Relation relation;
+    StateLog log;
+  };
+
+  Hosted& HostedOrDie(int relation_index);
+  const Hosted& HostedOrDie(int relation_index) const;
+
+  int site_id_;
+  const ViewDef* view_;
+  Network* network_;
+  int warehouse_site_;
+  UpdateIdGenerator* ids_;
+  std::map<int, Hosted> hosted_;
+  int64_t queries_answered_ = 0;
+};
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_SOURCE_MULTI_SOURCE_H_

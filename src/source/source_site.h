@@ -1,0 +1,40 @@
+// Common interface of source sites.
+//
+// The paper's model (Section 2): "Each data source may store any number
+// of base relations, but conceptually we assume a single base relation
+// R_i at data source i." The library supports the general form —
+// DataSource (one relation per site), MultiRelationSource (several
+// relations co-hosted, updated and queried atomically at one site), and
+// EcaSource (ECA's single site hosting the whole chain) all present this
+// interface so harnesses and checkers can treat topologies uniformly.
+
+#ifndef SWEEPMV_SOURCE_SOURCE_SITE_H_
+#define SWEEPMV_SOURCE_SOURCE_SITE_H_
+
+#include <vector>
+
+#include "relational/relation.h"
+#include "sim/site.h"
+#include "source/state_log.h"
+#include "source/update.h"
+
+namespace sweepmv {
+
+class SourceSite : public Site {
+ public:
+  ~SourceSite() override = default;
+
+  // Executes a transaction against the hosted relation with the given
+  // chain index; aborts if this site does not host it. Returns the update
+  // id (-1 for net no-ops).
+  virtual int64_t ApplyTxn(int relation_index,
+                           const std::vector<UpdateOp>& ops) = 0;
+
+  // Ground-truth log / current state of a hosted relation.
+  virtual const StateLog& LogOf(int relation_index) const = 0;
+  virtual const Relation& RelationOf(int relation_index) const = 0;
+};
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_SOURCE_SOURCE_SITE_H_

@@ -1,0 +1,27 @@
+#include "source/state_log.h"
+
+#include "common/check.h"
+
+namespace sweepmv {
+
+void StateLog::Append(int64_t id, Relation delta, SimTime applied_at) {
+  updates_.push_back(LoggedUpdate{id, std::move(delta), applied_at});
+}
+
+Relation StateLog::StateAfter(size_t k) const {
+  SWEEP_CHECK(k <= updates_.size());
+  Relation state = initial_;
+  for (size_t i = 0; i < k; ++i) {
+    state.Merge(updates_[i].delta);
+  }
+  return state;
+}
+
+int StateLog::IndexOf(int64_t id) const {
+  for (size_t i = 0; i < updates_.size(); ++i) {
+    if (updates_[i].id == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace sweepmv

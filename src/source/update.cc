@@ -1,0 +1,28 @@
+#include "source/update.h"
+
+#include "common/str.h"
+
+namespace sweepmv {
+
+bool Update::IsPureDelete() const {
+  if (delta.Empty()) return false;
+  for (const auto& [t, c] : delta.entries()) {
+    if (c > 0) return false;
+  }
+  return true;
+}
+
+std::string Update::ToDisplayString() const {
+  return StrFormat("u%lld@R%d ", static_cast<long long>(id), relation) +
+         delta.ToDisplayString();
+}
+
+Relation OpsToDelta(const Schema& schema, const std::vector<UpdateOp>& ops) {
+  Relation delta(schema);
+  for (const UpdateOp& op : ops) {
+    delta.Add(op.tuple, op.kind == UpdateOp::Kind::kInsert ? 1 : -1);
+  }
+  return delta;
+}
+
+}  // namespace sweepmv

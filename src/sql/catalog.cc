@@ -1,0 +1,21 @@
+#include "sql/catalog.h"
+
+namespace sweepmv {
+
+void Catalog::AddTable(const std::string& name, Schema schema) {
+  tables_[name] = std::move(schema);
+}
+
+const Schema* Catalog::Find(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, schema] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,33 @@
+// Table catalog: the schema registry the SQL front end resolves against.
+
+#ifndef SWEEPMV_SQL_CATALOG_H_
+#define SWEEPMV_SQL_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+
+namespace sweepmv {
+
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Registers a base relation. Names are case-sensitive. Re-registering a
+  // name replaces its schema.
+  void AddTable(const std::string& name, Schema schema);
+
+  // Schema lookup; nullptr if absent.
+  const Schema* Find(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, Schema> tables_;
+};
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_SQL_CATALOG_H_

@@ -1,0 +1,50 @@
+// A SQL front end for view definitions.
+//
+// The paper writes its view functions as SQL (Section 5.2):
+//
+//   SELECT R2.D, R3.F
+//   FROM   R1, R2, R3
+//   WHERE  R1.B = R2.C AND R2.D = R3.E
+//
+// ParseView turns that dialect into a ViewDef. Supported grammar
+// (keywords case-insensitive):
+//
+//   query      := SELECT select_list FROM table_list [WHERE conjunction]
+//   select_list:= '*' | column (',' column)*
+//   table_list := ident (',' ident)*
+//   conjunction:= comparison (AND comparison)*
+//   comparison := operand op operand        op ∈ { = != < <= > >= }
+//   operand    := column | integer | float | 'string'
+//   column     := [ident '.'] ident
+//
+// Semantics match the paper's SPJ model: the FROM order fixes the join
+// chain; a column-to-column equality between *adjacent* relations becomes
+// a chain join key; every other comparison lands in the selection
+// predicate (evaluated over the joined schema); the select list is the
+// projection. Errors are reported by value — no exceptions.
+
+#ifndef SWEEPMV_SQL_PARSER_H_
+#define SWEEPMV_SQL_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "relational/view_def.h"
+#include "sql/catalog.h"
+
+namespace sweepmv {
+
+struct ParseViewResult {
+  bool ok = false;
+  std::string error;             // set when !ok
+  std::optional<ViewDef> view_;  // engaged only when ok
+
+  // Convenience accessor; only call when ok.
+  const ViewDef& view() const { return *view_; }
+};
+
+ParseViewResult ParseView(const std::string& sql, const Catalog& catalog);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_SQL_PARSER_H_

@@ -1,0 +1,33 @@
+#include "workload/scenario_spec.h"
+
+#include "common/str.h"
+
+namespace sweepmv {
+
+TxnMix MixOf(const std::vector<ScheduledTxn>& txns) {
+  TxnMix mix;
+  for (const ScheduledTxn& txn : txns) {
+    for (const UpdateOp& op : txn.ops) {
+      if (op.kind == UpdateOp::Kind::kInsert) {
+        ++mix.inserts;
+      } else {
+        ++mix.deletes;
+      }
+    }
+  }
+  return mix;
+}
+
+std::string DescribeTxn(const ScheduledTxn& txn) {
+  std::vector<std::string> parts;
+  for (const UpdateOp& op : txn.ops) {
+    parts.push_back(
+        (op.kind == UpdateOp::Kind::kInsert ? "+" : "-") +
+        op.tuple.ToDisplayString());
+  }
+  return StrFormat("t=%lld R%d ", static_cast<long long>(txn.at),
+                   txn.relation) +
+         Join(parts, " ");
+}
+
+}  // namespace sweepmv

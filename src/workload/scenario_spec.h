@@ -1,0 +1,33 @@
+// Workload building blocks: a scheduled source-local transaction.
+
+#ifndef SWEEPMV_WORKLOAD_SCENARIO_SPEC_H_
+#define SWEEPMV_WORKLOAD_SCENARIO_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "source/update.h"
+
+namespace sweepmv {
+
+// One source-local transaction to execute at virtual time `at` against the
+// base relation `relation`.
+struct ScheduledTxn {
+  SimTime at = 0;
+  int relation = -1;
+  std::vector<UpdateOp> ops;
+};
+
+// Counts ops by kind; handy for reports.
+struct TxnMix {
+  int64_t inserts = 0;
+  int64_t deletes = 0;
+};
+TxnMix MixOf(const std::vector<ScheduledTxn>& txns);
+
+std::string DescribeTxn(const ScheduledTxn& txn);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_WORKLOAD_SCENARIO_SPEC_H_

@@ -1,0 +1,50 @@
+#include "workload/schema_gen.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/str.h"
+
+namespace sweepmv {
+
+ViewDef MakeChainView(const ChainSpec& spec) {
+  SWEEP_CHECK(spec.num_relations >= 1);
+  ViewDef::Builder builder;
+  for (int r = 0; r < spec.num_relations; ++r) {
+    builder.AddRelation(
+        StrFormat("R%d", r),
+        Schema::AllInts({StrFormat("K%d", r), StrFormat("A%d", r),
+                         StrFormat("B%d", r)}));
+  }
+  // Chain condition: B of relation r equals A of relation r+1.
+  for (int r = 0; r + 1 < spec.num_relations; ++r) {
+    builder.JoinOn(r, /*left_attr=*/2, /*right_attr=*/1);
+  }
+  if (spec.narrow_projection) {
+    int last_b = 3 * spec.num_relations - 1;
+    builder.Project({0, last_b});
+  }
+  return builder.Build();
+}
+
+std::vector<Relation> MakeInitialBases(const ViewDef& view,
+                                       const ChainSpec& spec) {
+  SWEEP_CHECK(view.num_relations() == spec.num_relations);
+  Rng rng(spec.seed);
+  std::vector<Relation> bases;
+  bases.reserve(static_cast<size_t>(spec.num_relations));
+  for (int r = 0; r < spec.num_relations; ++r) {
+    Rng local = rng.Fork();
+    Relation rel(view.rel_schema(r));
+    for (int i = 0; i < spec.initial_tuples; ++i) {
+      rel.Add(IntTuple({i, local.Uniform(0, spec.join_domain - 1),
+                        local.Uniform(0, spec.join_domain - 1)}),
+              1);
+    }
+    bases.push_back(std::move(rel));
+  }
+  return bases;
+}
+
+int64_t FirstFreshKey(const ChainSpec& spec) { return spec.initial_tuples; }
+
+}  // namespace sweepmv

@@ -1,0 +1,48 @@
+// Chain-schema and initial-database generation.
+//
+// Every generated scenario uses the paper's shape: n base relations joined
+// in a chain. Relation r has schema [K, A, B] (all int): K is a per-
+// relation unique key (the Strobe family's key-attribute assumption), A
+// joins with the left neighbour's B. Join attributes are drawn from a
+// small domain so joins actually produce view tuples; the domain size is
+// the selectivity knob.
+
+#ifndef SWEEPMV_WORKLOAD_SCHEMA_GEN_H_
+#define SWEEPMV_WORKLOAD_SCHEMA_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/view_def.h"
+
+namespace sweepmv {
+
+struct ChainSpec {
+  int num_relations = 3;
+  // Tuples per base relation initially.
+  int initial_tuples = 24;
+  // Join attributes are uniform over [0, join_domain).
+  int64_t join_domain = 8;
+  uint64_t seed = 42;
+  // If true, project the view onto the first relation's key and the last
+  // relation's B attribute (a "narrow" view); otherwise keep every
+  // attribute (identity projection).
+  bool narrow_projection = false;
+};
+
+// Builds the chain view over `spec.num_relations` relations.
+ViewDef MakeChainView(const ChainSpec& spec);
+
+// Generates the initial base relations (distinct keys, random join
+// attributes), deterministically from the seed.
+std::vector<Relation> MakeInitialBases(const ViewDef& view,
+                                       const ChainSpec& spec);
+
+// Key values used by MakeInitialBases are 0 .. initial_tuples-1; workload
+// generators must start fresh keys here to preserve uniqueness.
+int64_t FirstFreshKey(const ChainSpec& spec);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_WORKLOAD_SCHEMA_GEN_H_

@@ -1,0 +1,69 @@
+#include "workload/update_gen.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sweepmv {
+
+std::vector<ScheduledTxn> GenerateWorkload(
+    const ViewDef& view, const std::vector<Relation>& initial_bases,
+    const ChainSpec& chain, const WorkloadSpec& spec) {
+  SWEEP_CHECK(static_cast<int>(initial_bases.size()) ==
+              view.num_relations());
+  SWEEP_CHECK(spec.max_ops_per_txn >= 1);
+  SWEEP_CHECK(spec.insert_fraction >= 0.0 && spec.insert_fraction <= 1.0);
+
+  Rng rng(spec.seed);
+  // Track what each relation will contain at execution time (events fire
+  // in schedule order, so sequential simulation here is faithful).
+  std::vector<std::vector<Tuple>> present(initial_bases.size());
+  for (size_t r = 0; r < initial_bases.size(); ++r) {
+    for (const auto& [t, c] : initial_bases[r].SortedEntries()) {
+      for (int64_t i = 0; i < c; ++i) present[r].push_back(t);
+    }
+  }
+  int64_t next_key = FirstFreshKey(chain);
+
+  std::vector<ScheduledTxn> txns;
+  txns.reserve(static_cast<size_t>(spec.total_txns));
+  double clock = static_cast<double>(spec.start_time);
+  for (int i = 0; i < spec.total_txns; ++i) {
+    clock += rng.Exponential(spec.mean_interarrival);
+
+    ScheduledTxn txn;
+    txn.at = static_cast<SimTime>(std::llround(clock));
+    txn.relation =
+        spec.relation_skew > 0.0
+            ? static_cast<int>(
+                  rng.Zipf(view.num_relations(), spec.relation_skew))
+            : static_cast<int>(rng.Uniform(0, view.num_relations() - 1));
+    auto& pool = present[static_cast<size_t>(txn.relation)];
+
+    int ops = static_cast<int>(rng.Uniform(1, spec.max_ops_per_txn));
+    for (int k = 0; k < ops; ++k) {
+      bool insert = rng.Bernoulli(spec.insert_fraction) || pool.empty();
+      if (insert) {
+        auto join_value = [&]() {
+          return spec.value_skew > 0.0
+                     ? rng.Zipf(chain.join_domain, spec.value_skew)
+                     : rng.Uniform(0, chain.join_domain - 1);
+        };
+        Tuple t = IntTuple({next_key++, join_value(), join_value()});
+        pool.push_back(t);
+        txn.ops.push_back(UpdateOp::Insert(std::move(t)));
+      } else {
+        size_t victim = static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(pool.size()) - 1));
+        txn.ops.push_back(UpdateOp::Delete(pool[victim]));
+        pool[victim] = pool.back();
+        pool.pop_back();
+      }
+    }
+    txns.push_back(std::move(txn));
+  }
+  return txns;
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,51 @@
+// Update-stream generation.
+//
+// Produces a deterministic schedule of source-local transactions against a
+// chain database. Inserts always use fresh keys ("unique key" discipline —
+// what the Strobe family's correctness rests on); deletes pick tuples that
+// will exist at execution time. Inter-arrival times are exponential, so
+// the ratio of mean inter-arrival to channel latency controls the
+// concurrency level K the paper's analysis revolves around.
+
+#ifndef SWEEPMV_WORKLOAD_UPDATE_GEN_H_
+#define SWEEPMV_WORKLOAD_UPDATE_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/view_def.h"
+#include "workload/schema_gen.h"
+#include "workload/scenario_spec.h"
+
+namespace sweepmv {
+
+struct WorkloadSpec {
+  int total_txns = 40;
+  // Probability each op is an insert (deletes fall back to inserts when
+  // the target relation is empty).
+  double insert_fraction = 0.6;
+  // Mean exponential inter-arrival time (virtual ticks).
+  double mean_interarrival = 2000.0;
+  // Ops per transaction are uniform in [1, max_ops_per_txn].
+  int max_ops_per_txn = 1;
+  // Updates start this long into the run.
+  SimTime start_time = 0;
+  // Zipf skew in (0,1) concentrates updates on low-index relations
+  // (hot-source workloads); 0 = uniform.
+  double relation_skew = 0.0;
+  // Zipf skew in (0,1) concentrates join-attribute values on low values
+  // (hot-key workloads, higher join fan-out on the hot keys); 0 = uniform.
+  double value_skew = 0.0;
+  uint64_t seed = 7;
+};
+
+std::vector<ScheduledTxn> GenerateWorkload(const ViewDef& view,
+                                           const std::vector<Relation>&
+                                               initial_bases,
+                                           const ChainSpec& chain,
+                                           const WorkloadSpec& spec);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_WORKLOAD_UPDATE_GEN_H_

@@ -1,0 +1,154 @@
+#include "relational/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sweepmv {
+namespace {
+
+using testing_util::PaperBases;
+using testing_util::PaperView;
+using testing_util::System;
+
+Schema ViewSchema() { return Schema::AllInts({"D", "F"}); }
+
+TEST(AggregateTest, CountByGroup) {
+  MaintainedAggregate agg(ViewSchema(), AggSpec{{0}, AggFn::kCount, -1});
+  Relation view(ViewSchema());
+  view.Add(IntTuple({5, 6}), 2);
+  view.Add(IntTuple({5, 9}), 1);
+  view.Add(IntTuple({7, 8}), 4);
+  agg.Initialize(view);
+
+  EXPECT_EQ(agg.num_groups(), 2u);
+  EXPECT_EQ(agg.ValueOf(IntTuple({5})), 3);
+  EXPECT_EQ(agg.ValueOf(IntTuple({7})), 4);
+  EXPECT_EQ(agg.ValueOf(IntTuple({999})), 0);
+}
+
+TEST(AggregateTest, SumByGroup) {
+  MaintainedAggregate agg(ViewSchema(), AggSpec{{0}, AggFn::kSum, 1});
+  Relation view(ViewSchema());
+  view.Add(IntTuple({5, 6}), 2);   // contributes 12
+  view.Add(IntTuple({5, 10}), 1);  // contributes 10
+  agg.Initialize(view);
+  EXPECT_EQ(agg.ValueOf(IntTuple({5})), 22);
+}
+
+TEST(AggregateTest, GlobalAggregateEmptyGroupBy) {
+  MaintainedAggregate agg(ViewSchema(), AggSpec{{}, AggFn::kCount, -1});
+  Relation view(ViewSchema());
+  view.Add(IntTuple({5, 6}), 2);
+  view.Add(IntTuple({7, 8}), 1);
+  agg.Initialize(view);
+  EXPECT_EQ(agg.ValueOf(Tuple()), 3);
+  EXPECT_EQ(agg.num_groups(), 1u);
+}
+
+TEST(AggregateTest, DeltaMaintenanceMatchesRecomputation) {
+  MaintainedAggregate agg(ViewSchema(), AggSpec{{0}, AggFn::kCount, -1});
+  Relation view(ViewSchema());
+  view.Add(IntTuple({5, 6}), 2);
+  agg.Initialize(view);
+
+  Relation delta(ViewSchema());
+  delta.Add(IntTuple({5, 6}), -1);
+  delta.Add(IntTuple({7, 8}), 3);
+  agg.ApplyDelta(delta);
+
+  EXPECT_EQ(agg.ValueOf(IntTuple({5})), 1);
+  EXPECT_EQ(agg.ValueOf(IntTuple({7})), 3);
+
+  // Group vanishes when its multiplicity hits zero.
+  Relation delta2(ViewSchema());
+  delta2.Add(IntTuple({5, 6}), -1);
+  agg.ApplyDelta(delta2);
+  EXPECT_FALSE(agg.HasGroup(IntTuple({5})));
+  EXPECT_EQ(agg.num_groups(), 1u);
+}
+
+TEST(AggregateTest, ResultRelationShape) {
+  MaintainedAggregate agg(ViewSchema(), AggSpec{{1}, AggFn::kCount, -1});
+  Relation view(ViewSchema());
+  view.Add(IntTuple({5, 6}), 2);
+  view.Add(IntTuple({9, 6}), 1);
+  agg.Initialize(view);
+
+  Relation result = agg.Result();
+  EXPECT_EQ(result.schema().attr(0).name, "F");
+  EXPECT_EQ(result.schema().attr(1).name, "agg");
+  EXPECT_EQ(result.CountOf(IntTuple({6, 3})), 1);
+}
+
+TEST(AggregateTest, SumWithNegativeValuesAndDeletes) {
+  Schema schema = Schema::AllInts({"G", "V"});
+  MaintainedAggregate agg(schema, AggSpec{{0}, AggFn::kSum, 1});
+  Relation view(schema);
+  view.Add(IntTuple({1, -5}), 1);
+  view.Add(IntTuple({1, 8}), 2);
+  agg.Initialize(view);
+  EXPECT_EQ(agg.ValueOf(IntTuple({1})), 11);
+
+  Relation delta(schema);
+  delta.Add(IntTuple({1, 8}), -2);
+  agg.ApplyDelta(delta);
+  EXPECT_EQ(agg.ValueOf(IntTuple({1})), -5);
+  EXPECT_TRUE(agg.HasGroup(IntTuple({1})));  // multiplicity 1, sum -5
+}
+
+TEST(AggregateTest, ObservesWarehouseInstallsEndToEnd) {
+  // Attach the aggregate to a SWEEP warehouse via the install observer
+  // and verify it tracks the view exactly through a concurrent run.
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000));
+
+  MaintainedAggregate agg(sys.view_def().view_schema(),
+                          AggSpec{{0}, AggFn::kCount, -1});
+  agg.Initialize(sys.warehouse().view());
+  sys.warehouse().SetInstallObserver(
+      [&agg](const Relation& delta, const std::vector<int64_t>& ids) {
+        (void)ids;
+        agg.ApplyDelta(delta);
+      });
+
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(400, 2, IntTuple({7, 8}));
+  sys.ScheduleDelete(500, 0, IntTuple({2, 3}));
+  sys.Run();
+
+  // Recompute the aggregate from the final view for comparison.
+  MaintainedAggregate fresh(sys.view_def().view_schema(),
+                            AggSpec{{0}, AggFn::kCount, -1});
+  fresh.Initialize(sys.warehouse().view());
+  EXPECT_EQ(agg.Result(), fresh.Result());
+  EXPECT_EQ(agg.ValueOf(IntTuple({5})), 1);  // {(5,6)[1]} remains
+}
+
+TEST(AggregateTest, ObserverWorksWithBatchInstallingAlgorithms) {
+  // Strobe installs absolute views; the observer receives the computed
+  // difference and the aggregate must still track exactly.
+  System sys(Algorithm::kStrobe, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1500));
+  MaintainedAggregate agg(sys.view_def().view_schema(),
+                          AggSpec{{0}, AggFn::kCount, -1});
+  agg.Initialize(sys.warehouse().view());
+  sys.warehouse().SetInstallObserver(
+      [&agg](const Relation& delta, const std::vector<int64_t>& ids) {
+        (void)ids;
+        agg.ApplyDelta(delta);
+      });
+
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleInsert(200, 0, IntTuple({9, 3}));
+  sys.ScheduleDelete(400, 2, IntTuple({7, 8}));
+  sys.Run();
+
+  MaintainedAggregate fresh(sys.view_def().view_schema(),
+                            AggSpec{{0}, AggFn::kCount, -1});
+  fresh.Initialize(sys.warehouse().view());
+  EXPECT_EQ(agg.Result(), fresh.Result());
+}
+
+}  // namespace
+}  // namespace sweepmv

@@ -1,0 +1,133 @@
+// The bandwidth latency model and workload skew knobs.
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+#include "sim/channel.h"
+#include "test_util.h"
+
+namespace sweepmv {
+namespace {
+
+using testing_util::PaperBases;
+using testing_util::PaperView;
+using testing_util::System;
+
+TEST(BandwidthTest, SampleScalesWithPayload) {
+  Rng rng(1);
+  LatencyModel model = LatencyModel::Bandwidth(100, 0, 5);
+  EXPECT_EQ(model.Sample(rng, 0), 100);
+  EXPECT_EQ(model.Sample(rng, 10), 150);
+  EXPECT_EQ(model.Sample(rng, 100), 600);
+}
+
+TEST(BandwidthTest, ChannelChargesPerTuple) {
+  Channel ch(LatencyModel::Bandwidth(100, 0, 2), Rng(1));
+  EXPECT_EQ(ch.NextArrival(0, 0), 100);
+  EXPECT_EQ(ch.NextArrival(200, 50), 400);
+}
+
+TEST(BandwidthTest, FifoStillHoldsWithVariablePayloads) {
+  Channel ch(LatencyModel::Bandwidth(10, 0, 100), Rng(1));
+  SimTime big = ch.NextArrival(0, 50);   // slow bulk message
+  SimTime small = ch.NextArrival(1, 0);  // fast message right behind it
+  EXPECT_GE(small, big);  // must not overtake
+}
+
+TEST(BandwidthTest, BulkSnapshotsPayMoreWallClockThanDeltas) {
+  // Under a bandwidth-limited network, the recompute baseline's full
+  // snapshots cost real time; SWEEP's small deltas barely notice.
+  auto finish = [](Algorithm a) {
+    ScenarioConfig config;
+    config.algorithm = a;
+    config.chain.num_relations = 3;
+    config.chain.initial_tuples = 64;
+    config.chain.join_domain = 64;
+    config.workload.total_txns = 8;
+    config.workload.mean_interarrival = 30000;
+    config.latency = LatencyModel::Bandwidth(500, 0, 100);
+    RunResult r = RunScenario(config);
+    EXPECT_EQ(r.final_view, r.expected_view) << AlgorithmName(a);
+    return r.mean_incorporation_delay;
+  };
+  EXPECT_GT(finish(Algorithm::kRecompute), 2 * finish(Algorithm::kSweep));
+}
+
+TEST(BandwidthTest, SweepStaysCompleteUnderBandwidthModel) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Bandwidth(300, 200, 50));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(200, 2, IntTuple({7, 8}));
+  sys.ScheduleDelete(400, 0, IntTuple({2, 3}));
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+}
+
+TEST(SkewTest, RelationSkewConcentratesUpdates) {
+  ChainSpec chain;
+  chain.num_relations = 6;
+  ViewDef view = MakeChainView(chain);
+  std::vector<Relation> bases = MakeInitialBases(view, chain);
+  WorkloadSpec spec;
+  spec.total_txns = 600;
+  spec.relation_skew = 0.9;
+  spec.seed = 3;
+  auto txns = GenerateWorkload(view, bases, chain, spec);
+
+  std::vector<int> hits(6, 0);
+  for (const ScheduledTxn& txn : txns) {
+    ++hits[static_cast<size_t>(txn.relation)];
+  }
+  // Relation 0 must dominate relation 5 heavily.
+  EXPECT_GT(hits[0], 5 * std::max(hits[5], 1));
+  // And the stream is still well-formed.
+  for (int h : hits) EXPECT_GE(h, 0);
+}
+
+TEST(SkewTest, ValueSkewConcentratesJoinAttributes) {
+  ChainSpec chain;
+  chain.join_domain = 16;
+  ViewDef view = MakeChainView(chain);
+  std::vector<Relation> bases = MakeInitialBases(view, chain);
+  WorkloadSpec spec;
+  spec.total_txns = 500;
+  spec.insert_fraction = 1.0;
+  spec.value_skew = 0.9;
+  spec.seed = 5;
+  auto txns = GenerateWorkload(view, bases, chain, spec);
+
+  int low = 0;
+  int total = 0;
+  for (const ScheduledTxn& txn : txns) {
+    for (const UpdateOp& op : txn.ops) {
+      ++total;
+      if (op.tuple.at(1).AsInt() < 4) ++low;
+    }
+  }
+  // Far more than the uniform 25% land in the bottom quarter.
+  EXPECT_GT(low, total * 6 / 10);
+}
+
+TEST(SkewTest, SkewedWorkloadsStayConsistent) {
+  for (Algorithm a : {Algorithm::kSweep, Algorithm::kNestedSweep}) {
+    ScenarioConfig config;
+    config.algorithm = a;
+    config.chain.num_relations = 4;
+    config.chain.initial_tuples = 10;
+    config.chain.join_domain = 5;
+    config.workload.total_txns = 30;
+    config.workload.mean_interarrival = 1200;
+    config.workload.relation_skew = 0.8;
+    config.workload.value_skew = 0.7;
+    config.latency = LatencyModel::Jittered(700, 400);
+    RunResult r = RunScenario(config);
+    EXPECT_EQ(r.final_view, r.expected_view)
+        << AlgorithmName(a) << ": " << r.consistency.detail;
+    EXPECT_GE(static_cast<int>(r.consistency.level),
+              static_cast<int>(PromisedConsistency(a)))
+        << AlgorithmName(a) << ": " << r.consistency.detail;
+  }
+}
+
+}  // namespace
+}  // namespace sweepmv

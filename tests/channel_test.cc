@@ -1,0 +1,57 @@
+#include "sim/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace sweepmv {
+namespace {
+
+TEST(ChannelTest, FixedLatency) {
+  Channel ch(LatencyModel::Fixed(100), Rng(1));
+  EXPECT_EQ(ch.NextArrival(0), 100);
+  EXPECT_EQ(ch.NextArrival(50), 150);
+  EXPECT_EQ(ch.messages_sent(), 2);
+}
+
+TEST(ChannelTest, FifoUnderJitter) {
+  // With heavy jitter, later sends must never be scheduled before earlier
+  // ones on the same link.
+  Channel ch(LatencyModel::Jittered(10, 1000), Rng(42));
+  SimTime prev = 0;
+  for (SimTime now = 0; now < 100; now += 1) {
+    SimTime arrival = ch.NextArrival(now);
+    EXPECT_GE(arrival, prev);
+    EXPECT_GE(arrival, now + 10);  // at least base latency
+    prev = arrival;
+  }
+}
+
+TEST(ChannelTest, JitterBounded) {
+  Channel ch(LatencyModel::Jittered(100, 50), Rng(7));
+  // A single send (no FIFO backlog) lands within [base, base+jitter].
+  SimTime arrival = ch.NextArrival(1000);
+  EXPECT_GE(arrival, 1100);
+  EXPECT_LE(arrival, 1150);
+}
+
+TEST(ChannelTest, LatencyModelSample) {
+  Rng rng(3);
+  LatencyModel fixed = LatencyModel::Fixed(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fixed.Sample(rng), 42);
+
+  LatencyModel jittered = LatencyModel::Jittered(10, 5);
+  for (int i = 0; i < 100; ++i) {
+    SimTime s = jittered.Sample(rng);
+    EXPECT_GE(s, 10);
+    EXPECT_LE(s, 15);
+  }
+}
+
+TEST(ChannelTest, SetLatencyTakesEffect) {
+  Channel ch(LatencyModel::Fixed(100), Rng(1));
+  EXPECT_EQ(ch.NextArrival(0), 100);
+  ch.set_latency(LatencyModel::Fixed(500));
+  EXPECT_EQ(ch.NextArrival(200), 700);
+}
+
+}  // namespace
+}  // namespace sweepmv

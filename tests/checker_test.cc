@@ -1,0 +1,222 @@
+#include "consistency/checker.h"
+
+#include <gtest/gtest.h>
+
+#include "consistency/replay.h"
+#include "test_util.h"
+
+namespace sweepmv {
+namespace {
+
+using testing_util::PaperBases;
+using testing_util::PaperView;
+using testing_util::System;
+
+TEST(ReplayerTest, LocatesUpdatesAndAdvances) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(5000, 2, IntTuple({7, 8}));
+  sys.Run();
+
+  ViewDef view = PaperView();
+  Replayer replay(&view, sys.SourceLogs());
+  EXPECT_EQ(replay.TotalUpdates(0), 0u);
+  EXPECT_EQ(replay.TotalUpdates(1), 1u);
+  EXPECT_EQ(replay.TotalUpdates(2), 1u);
+
+  auto [rel, pos] = replay.Locate(0);
+  EXPECT_EQ(rel, 1);
+  EXPECT_EQ(pos, 0u);
+
+  // Initial view.
+  Relation v0 = replay.CurrentView();
+  EXPECT_EQ(v0.CountOf(IntTuple({7, 8})), 2);
+
+  replay.AdvanceTo({0, 1, 0});
+  Relation v1 = replay.CurrentView();
+  EXPECT_EQ(v1.CountOf(IntTuple({5, 6})), 2);
+  EXPECT_EQ(v1.CountOf(IntTuple({7, 8})), 2);
+
+  replay.AdvanceTo({0, 1, 1});
+  EXPECT_EQ(replay.CurrentView().CountOf(IntTuple({7, 8})), 0);
+}
+
+TEST(ReplayerTest, DeltaOf) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.Run();
+  ViewDef view = PaperView();
+  Replayer replay(&view, sys.SourceLogs());
+  EXPECT_EQ(replay.DeltaOf(0).CountOf(IntTuple({3, 5})), 1);
+}
+
+TEST(CheckerTest, SweepRunClassifiesComplete) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(400, 2, IntTuple({7, 8}));
+  sys.ScheduleDelete(500, 0, IntTuple({2, 3}));
+  sys.Run();
+  ConsistencyReport report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_EQ(report.level, ConsistencyLevel::kComplete) << report.detail;
+  EXPECT_TRUE(report.final_state_correct);
+  EXPECT_EQ(report.installs, 3u);
+  EXPECT_EQ(report.updates, 3u);
+}
+
+TEST(CheckerTest, BatchedRunClassifiesStrongNotComplete) {
+  System sys(Algorithm::kStrobe, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(2000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleInsert(100, 0, IntTuple({9, 3}));
+  sys.Run();
+  ConsistencyReport report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_EQ(report.level, ConsistencyLevel::kStrong);
+  EXPECT_FALSE(report.detail.empty());  // says why it is not complete
+}
+
+TEST(CheckerTest, EmptyRunIsVacuouslyComplete) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()));
+  sys.Run();
+  ConsistencyReport report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_EQ(report.level, ConsistencyLevel::kComplete);
+  EXPECT_TRUE(report.final_state_correct);
+}
+
+// A deliberately broken warehouse to exercise the checker's negative
+// paths: it installs a WRONG delta for every update.
+class BrokenWarehouse : public Warehouse {
+ public:
+  BrokenWarehouse(int site_id, ViewDef view_def, Network* network,
+                  std::vector<int> source_sites)
+      : Warehouse(site_id, std::move(view_def), network,
+                  std::move(source_sites), Options{}) {}
+  bool Busy() const override { return false; }
+  std::string name() const override { return "Broken"; }
+
+ protected:
+  void HandleUpdateArrival() override {
+    while (!mutable_queue().empty()) {
+      Update u = std::move(mutable_queue().front());
+      mutable_queue().pop_front();
+      Relation bogus(view_def().view_schema());
+      bogus.Add(IntTuple({777, 777}), 1);  // nonsense delta
+      InstallViewDelta(bogus, {u.id});
+    }
+  }
+};
+
+TEST(CheckerTest, BogusInstallsClassifyInconsistent) {
+  ViewDef view = PaperView();
+  std::vector<Relation> bases = PaperBases(view);
+  Simulator sim;
+  Network net(&sim, LatencyModel::Fixed(100), 1);
+  UpdateIdGenerator ids;
+  DataSource s0(1, 0, bases[0], &view, &net, 0, &ids);
+  DataSource s1(2, 1, bases[1], &view, &net, 0, &ids);
+  DataSource s2(3, 2, bases[2], &view, &net, 0, &ids);
+  net.RegisterSite(1, &s0);
+  net.RegisterSite(2, &s1);
+  net.RegisterSite(3, &s2);
+  BrokenWarehouse wh(0, view, &net, {1, 2, 3});
+  net.RegisterSite(0, &wh);
+  std::vector<const Relation*> rels{&bases[0], &bases[1], &bases[2]};
+  wh.InitializeView(view.EvaluateFull(rels));
+
+  sim.ScheduleAt(0, [&] { s1.ApplyInsert(IntTuple({3, 5})); });
+  sim.Run();
+
+  ConsistencyReport report =
+      CheckConsistency(view, {&s0.log(), &s1.log(), &s2.log()}, wh);
+  EXPECT_EQ(report.level, ConsistencyLevel::kInconsistent);
+  EXPECT_FALSE(report.final_state_correct);
+  EXPECT_FALSE(report.detail.empty());
+}
+
+// Installs the RIGHT final state but with a scrambled intermediate state:
+// convergent, not strong.
+class EventuallyRightWarehouse : public Warehouse {
+ public:
+  EventuallyRightWarehouse(int site_id, ViewDef view_def, Network* network,
+                           std::vector<int> source_sites)
+      : Warehouse(site_id, std::move(view_def), network,
+                  std::move(source_sites), Options{}) {}
+  bool Busy() const override { return false; }
+  std::string name() const override { return "EventuallyRight"; }
+
+ protected:
+  void HandleUpdateArrival() override {
+    while (!mutable_queue().empty()) {
+      Update u = std::move(mutable_queue().front());
+      mutable_queue().pop_front();
+      if (first_) {
+        // Garbage intermediate state...
+        Relation bogus(view_def().view_schema());
+        bogus.Add(IntTuple({777, 777}), 1);
+        InstallViewDelta(bogus, {u.id});
+        pending_fix_ = bogus.Negated();
+        first_ = false;
+      } else {
+        // ...corrected on the last update so the run converges. The true
+        // net view delta is precomputed by the test (which knows the
+        // whole workload in advance).
+        Relation fix = pending_fix_;
+        fix.Merge(cheat_delta);
+        InstallViewDelta(fix, {u.id});
+      }
+    }
+  }
+
+ public:
+  Relation cheat_delta;
+
+ private:
+  bool first_ = true;
+  Relation pending_fix_;
+};
+
+TEST(CheckerTest, WrongIntermediateRightFinalIsConvergent) {
+  ViewDef view = PaperView();
+  std::vector<Relation> bases = PaperBases(view);
+  Simulator sim;
+  Network net(&sim, LatencyModel::Fixed(100), 1);
+  UpdateIdGenerator ids;
+  DataSource s0(1, 0, bases[0], &view, &net, 0, &ids);
+  DataSource s1(2, 1, bases[1], &view, &net, 0, &ids);
+  DataSource s2(3, 2, bases[2], &view, &net, 0, &ids);
+  net.RegisterSite(1, &s0);
+  net.RegisterSite(2, &s1);
+  net.RegisterSite(3, &s2);
+  EventuallyRightWarehouse wh(0, view, &net, {1, 2, 3});
+  net.RegisterSite(0, &wh);
+  std::vector<const Relation*> rels{&bases[0], &bases[1], &bases[2]};
+  Relation initial_view = view.EvaluateFull(rels);
+  wh.InitializeView(initial_view);
+
+  // Precompute the true net view delta of the whole (known) workload.
+  {
+    Relation r1 = bases[1];
+    r1.Add(IntTuple({3, 5}), 1);
+    Relation r2 = bases[2];
+    r2.Add(IntTuple({7, 8}), -1);
+    std::vector<const Relation*> after{&bases[0], &r1, &r2};
+    Relation want = view.EvaluateFull(after);
+    want.MergeNegated(initial_view);
+    wh.cheat_delta = std::move(want);
+  }
+
+  sim.ScheduleAt(0, [&] { s1.ApplyInsert(IntTuple({3, 5})); });
+  sim.ScheduleAt(5000, [&] { s2.ApplyDelete(IntTuple({7, 8})); });
+  sim.Run();
+
+  ConsistencyReport report =
+      CheckConsistency(view, {&s0.log(), &s1.log(), &s2.log()}, wh);
+  EXPECT_EQ(report.level, ConsistencyLevel::kConvergent);
+  EXPECT_TRUE(report.final_state_correct);
+}
+
+}  // namespace
+}  // namespace sweepmv

@@ -1,0 +1,157 @@
+// Property-based sweep: for every algorithm, across random workloads,
+// seeds, topologies and latency regimes, a finished run must
+//   (1) end with the view exactly equal to the replayed ground truth, and
+//   (2) classify at or above the consistency level Table 1 promises.
+// This is the repository's strongest guard: any error in the relational
+// algebra, the FIFO channels, the compensation logic, or the install
+// bookkeeping surfaces here.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "harness/scenario.h"
+
+namespace sweepmv {
+namespace {
+
+struct LatencyCase {
+  const char* name;
+  LatencyModel model;
+  double mean_interarrival;
+};
+
+using Param = std::tuple<Algorithm, LatencyCase, uint64_t /*seed*/>;
+
+class ConsistencyProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ConsistencyProperty, PromiseHolds) {
+  const auto& [algorithm, latency_case, seed] = GetParam();
+
+  ScenarioConfig config;
+  config.algorithm = algorithm;
+  config.chain.num_relations = 3 + static_cast<int>(seed % 3);  // 3..5
+  config.chain.initial_tuples = 10;
+  config.chain.join_domain = 4;
+  config.chain.seed = seed * 7 + 1;
+  config.workload.total_txns = 24;
+  config.workload.insert_fraction = 0.6;
+  config.workload.mean_interarrival = latency_case.mean_interarrival;
+  config.workload.max_ops_per_txn = (seed % 2 == 0) ? 1 : 3;
+  config.workload.seed = seed;
+  config.latency = latency_case.model;
+  config.network_seed = seed + 1000;
+
+  RunResult result = RunScenario(config);
+
+  EXPECT_EQ(result.final_view, result.expected_view)
+      << result.algorithm_name << " seed=" << seed
+      << " latency=" << latency_case.name << " : "
+      << result.consistency.detail;
+  EXPECT_TRUE(result.consistency.final_state_correct);
+  EXPECT_GE(static_cast<int>(result.consistency.level),
+            static_cast<int>(PromisedConsistency(algorithm)))
+      << result.algorithm_name << " seed=" << seed
+      << " latency=" << latency_case.name << " : "
+      << result.consistency.detail;
+}
+
+const LatencyCase kLatencyCases[] = {
+    // Sequential: updates far apart, no interference.
+    {"sequential", LatencyModel::Fixed(200), 20000.0},
+    // Moderate interference.
+    {"moderate", LatencyModel::Fixed(1500), 3000.0},
+    // Heavy interference: many updates per query round trip.
+    {"heavy", LatencyModel::Fixed(4000), 1200.0},
+    // Jittered links.
+    {"jittered", LatencyModel::Jittered(800, 1200), 2500.0},
+};
+
+std::string ParamName(
+    const ::testing::TestParamInfo<Param>& info) {
+  const auto& [algorithm, latency_case, seed] = info.param;
+  std::string name = AlgorithmName(algorithm);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_" + latency_case.name + "_s" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, ConsistencyProperty,
+    ::testing::Combine(
+        ::testing::Values(Algorithm::kSweep, Algorithm::kNestedSweep,
+                          Algorithm::kStrobe, Algorithm::kCStrobe,
+                          Algorithm::kEca, Algorithm::kRecompute,
+                          Algorithm::kParallelSweep,
+                          Algorithm::kPipelinedSweep),
+        ::testing::ValuesIn(kLatencyCases),
+        ::testing::Values(1u, 2u, 3u, 4u, 5u)),
+    ParamName);
+
+// SWEEP-specific stronger property: complete consistency at every scale.
+class SweepCompleteProperty
+    : public ::testing::TestWithParam<std::tuple<int /*n*/, uint64_t>> {};
+
+TEST_P(SweepCompleteProperty, CompleteAtEveryTopology) {
+  const auto& [n, seed] = GetParam();
+  ScenarioConfig config;
+  config.algorithm = Algorithm::kSweep;
+  config.chain.num_relations = n;
+  config.chain.initial_tuples = 8;
+  config.chain.join_domain = 3;
+  config.chain.seed = seed;
+  config.workload.total_txns = 18;
+  config.workload.mean_interarrival = 900.0;
+  config.workload.seed = seed + 50;
+  config.latency = LatencyModel::Jittered(1000, 800);
+  config.network_seed = seed;
+
+  RunResult result = RunScenario(config);
+  EXPECT_EQ(result.consistency.level, ConsistencyLevel::kComplete)
+      << "n=" << n << " seed=" << seed << " : "
+      << result.consistency.detail;
+  // Exactly 2(n-1) maintenance messages per update, interference or not.
+  EXPECT_DOUBLE_EQ(result.maintenance_msgs_per_update, 2.0 * (n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, SweepCompleteProperty,
+    ::testing::Combine(::testing::Values(2, 3, 4, 6, 8),
+                       ::testing::Values(11u, 22u, 33u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, uint64_t>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Nested SWEEP with a tight recursion budget must still meet its promise
+// (the forced-termination modification keeps strong consistency).
+class NestedBudgetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NestedBudgetProperty, StrongUnderAnyBudget) {
+  ScenarioConfig config;
+  config.algorithm = Algorithm::kNestedSweep;
+  config.chain.num_relations = 4;
+  config.chain.initial_tuples = 10;
+  config.workload.total_txns = 22;
+  config.workload.mean_interarrival = 1000.0;
+  config.latency = LatencyModel::Fixed(2500);
+  config.warehouse.nested_max_recursion_depth = GetParam();
+
+  RunResult result = RunScenario(config);
+  EXPECT_EQ(result.final_view, result.expected_view)
+      << result.consistency.detail;
+  EXPECT_GE(static_cast<int>(result.consistency.level),
+            static_cast<int>(ConsistencyLevel::kStrong))
+      << "budget=" << GetParam() << " : " << result.consistency.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, NestedBudgetProperty,
+                         ::testing::Values(1, 2, 3, 8, 64),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "depth" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace sweepmv

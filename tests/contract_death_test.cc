@@ -1,0 +1,93 @@
+// Contract enforcement: documented preconditions abort via SWEEP_CHECK
+// rather than corrupting state silently. Death tests pin the contracts.
+
+#include <gtest/gtest.h>
+
+#include "relational/partial_delta.h"
+#include "test_util.h"
+
+namespace sweepmv {
+namespace {
+
+using testing_util::PaperBases;
+using testing_util::PaperView;
+
+TEST(ContractDeathTest, DeletingAbsentTupleAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ViewDef view = PaperView();
+  Simulator sim;
+  Network net(&sim, LatencyModel::Fixed(10), 1);
+  UpdateIdGenerator ids;
+  DataSource source(1, 0, PaperBases(view)[0], &view, &net, 0, &ids);
+  net.RegisterSite(1, &source);
+
+  EXPECT_DEATH(source.ApplyDelete(IntTuple({999, 999})),
+               "deleted a tuple that was not present");
+}
+
+TEST(ContractDeathTest, TupleSchemaMismatchAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Relation r(Schema::AllInts({"A", "B"}));
+  EXPECT_DEATH(r.Add(IntTuple({1, 2, 3}), 1),
+               "does not match relation schema");
+}
+
+TEST(ContractDeathTest, ExtendPastChainEndAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ViewDef view = PaperView();
+  Relation delta(view.rel_schema(0));
+  delta.Add(IntTuple({1, 3}), 1);
+  PartialDelta pd = PartialDelta::ForRelation(view, 0, delta);
+  Relation other(view.rel_schema(0));
+  EXPECT_DEATH(ExtendLeft(view, other, pd),
+               "no relation to the left");
+}
+
+TEST(ContractDeathTest, DuplicateSiteRegistrationAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ViewDef view = PaperView();
+  Simulator sim;
+  Network net(&sim, LatencyModel::Fixed(10), 1);
+  UpdateIdGenerator ids;
+  DataSource source(1, 0, PaperBases(view)[0], &view, &net, 0, &ids);
+  net.RegisterSite(1, &source);
+  EXPECT_DEATH(net.RegisterSite(1, &source), "already registered");
+}
+
+TEST(ContractDeathTest, SendingToUnknownSiteAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Simulator sim;
+  Network net(&sim, LatencyModel::Fixed(10), 1);
+  EXPECT_DEATH(net.Send(0, 42, SnapshotRequest{1}),
+               "unknown destination site");
+}
+
+TEST(ContractDeathTest, MisroutedQueryAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ViewDef view = PaperView();
+  Simulator sim;
+  Network net(&sim, LatencyModel::Fixed(10), 1);
+  UpdateIdGenerator ids;
+  DataSource source(1, 0, PaperBases(view)[0], &view, &net, 0, &ids);
+  net.RegisterSite(1, &source);
+
+  PartialDelta pd;
+  pd.lo = 1;
+  pd.hi = 1;
+  pd.rel = Relation(view.rel_schema(1));
+  pd.rel.Add(IntTuple({3, 5}), 1);
+  // Target relation 2 does not live at site 1.
+  net.Send(0, 1, QueryRequest{5, 2, true, pd});
+  EXPECT_DEATH(sim.Run(), "wrong source");
+}
+
+TEST(ContractDeathTest, SchedulingInThePastAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Simulator sim;
+  sim.Schedule(100, [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.ScheduleAt(50, [] {}), "cannot schedule in the past");
+}
+
+}  // namespace
+}  // namespace sweepmv

@@ -1,0 +1,105 @@
+#include "relational/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace sweepmv {
+namespace {
+
+TEST(CsvTest, ParseBasicInts) {
+  CsvParseResult r = ParseCsv(Schema::AllInts({"A", "B"}),
+                              "1,3\n2,3\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.relation.DistinctSize(), 2u);
+  EXPECT_EQ(r.relation.CountOf(IntTuple({1, 3})), 1);
+}
+
+TEST(CsvTest, CommentsAndBlanksSkipped) {
+  CsvParseResult r = ParseCsv(Schema::AllInts({"A"}),
+                              "# header\n\n1\n   \n# tail\n2\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.relation.DistinctSize(), 2u);
+}
+
+TEST(CsvTest, CountsAndDeltas) {
+  CsvParseResult r = ParseCsv(Schema::AllInts({"A", "B"}),
+                              "7,8 @2\n5,6 @-1\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.relation.CountOf(IntTuple({7, 8})), 2);
+  EXPECT_EQ(r.relation.CountOf(IntTuple({5, 6})), -1);
+  EXPECT_TRUE(r.relation.HasNegative());
+}
+
+TEST(CsvTest, MixedTypes) {
+  Schema schema(std::vector<Attribute>{{"name", ValueType::kString},
+                                       {"score", ValueType::kDouble},
+                                       {"id", ValueType::kInt}});
+  CsvParseResult r = ParseCsv(schema, "west, 2.5, 7\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  Tuple t{Value("west"), Value(2.5), Value(int64_t{7})};
+  EXPECT_EQ(r.relation.CountOf(t), 1);
+}
+
+TEST(CsvTest, WhitespaceTrimmed) {
+  CsvParseResult r = ParseCsv(Schema::AllInts({"A", "B"}),
+                              "  1 ,\t3 \r\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.relation.Contains(IntTuple({1, 3})));
+}
+
+TEST(CsvTest, ErrorArityMismatch) {
+  CsvParseResult r = ParseCsv(Schema::AllInts({"A", "B"}), "1,2,3\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("expected 2 cells"), std::string::npos);
+}
+
+TEST(CsvTest, ErrorBadInteger) {
+  CsvParseResult r = ParseCsv(Schema::AllInts({"A"}), "xyz\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("not an integer"), std::string::npos);
+}
+
+TEST(CsvTest, ErrorBadCount) {
+  CsvParseResult r = ParseCsv(Schema::AllInts({"A"}), "1 @two\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("bad count"), std::string::npos);
+}
+
+TEST(CsvTest, ErrorReportsLineNumber) {
+  CsvParseResult r = ParseCsv(Schema::AllInts({"A"}), "1\n2\nbad\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 3"), std::string::npos);
+}
+
+TEST(CsvTest, RoundTrip) {
+  Relation original(Schema::AllInts({"A", "B"}));
+  original.Add(IntTuple({1, 3}), 1);
+  original.Add(IntTuple({7, 8}), 2);
+  original.Add(IntTuple({5, 6}), -1);
+
+  CsvParseResult r =
+      ParseCsv(original.schema(), FormatCsv(original));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.relation, original);
+}
+
+TEST(CsvTest, RoundTripMixedTypes) {
+  Schema schema(std::vector<Attribute>{{"s", ValueType::kString},
+                                       {"d", ValueType::kDouble}});
+  Relation original(schema);
+  original.Add(Tuple{Value("alpha"), Value(1.5)}, 3);
+  original.Add(Tuple{Value("beta"), Value(-0.25)}, 1);
+
+  CsvParseResult r = ParseCsv(schema, FormatCsv(original));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.relation, original);
+}
+
+TEST(CsvTest, FormatIncludesSchemaComment) {
+  Relation rel(Schema::AllInts({"A"}));
+  rel.Add(IntTuple({1}), 1);
+  std::string text = FormatCsv(rel);
+  EXPECT_EQ(text.rfind("# schema: [A:int]", 0), 0u);
+}
+
+}  // namespace
+}  // namespace sweepmv

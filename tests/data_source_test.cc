@@ -1,0 +1,181 @@
+#include "source/data_source.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/partial_delta.h"
+#include "test_util.h"
+
+namespace sweepmv {
+namespace {
+
+using testing_util::PaperBases;
+using testing_util::PaperView;
+
+class SinkSite : public Site {
+ public:
+  void OnMessage(int from, Message msg) override {
+    (void)from;
+    messages.push_back(std::move(msg));
+  }
+  std::vector<Message> messages;
+};
+
+struct Fixture {
+  Fixture()
+      : view(PaperView()),
+        network(&sim, LatencyModel::Fixed(10), 1),
+        source(/*site_id=*/2, /*relation_index=*/1,
+               PaperBases(view)[1], &view, &network, /*warehouse_site=*/0,
+               &ids) {
+    network.RegisterSite(0, &sink);
+    network.RegisterSite(2, &source);
+  }
+
+  ViewDef view;
+  Simulator sim;
+  Network network;
+  UpdateIdGenerator ids;
+  SinkSite sink;
+  DataSource source;
+};
+
+TEST(DataSourceTest, ApplyInsertUpdatesStateAndNotifiesWarehouse) {
+  Fixture f;
+  int64_t id = f.source.ApplyInsert(IntTuple({3, 5}));
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(f.source.relation().CountOf(IntTuple({3, 5})), 1);
+
+  f.sim.Run();
+  ASSERT_EQ(f.sink.messages.size(), 1u);
+  const auto* msg = std::get_if<UpdateMessage>(&f.sink.messages[0]);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->update.id, 0);
+  EXPECT_EQ(msg->update.relation, 1);
+  EXPECT_EQ(msg->update.delta.CountOf(IntTuple({3, 5})), 1);
+}
+
+TEST(DataSourceTest, ApplyDeleteShipsNegativeDelta) {
+  Fixture f;
+  f.source.ApplyDelete(IntTuple({3, 7}));
+  EXPECT_TRUE(f.source.relation().Empty());
+  f.sim.Run();
+  const auto* msg = std::get_if<UpdateMessage>(&f.sink.messages[0]);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->update.delta.CountOf(IntTuple({3, 7})), -1);
+  EXPECT_TRUE(msg->update.IsPureDelete());
+}
+
+TEST(DataSourceTest, TransactionIsAtomicSingleUnit) {
+  // A modify (delete + insert) ships as ONE update message (Section 2:
+  // "all the updates performed atomically at a data source are sent as a
+  // single unit").
+  Fixture f;
+  f.source.ApplyTransaction({UpdateOp::Delete(IntTuple({3, 7})),
+                             UpdateOp::Insert(IntTuple({3, 9}))});
+  f.sim.Run();
+  ASSERT_EQ(f.sink.messages.size(), 1u);
+  const auto* msg = std::get_if<UpdateMessage>(&f.sink.messages[0]);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->update.delta.CountOf(IntTuple({3, 7})), -1);
+  EXPECT_EQ(msg->update.delta.CountOf(IntTuple({3, 9})), 1);
+  EXPECT_FALSE(msg->update.IsPureInsert());
+  EXPECT_FALSE(msg->update.IsPureDelete());
+}
+
+TEST(DataSourceTest, NetNoOpTransactionNotShipped) {
+  Fixture f;
+  int64_t id = f.source.ApplyTransaction(
+      {UpdateOp::Insert(IntTuple({9, 9})),
+       UpdateOp::Delete(IntTuple({9, 9}))});
+  EXPECT_EQ(id, -1);
+  f.sim.Run();
+  EXPECT_TRUE(f.sink.messages.empty());
+}
+
+TEST(DataSourceTest, AnswersExtendRightQuery) {
+  Fixture f;
+  // Partial ΔV spanning [0,0] = {(2,3)}; ask source of R2 (rel 1) to
+  // extend right.
+  PartialDelta pd;
+  pd.lo = 0;
+  pd.hi = 0;
+  pd.rel = Relation(f.view.rel_schema(0));
+  pd.rel.Add(IntTuple({2, 3}), 1);
+
+  f.network.Send(0, 2, QueryRequest{77, 1, /*extend_left=*/false, pd});
+  f.sim.Run();
+  ASSERT_EQ(f.sink.messages.size(), 1u);
+  const auto* ans = std::get_if<QueryAnswer>(&f.sink.messages[0]);
+  ASSERT_NE(ans, nullptr);
+  EXPECT_EQ(ans->query_id, 77);
+  EXPECT_EQ(ans->partial.lo, 0);
+  EXPECT_EQ(ans->partial.hi, 1);
+  EXPECT_TRUE(ans->partial.rel.Contains(IntTuple({2, 3, 3, 7})));
+  EXPECT_EQ(f.source.queries_answered(), 1);
+}
+
+TEST(DataSourceTest, AnswersExtendLeftQuery) {
+  Fixture f;
+  PartialDelta pd;
+  pd.lo = 2;
+  pd.hi = 2;
+  pd.rel = Relation(f.view.rel_schema(2));
+  pd.rel.Add(IntTuple({7, 8}), -1);
+
+  f.network.Send(0, 2, QueryRequest{78, 1, /*extend_left=*/true, pd});
+  f.sim.Run();
+  const auto* ans = std::get_if<QueryAnswer>(&f.sink.messages[0]);
+  ASSERT_NE(ans, nullptr);
+  EXPECT_EQ(ans->partial.lo, 1);
+  EXPECT_EQ(ans->partial.hi, 2);
+  EXPECT_EQ(ans->partial.rel.CountOf(IntTuple({3, 7, 7, 8})), -1);
+}
+
+TEST(DataSourceTest, QueryReflectsCurrentStateNotSnapshot) {
+  // The Figure 3 server joins against the *current* relation: an update
+  // applied before the query arrives is visible in the answer.
+  Fixture f;
+  f.source.ApplyInsert(IntTuple({3, 5}));
+
+  PartialDelta pd;
+  pd.lo = 0;
+  pd.hi = 0;
+  pd.rel = Relation(f.view.rel_schema(0));
+  pd.rel.Add(IntTuple({1, 3}), 1);
+  f.network.Send(0, 2, QueryRequest{5, 1, false, pd});
+  f.sim.Run();
+
+  const QueryAnswer* ans = nullptr;
+  for (const Message& m : f.sink.messages) {
+    if (auto* a = std::get_if<QueryAnswer>(&m)) ans = a;
+  }
+  ASSERT_NE(ans, nullptr);
+  EXPECT_TRUE(ans->partial.rel.Contains(IntTuple({1, 3, 3, 7})));
+  EXPECT_TRUE(ans->partial.rel.Contains(IntTuple({1, 3, 3, 5})));
+}
+
+TEST(DataSourceTest, StateLogRecordsHistory) {
+  Fixture f;
+  f.source.ApplyInsert(IntTuple({3, 5}));
+  f.source.ApplyDelete(IntTuple({3, 7}));
+  const StateLog& log = f.source.log();
+  EXPECT_EQ(log.initial().CountOf(IntTuple({3, 7})), 1);
+  ASSERT_EQ(log.updates().size(), 2u);
+  EXPECT_EQ(log.StateAfter(0), log.initial());
+  EXPECT_EQ(log.StateAfter(2), f.source.relation());
+  EXPECT_EQ(log.IndexOf(log.updates()[1].id), 1);
+  EXPECT_EQ(log.IndexOf(9999), -1);
+}
+
+TEST(DataSourceTest, SnapshotRequestAnswered) {
+  Fixture f;
+  f.network.Send(0, 2, SnapshotRequest{11});
+  f.sim.Run();
+  const auto* snap = std::get_if<SnapshotAnswer>(&f.sink.messages[0]);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->relation, 1);
+  EXPECT_EQ(snap->snapshot, f.source.relation());
+}
+
+}  // namespace
+}  // namespace sweepmv

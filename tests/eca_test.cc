@@ -1,0 +1,122 @@
+#include "core/eca.h"
+
+#include <gtest/gtest.h>
+
+#include "consistency/checker.h"
+#include "test_util.h"
+
+namespace sweepmv {
+namespace {
+
+using testing_util::PaperBases;
+using testing_util::PaperView;
+using testing_util::System;
+
+TEST(EcaTest, SingleUpdateSingleQuery) {
+  System sys(Algorithm::kEca, PaperView(), PaperBases(PaperView()));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.Run();
+
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  // O(1) messages per update: exactly one query, one answer.
+  EXPECT_EQ(sys.network().stats().Of(MessageClass::kQueryRequest).messages,
+            1);
+  EXPECT_EQ(sys.network().stats().Of(MessageClass::kQueryAnswer).messages,
+            1);
+  auto& eca = dynamic_cast<EcaWarehouse&>(sys.warehouse());
+  EXPECT_EQ(eca.max_query_terms(), 1);
+}
+
+TEST(EcaTest, PaperTwoUpdateCompensation) {
+  // Section 3's canonical ECA scenario: ΔR1's query is in flight when ΔR2
+  // arrives; Q2 must carry the offset term -(ΔR1 ⋈ ΔR2 ⋈ R3).
+  System sys(Algorithm::kEca, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000));
+  sys.ScheduleInsert(0, 0, IntTuple({9, 3}));    // ΔR1, arrives 1000
+  sys.ScheduleInsert(500, 1, IntTuple({3, 5}));  // ΔR2, arrives 1500
+  sys.Run();
+
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  auto& eca = dynamic_cast<EcaWarehouse&>(sys.warehouse());
+  EXPECT_EQ(eca.max_query_terms(), 2);  // base + one offset
+
+  ConsistencyReport report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_GE(static_cast<int>(report.level),
+            static_cast<int>(ConsistencyLevel::kStrong))
+      << report.detail;
+}
+
+TEST(EcaTest, ThreeWayInterferenceInclusionExclusion) {
+  // Three mutually interfering updates across three relations: the last
+  // query needs the second-order inclusion-exclusion term (4 terms).
+  System sys(Algorithm::kEca, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(2000));
+  sys.ScheduleInsert(0, 0, IntTuple({9, 3}));
+  sys.ScheduleInsert(100, 1, IntTuple({3, 5}));
+  sys.ScheduleInsert(200, 2, IntTuple({5, 9}));
+  sys.Run();
+
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  auto& eca = dynamic_cast<EcaWarehouse&>(sys.warehouse());
+  EXPECT_EQ(eca.max_query_terms(), 4);
+}
+
+TEST(EcaTest, QuiescentBatchInstall) {
+  // ECA accumulates answers and installs at quiescence (Table 1:
+  // "Requires Quiescence").
+  System sys(Algorithm::kEca, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(2000));
+  sys.ScheduleInsert(0, 0, IntTuple({9, 3}));
+  sys.ScheduleInsert(100, 1, IntTuple({3, 5}));
+  sys.Run();
+  auto& eca = dynamic_cast<EcaWarehouse&>(sys.warehouse());
+  EXPECT_EQ(eca.batch_installs(), 1);
+  EXPECT_EQ(sys.warehouse().install_log().size(), 1u);
+}
+
+TEST(EcaTest, DeletesAndInsertsMixed) {
+  System sys(Algorithm::kEca, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1500));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(300, 2, IntTuple({7, 8}));
+  sys.ScheduleDelete(600, 0, IntTuple({2, 3}));
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  EXPECT_EQ(sys.warehouse().view().CountOf(IntTuple({5, 6})), 1);
+}
+
+TEST(EcaTest, SequentialUpdatesNeedNoOffsets) {
+  // Far-apart updates: every query is a single base term.
+  System sys(Algorithm::kEca, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(100));
+  sys.ScheduleInsert(0, 0, IntTuple({9, 3}));
+  sys.ScheduleInsert(10000, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(20000, 2, IntTuple({7, 8}));
+  sys.Run();
+  auto& eca = dynamic_cast<EcaWarehouse&>(sys.warehouse());
+  EXPECT_EQ(eca.max_query_terms(), 1);
+  EXPECT_EQ(eca.total_query_terms(), 3);
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  ConsistencyReport report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_GE(static_cast<int>(report.level),
+            static_cast<int>(ConsistencyLevel::kStrong))
+      << report.detail;
+}
+
+TEST(EcaTest, BurstStressConverges) {
+  System sys(Algorithm::kEca, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(3000));
+  sys.ScheduleInsert(0, 0, IntTuple({9, 3}));
+  sys.ScheduleInsert(50, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(100, 2, IntTuple({7, 8}));
+  sys.ScheduleInsert(150, 2, IntTuple({5, 9}));
+  sys.ScheduleDelete(200, 0, IntTuple({1, 3}));
+  sys.ScheduleInsert(250, 1, IntTuple({3, 9}));
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+}
+
+}  // namespace
+}  // namespace sweepmv

@@ -1,0 +1,152 @@
+// Targeted edge cases across the algorithms: interleavings and update
+// shapes that stress specific branches of each protocol.
+
+#include <gtest/gtest.h>
+
+#include "consistency/checker.h"
+#include "core/eca.h"
+#include "test_util.h"
+
+namespace sweepmv {
+namespace {
+
+using testing_util::PaperBases;
+using testing_util::PaperView;
+using testing_util::System;
+
+TEST(EdgeCaseTest, DrainTheWholeDatabase) {
+  // Delete every tuple everywhere; the view must reach empty through
+  // consistent intermediate states.
+  for (Algorithm a : {Algorithm::kSweep, Algorithm::kNestedSweep,
+                      Algorithm::kCStrobe, Algorithm::kStrobe}) {
+    System sys(a, PaperView(), PaperBases(PaperView()),
+               LatencyModel::Fixed(700));
+    sys.ScheduleDelete(0, 0, IntTuple({1, 3}));
+    sys.ScheduleDelete(100, 0, IntTuple({2, 3}));
+    sys.ScheduleDelete(200, 1, IntTuple({3, 7}));
+    sys.ScheduleDelete(300, 2, IntTuple({5, 6}));
+    sys.ScheduleDelete(400, 2, IntTuple({7, 8}));
+    sys.Run();
+    EXPECT_TRUE(sys.warehouse().view().Empty()) << AlgorithmName(a);
+    EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView())
+        << AlgorithmName(a);
+  }
+}
+
+TEST(EdgeCaseTest, InsertThenImmediateDeleteOfSameTuple) {
+  // Two separate updates: +t then -t from the same source, racing the
+  // sweep of an unrelated update. Net effect zero; every algorithm must
+  // agree.
+  for (Algorithm a : {Algorithm::kSweep, Algorithm::kNestedSweep,
+                      Algorithm::kParallelSweep,
+                      Algorithm::kPipelinedSweep}) {
+    System sys(a, PaperView(), PaperBases(PaperView()),
+               LatencyModel::Fixed(1500));
+    sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+    sys.ScheduleInsert(100, 0, IntTuple({9, 3}));
+    sys.ScheduleDelete(200, 0, IntTuple({9, 3}));
+    sys.Run();
+    EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView())
+        << AlgorithmName(a);
+  }
+}
+
+TEST(EdgeCaseTest, StrobeTwoInflightInsertsOneDeleteMarksBoth) {
+  // Two insert queries in flight when a delete lands: both pending
+  // queries must scrub the deleted tuple's contributions.
+  System sys(Algorithm::kStrobe, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(2500));
+  sys.ScheduleInsert(0, 0, IntTuple({8, 3}));    // will join via (3,*)
+  sys.ScheduleInsert(100, 0, IntTuple({9, 3}));  // second in-flight query
+  sys.ScheduleDelete(200, 2, IntTuple({5, 6}));  // invalidates both paths
+  sys.ScheduleDelete(300, 1, IntTuple({3, 7}));
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+}
+
+TEST(EdgeCaseTest, CStrobeConcurrentDeleteAtInsertsOwnRelation) {
+  // A delete at the *same* relation as the in-flight insert needs no
+  // compensating query (the position is pinned to the insert's delta) —
+  // and the run must still be completely consistent.
+  System sys(Algorithm::kCStrobe, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(2000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(100, 1, IntTuple({3, 7}));  // same relation
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  auto report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_EQ(report.level, ConsistencyLevel::kComplete) << report.detail;
+}
+
+TEST(EdgeCaseTest, EcaBackToBackUpdatesOnSameRelation) {
+  // Two updates of the same relation with the first query in flight: the
+  // second must NOT carry an offset for the first (same position is
+  // always pinned), and the final state must be exact.
+  System sys(Algorithm::kEca, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(2000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleInsert(100, 1, IntTuple({3, 9}));
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  auto& eca = dynamic_cast<EcaWarehouse&>(sys.warehouse());
+  EXPECT_EQ(eca.max_query_terms(), 1);  // no cross-offsets possible
+}
+
+TEST(EdgeCaseTest, UpdateWithMultiplicityGreaterThanOne) {
+  // Bag semantics: the same tuple inserted twice in one transaction
+  // (count 2). SWEEP's counting algebra must carry the multiplicity end
+  // to end. (Strobe-family excluded: their key assumption forbids this.)
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()));
+  sys.ScheduleTxn(0, 1,
+                  {UpdateOp::Insert(IntTuple({3, 5})),
+                   UpdateOp::Insert(IntTuple({3, 5}))});
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  EXPECT_EQ(sys.warehouse().view().CountOf(IntTuple({5, 6})), 4);
+}
+
+TEST(EdgeCaseTest, UpdateThatProducesNoViewChange) {
+  // An insert that joins with nothing: the delta is empty after the
+  // sweep, but the install must still happen (a state per update).
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()));
+  sys.ScheduleInsert(0, 1, IntTuple({99, 98}));  // dangling both sides
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().install_log().size(), 1u);
+  EXPECT_EQ(sys.warehouse().view().CountOf(IntTuple({7, 8})), 2);
+  auto report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_EQ(report.level, ConsistencyLevel::kComplete) << report.detail;
+}
+
+TEST(EdgeCaseTest, InterferenceByNoOpJoinUpdate) {
+  // The interfering update joins with nothing: compensation computes an
+  // empty error term; nothing breaks.
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1500));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleInsert(100, 0, IntTuple({50, 51}));  // B=51 joins nothing
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  auto report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_EQ(report.level, ConsistencyLevel::kComplete) << report.detail;
+}
+
+TEST(EdgeCaseTest, SimultaneousArrivalTimestamps) {
+  // Updates applied at the same virtual instant at different sources:
+  // delivery order is still total (FIFO + deterministic tie-break) and
+  // complete consistency must hold.
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000));
+  sys.ScheduleInsert(500, 0, IntTuple({9, 3}));
+  sys.ScheduleInsert(500, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(500, 2, IntTuple({7, 8}));
+  sys.Run();
+  auto report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_EQ(report.level, ConsistencyLevel::kComplete) << report.detail;
+}
+
+}  // namespace
+}  // namespace sweepmv

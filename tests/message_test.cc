@@ -1,0 +1,67 @@
+#include "sim/message.h"
+
+#include <gtest/gtest.h>
+
+namespace sweepmv {
+namespace {
+
+Relation TwoTuples() {
+  return Relation::OfInts(Schema::AllInts({"A", "B"}), {{1, 2}, {3, 4}});
+}
+
+TEST(MessageTest, PayloadOfUpdateMessage) {
+  Update u;
+  u.delta = TwoTuples();
+  EXPECT_EQ(PayloadTuples(Message{UpdateMessage{u}}), 2);
+}
+
+TEST(MessageTest, PayloadOfSweepQueryAndAnswer) {
+  PartialDelta pd;
+  pd.lo = 0;
+  pd.hi = 0;
+  pd.rel = TwoTuples();
+  EXPECT_EQ(PayloadTuples(Message{QueryRequest{1, 0, false, pd}}), 2);
+  EXPECT_EQ(PayloadTuples(Message{QueryAnswer{1, pd}}), 2);
+}
+
+TEST(MessageTest, PayloadOfEcaQueryCountsFixedDeltas) {
+  EcaTerm t1;
+  t1.sign = 1;
+  t1.fixed.resize(3);
+  t1.fixed[0] = TwoTuples();
+  EcaTerm t2;
+  t2.sign = -1;
+  t2.fixed.resize(3);
+  t2.fixed[0] = TwoTuples();
+  t2.fixed[2] = TwoTuples();
+  EXPECT_EQ(PayloadTuples(Message{EcaQueryRequest{1, {t1, t2}}}), 6);
+  EXPECT_EQ(PayloadTuples(Message{EcaQueryAnswer{1, TwoTuples()}}), 2);
+}
+
+TEST(MessageTest, PayloadOfSnapshots) {
+  EXPECT_EQ(PayloadTuples(Message{SnapshotRequest{1}}), 0);
+  EXPECT_EQ(PayloadTuples(Message{SnapshotAnswer{1, 0, TwoTuples()}}), 2);
+}
+
+TEST(MessageTest, ClassNames) {
+  EXPECT_STREQ(MessageClassName(MessageClass::kUpdateNotification),
+               "update");
+  EXPECT_STREQ(MessageClassName(MessageClass::kQueryRequest), "query");
+  EXPECT_STREQ(MessageClassName(MessageClass::kQueryAnswer), "answer");
+}
+
+TEST(MessageTest, EveryVariantHasAClass) {
+  Update u;
+  u.delta = TwoTuples();
+  PartialDelta pd;
+  pd.rel = TwoTuples();
+  EXPECT_EQ(ClassOf(Message{UpdateMessage{u}}),
+            MessageClass::kUpdateNotification);
+  EXPECT_EQ(ClassOf(Message{QueryRequest{1, 0, true, pd}}),
+            MessageClass::kQueryRequest);
+  EXPECT_EQ(ClassOf(Message{QueryAnswer{1, pd}}),
+            MessageClass::kQueryAnswer);
+}
+
+}  // namespace
+}  // namespace sweepmv

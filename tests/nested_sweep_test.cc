@@ -1,0 +1,182 @@
+#include "core/nested_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "consistency/checker.h"
+#include "test_util.h"
+
+namespace sweepmv {
+namespace {
+
+using testing_util::PaperBases;
+using testing_util::PaperView;
+using testing_util::System;
+
+TEST(NestedSweepTest, IdenticalToSweepWithoutConcurrency) {
+  // "If there is only one update Nested SWEEP is identical to SWEEP."
+  System sys(Algorithm::kNestedSweep, PaperView(),
+             PaperBases(PaperView()));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.Run();
+
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  EXPECT_EQ(sys.warehouse().install_log().size(), 1u);
+  EXPECT_EQ(sys.network().stats().Of(MessageClass::kQueryRequest).messages,
+            2);
+  auto& nested = dynamic_cast<NestedSweepWarehouse&>(sys.warehouse());
+  EXPECT_EQ(nested.nested_calls(), 0);
+}
+
+TEST(NestedSweepTest, FoldsConcurrentUpdateIntoCompositeDelta) {
+  // ΔR2 is being swept; ΔR1 lands during the left sweep. Nested SWEEP
+  // must produce ONE composite install covering both updates.
+  System sys(Algorithm::kNestedSweep, PaperView(),
+             PaperBases(PaperView()), LatencyModel::Fixed(1000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));    // arrives 1000
+  sys.ScheduleDelete(500, 0, IntTuple({2, 3}));  // arrives 1500, interferes
+  sys.Run();
+
+  const auto& installs = sys.warehouse().install_log();
+  ASSERT_EQ(installs.size(), 1u);
+  EXPECT_EQ(installs[0].update_ids.size(), 2u);
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+
+  auto& nested = dynamic_cast<NestedSweepWarehouse&>(sys.warehouse());
+  EXPECT_EQ(nested.nested_calls(), 1);
+  EXPECT_GE(nested.compensations(), 1);
+}
+
+TEST(NestedSweepTest, PaperThreeUpdateScenarioStrongConsistency) {
+  System sys(Algorithm::kNestedSweep, PaperView(),
+             PaperBases(PaperView()), LatencyModel::Fixed(1000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(400, 2, IntTuple({7, 8}));
+  sys.ScheduleDelete(500, 0, IntTuple({2, 3}));
+  sys.Run();
+
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  EXPECT_EQ(sys.warehouse().view().CountOf(IntTuple({5, 6})), 1);
+
+  ConsistencyReport report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_GE(static_cast<int>(report.level),
+            static_cast<int>(ConsistencyLevel::kStrong))
+      << report.detail;
+}
+
+TEST(NestedSweepTest, RightSweepDetectionRecursesLeft) {
+  // Interference on the right sweep: ΔR3 lands while ΔR1's sweep is
+  // heading right; the recursive call re-sweeps left across R2, R1.
+  System sys(Algorithm::kNestedSweep, PaperView(),
+             PaperBases(PaperView()), LatencyModel::Fixed(1000));
+  sys.ScheduleInsert(0, 0, IntTuple({9, 3}));    // ΔR1, arrives 1000
+  sys.ScheduleInsert(900, 2, IntTuple({7, 9}));  // ΔR3, interferes
+  sys.Run();
+
+  const auto& installs = sys.warehouse().install_log();
+  ASSERT_EQ(installs.size(), 1u);
+  EXPECT_EQ(installs[0].update_ids.size(), 2u);
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+}
+
+TEST(NestedSweepTest, AmortizesMessagesOverBatch) {
+  // Processing k mutually concurrent updates in one composite sweep must
+  // cost fewer maintenance messages than k separate SWEEP runs.
+  auto run = [](Algorithm algorithm) {
+    System sys(algorithm, PaperView(), PaperBases(PaperView()),
+               LatencyModel::Fixed(5000));
+    sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+    sys.ScheduleInsert(100, 0, IntTuple({9, 3}));
+    sys.ScheduleInsert(200, 2, IntTuple({5, 9}));
+    sys.ScheduleDelete(300, 0, IntTuple({2, 3}));
+    sys.Run();
+    EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+    return sys.network().stats().Of(MessageClass::kQueryRequest).messages;
+  };
+  int64_t nested_msgs = run(Algorithm::kNestedSweep);
+  int64_t sweep_msgs = run(Algorithm::kSweep);
+  EXPECT_LT(nested_msgs, sweep_msgs);
+}
+
+TEST(NestedSweepTest, ForcedTerminationBudgetDegradesToSweep) {
+  WarehouseConfig config;
+  config.nested_max_recursion_depth = 1;  // never recurse
+  System sys(Algorithm::kNestedSweep, PaperView(),
+             PaperBases(PaperView()), LatencyModel::Fixed(1000), config);
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(500, 0, IntTuple({2, 3}));
+  sys.Run();
+
+  // With recursion disabled the two updates install separately, exactly
+  // like SWEEP.
+  EXPECT_EQ(sys.warehouse().install_log().size(), 2u);
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  auto& nested = dynamic_cast<NestedSweepWarehouse&>(sys.warehouse());
+  EXPECT_EQ(nested.nested_calls(), 0);
+  EXPECT_GE(nested.forced_deferrals(), 1);
+
+  ConsistencyReport report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_EQ(report.level, ConsistencyLevel::kComplete) << report.detail;
+}
+
+TEST(NestedSweepTest, CascadingInterferenceStillConverges) {
+  // A chain of interfering updates spread across sources under jittered
+  // latency; whatever batching results, the final state must be exact and
+  // at least strongly consistent.
+  System sys(Algorithm::kNestedSweep, PaperView(),
+             PaperBases(PaperView()), LatencyModel::Jittered(800, 700));
+  for (int i = 0; i < 9; ++i) {
+    sys.ScheduleInsert(i * 150, i % 3,
+                       IntTuple({100 + i, (i % 2 == 0) ? 3 : 5}));
+  }
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  ConsistencyReport report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_GE(static_cast<int>(report.level),
+            static_cast<int>(ConsistencyLevel::kStrong))
+      << report.detail;
+}
+
+TEST(NestedSweepTest, AlternatingInterferenceFoldsUntilStreamEnds) {
+  // Section 6.2's oscillation scenario: two sources alternate updates,
+  // each arriving while the composite sweep is re-querying the other
+  // side. With an ample recursion budget the whole alternating stream
+  // folds into ONE composite install; the recursion terminates only
+  // because the stream is finite — exactly the paper's caveat.
+  System sys(Algorithm::kNestedSweep, PaperView(),
+             PaperBases(PaperView()), LatencyModel::Fixed(2000));
+  // Alternate R0 and R2 updates, spaced well inside each other's sweeps.
+  for (int i = 0; i < 8; ++i) {
+    int rel = (i % 2 == 0) ? 0 : 2;
+    sys.ScheduleInsert(i * 1500, rel,
+                       IntTuple({300 + i, rel == 0 ? 3 : 5}));
+  }
+  sys.Run();
+
+  auto& nested = dynamic_cast<NestedSweepWarehouse&>(sys.warehouse());
+  EXPECT_EQ(sys.warehouse().install_log().size(), 1u);
+  EXPECT_EQ(sys.warehouse().install_log()[0].update_ids.size(), 8u);
+  // Several alternations fold (same-relation updates in the queue merge
+  // into one detection, so calls < updates).
+  EXPECT_GE(nested.nested_calls(), 2);
+  EXPECT_GE(nested.max_depth_seen(), 2);
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+}
+
+TEST(NestedSweepTest, MergesMultipleQueuedUpdatesOfOneRelation) {
+  System sys(Algorithm::kNestedSweep, PaperView(),
+             PaperBases(PaperView()), LatencyModel::Fixed(3000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleInsert(100, 0, IntTuple({10, 3}));
+  sys.ScheduleInsert(200, 0, IntTuple({11, 3}));
+  sys.Run();
+  // One composite install incorporating all three updates.
+  ASSERT_EQ(sys.warehouse().install_log().size(), 1u);
+  EXPECT_EQ(sys.warehouse().install_log()[0].update_ids.size(), 3u);
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+}
+
+}  // namespace
+}  // namespace sweepmv

@@ -1,0 +1,147 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "relational/schema.h"
+
+namespace sweepmv {
+namespace {
+
+// Records everything delivered to it.
+class RecorderSite : public Site {
+ public:
+  struct Delivery {
+    int from;
+    SimTime at;
+    Message msg;
+  };
+
+  explicit RecorderSite(Simulator* sim) : sim_(sim) {}
+
+  void OnMessage(int from, Message msg) override {
+    deliveries_.push_back(Delivery{from, sim_->now(), std::move(msg)});
+  }
+
+  const std::vector<Delivery>& deliveries() const { return deliveries_; }
+
+ private:
+  Simulator* sim_;
+  std::vector<Delivery> deliveries_;
+};
+
+Update MakeUpdate(int64_t id, int rel, int64_t key) {
+  Update u;
+  u.id = id;
+  u.relation = rel;
+  u.delta = Relation(Schema::AllInts({"K"}));
+  u.delta.Add(IntTuple({key}), 1);
+  return u;
+}
+
+TEST(NetworkTest, DeliversWithLatency) {
+  Simulator sim;
+  Network net(&sim, LatencyModel::Fixed(250), 1);
+  RecorderSite dest(&sim);
+  net.RegisterSite(1, &dest);
+
+  net.Send(0, 1, UpdateMessage{MakeUpdate(1, 0, 5)});
+  sim.Run();
+  ASSERT_EQ(dest.deliveries().size(), 1u);
+  EXPECT_EQ(dest.deliveries()[0].from, 0);
+  EXPECT_EQ(dest.deliveries()[0].at, 250);
+  const auto* msg =
+      std::get_if<UpdateMessage>(&dest.deliveries()[0].msg);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->update.id, 1);
+}
+
+TEST(NetworkTest, FifoPerLinkUnderJitter) {
+  Simulator sim;
+  Network net(&sim, LatencyModel::Jittered(10, 500), 7);
+  RecorderSite dest(&sim);
+  net.RegisterSite(1, &dest);
+
+  for (int64_t i = 0; i < 20; ++i) {
+    net.Send(0, 1, UpdateMessage{MakeUpdate(i, 0, i)});
+  }
+  sim.Run();
+  ASSERT_EQ(dest.deliveries().size(), 20u);
+  for (size_t i = 0; i < 20; ++i) {
+    const auto* msg =
+        std::get_if<UpdateMessage>(&dest.deliveries()[i].msg);
+    ASSERT_NE(msg, nullptr);
+    EXPECT_EQ(msg->update.id, static_cast<int64_t>(i));
+  }
+}
+
+TEST(NetworkTest, IndependentLinksMayReorder) {
+  // FIFO is per directed link only; messages from different senders are
+  // free to interleave (that is the distributed-anomaly surface).
+  Simulator sim;
+  Network net(&sim, LatencyModel::Fixed(100), 1);
+  net.SetLinkLatency(2, 9, LatencyModel::Fixed(10));
+  RecorderSite dest(&sim);
+  net.RegisterSite(9, &dest);
+
+  net.Send(1, 9, UpdateMessage{MakeUpdate(1, 0, 1)});  // slow link
+  net.Send(2, 9, UpdateMessage{MakeUpdate(2, 1, 2)});  // fast link
+  sim.Run();
+  ASSERT_EQ(dest.deliveries().size(), 2u);
+  EXPECT_EQ(dest.deliveries()[0].from, 2);
+  EXPECT_EQ(dest.deliveries()[1].from, 1);
+}
+
+TEST(NetworkTest, StatsCountMessagesAndPayload) {
+  Simulator sim;
+  Network net(&sim, LatencyModel::Fixed(1), 1);
+  RecorderSite dest(&sim);
+  net.RegisterSite(1, &dest);
+
+  Update u = MakeUpdate(1, 0, 5);
+  u.delta.Add(IntTuple({6}), 1);  // 2 tuples
+  net.Send(0, 1, UpdateMessage{u});
+
+  PartialDelta pd;
+  pd.lo = 0;
+  pd.hi = 0;
+  pd.rel = u.delta;
+  net.Send(0, 1, QueryRequest{7, 0, false, pd});
+  net.Send(0, 1, QueryAnswer{7, pd});
+  sim.Run();
+
+  const NetworkStats& stats = net.stats();
+  EXPECT_EQ(stats.Of(MessageClass::kUpdateNotification).messages, 1);
+  EXPECT_EQ(stats.Of(MessageClass::kUpdateNotification).payload_tuples, 2);
+  EXPECT_EQ(stats.Of(MessageClass::kQueryRequest).messages, 1);
+  EXPECT_EQ(stats.Of(MessageClass::kQueryAnswer).messages, 1);
+  EXPECT_EQ(stats.TotalMessages(), 3);
+  EXPECT_EQ(stats.TotalPayload(), 6);
+}
+
+TEST(NetworkTest, ResetStats) {
+  Simulator sim;
+  Network net(&sim, LatencyModel::Fixed(1), 1);
+  RecorderSite dest(&sim);
+  net.RegisterSite(1, &dest);
+  net.Send(0, 1, UpdateMessage{MakeUpdate(1, 0, 5)});
+  sim.Run();
+  EXPECT_EQ(net.stats().TotalMessages(), 1);
+  net.ResetStats();
+  EXPECT_EQ(net.stats().TotalMessages(), 0);
+}
+
+TEST(NetworkTest, MessageClassTaxonomy) {
+  EXPECT_EQ(ClassOf(Message{SnapshotRequest{}}),
+            MessageClass::kQueryRequest);
+  EXPECT_EQ(ClassOf(Message{SnapshotAnswer{}}),
+            MessageClass::kQueryAnswer);
+  EXPECT_EQ(ClassOf(Message{EcaQueryRequest{}}),
+            MessageClass::kQueryRequest);
+  EXPECT_EQ(ClassOf(Message{EcaQueryAnswer{}}),
+            MessageClass::kQueryAnswer);
+}
+
+}  // namespace
+}  // namespace sweepmv

@@ -1,0 +1,132 @@
+// End-to-end reproduction of the paper's Figure 5 / Section 5.2 material,
+// pinned as tests so a regression in any layer breaks loudly.
+
+#include <gtest/gtest.h>
+
+#include "consistency/checker.h"
+#include "test_util.h"
+
+namespace sweepmv {
+namespace {
+
+using testing_util::PaperBases;
+using testing_util::PaperView;
+using testing_util::System;
+
+// The four rows of Figure 5, as (view-state, count) expectations.
+struct ExpectedState {
+  std::vector<std::pair<Tuple, int64_t>> entries;
+};
+
+std::vector<ExpectedState> Figure5States() {
+  return {
+      {{{IntTuple({7, 8}), 2}}},                          // initial
+      {{{IntTuple({5, 6}), 2}, {IntTuple({7, 8}), 2}}},   // after ΔR2
+      {{{IntTuple({5, 6}), 2}}},                          // after ΔR3
+      {{{IntTuple({5, 6}), 1}}},                          // after ΔR1
+  };
+}
+
+void ExpectState(const Relation& view, const ExpectedState& want,
+                 const std::string& label) {
+  EXPECT_EQ(view.DistinctSize(), want.entries.size()) << label;
+  for (const auto& [t, c] : want.entries) {
+    EXPECT_EQ(view.CountOf(t), c)
+        << label << " tuple " << t.ToDisplayString();
+  }
+}
+
+TEST(PaperExampleTest, SequentialUpdatesStepThroughFigure5) {
+  // The "updates far enough apart" reading of Figure 5: each ViewChange
+  // completes before the next update occurs.
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(100));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(10000, 2, IntTuple({7, 8}));
+  sys.ScheduleDelete(20000, 0, IntTuple({2, 3}));
+  sys.Run();
+
+  auto want = Figure5States();
+  const auto& installs = sys.warehouse().install_log();
+  ASSERT_EQ(installs.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    ExpectState(installs[i].view_after, want[i + 1],
+                "sequential state " + std::to_string(i + 1));
+  }
+}
+
+TEST(PaperExampleTest, ConcurrentUpdatesSameStatesUnderSweep) {
+  // Section 5.2's actual point: with all three updates concurrent, SWEEP
+  // still walks exactly the Figure 5 state sequence.
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(400, 2, IntTuple({7, 8}));
+  sys.ScheduleDelete(500, 0, IntTuple({2, 3}));
+  sys.Run();
+
+  auto want = Figure5States();
+  const auto& installs = sys.warehouse().install_log();
+  ASSERT_EQ(installs.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    ExpectState(installs[i].view_after, want[i + 1],
+                "concurrent state " + std::to_string(i + 1));
+  }
+
+  ConsistencyReport report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_EQ(report.level, ConsistencyLevel::kComplete) << report.detail;
+}
+
+TEST(PaperExampleTest, EveryDistributedAlgorithmReachesFigure5FinalState) {
+  for (Algorithm a :
+       {Algorithm::kSweep, Algorithm::kNestedSweep, Algorithm::kStrobe,
+        Algorithm::kCStrobe, Algorithm::kRecompute}) {
+    System sys(a, PaperView(), PaperBases(PaperView()),
+               LatencyModel::Fixed(1000));
+    sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+    sys.ScheduleDelete(400, 2, IntTuple({7, 8}));
+    sys.ScheduleDelete(500, 0, IntTuple({2, 3}));
+    sys.Run();
+    ExpectState(sys.warehouse().view(), Figure5States()[3],
+                std::string("final state under ") + AlgorithmName(a));
+  }
+}
+
+TEST(PaperExampleTest, EcaReachesFigure5FinalState) {
+  System sys(Algorithm::kEca, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(400, 2, IntTuple({7, 8}));
+  sys.ScheduleDelete(500, 0, IntTuple({2, 3}));
+  sys.Run();
+  ExpectState(sys.warehouse().view(), Figure5States()[3], "ECA final");
+}
+
+TEST(PaperExampleTest, Section4ErrorTermEliminatedOnline) {
+  // Section 4's on-line error correction in isolation: ΔRi's query is
+  // answered by R(i-1) after ΔR(i-1) applied; FIFO guarantees the update
+  // notification beats the answer, and the local subtraction leaves
+  // exactly R(i-1) ⋈ ΔRi.
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));     // ΔR2 arrives t=1000
+  // ΔR1 applied at t=1500: before the query to R1 (sent 1000, arrives
+  // 2000) evaluates, after ΔR2 arrived. Classic interference.
+  sys.ScheduleInsert(1500, 0, IntTuple({9, 3}));
+  sys.Run();
+
+  ConsistencyReport report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_EQ(report.level, ConsistencyLevel::kComplete) << report.detail;
+
+  // Two installs: first ΔR2's view change *without* ΔR1's contribution,
+  // then ΔR1's.
+  const auto& installs = sys.warehouse().install_log();
+  ASSERT_EQ(installs.size(), 2u);
+  EXPECT_EQ(installs[0].view_after.CountOf(IntTuple({5, 6})), 2);
+  EXPECT_EQ(installs[1].view_after.CountOf(IntTuple({5, 6})), 3);
+}
+
+}  // namespace
+}  // namespace sweepmv

@@ -1,0 +1,143 @@
+#include "core/parallel_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "consistency/checker.h"
+#include "test_util.h"
+
+namespace sweepmv {
+namespace {
+
+using testing_util::PaperBases;
+using testing_util::PaperView;
+using testing_util::System;
+
+TEST(ParallelSweepTest, MergeParallelSweepsAlgebra) {
+  // Directly verify ΔV = ΔV_left ⋈ ΔV_right equals the sequential sweep.
+  ViewDef view = PaperView();
+  std::vector<Relation> bases = PaperBases(view);
+
+  Relation delta(view.rel_schema(1));
+  delta.Add(IntTuple({3, 5}), 1);
+
+  // Sequential reference.
+  PartialDelta seq = PartialDelta::ForRelation(view, 1, delta);
+  seq = ExtendLeft(view, bases[0], seq);
+  seq = ExtendRight(view, seq, bases[2]);
+
+  // Parallel: left side with true counts, right side unit-seeded.
+  PartialDelta left = PartialDelta::ForRelation(view, 1, delta);
+  left = ExtendLeft(view, bases[0], left);
+  Relation unit(view.rel_schema(1));
+  unit.Add(IntTuple({3, 5}), 1);
+  PartialDelta right = PartialDelta::ForRelation(view, 1, unit);
+  right = ExtendRight(view, right, bases[2]);
+
+  PartialDelta merged = MergeParallelSweeps(view, 1, left, right);
+  EXPECT_TRUE(merged.SpansAll(view));
+  EXPECT_EQ(merged.rel, seq.rel);
+}
+
+TEST(ParallelSweepTest, MergeHandlesCountsAndSigns) {
+  // A delta with multiplicity 2 and a negative tuple: counts must come
+  // out c * left * right, not squared.
+  ViewDef view = PaperView();
+  std::vector<Relation> bases = PaperBases(view);
+
+  Relation delta(view.rel_schema(1));
+  delta.Add(IntTuple({3, 5}), 2);
+  delta.Add(IntTuple({3, 7}), -1);
+
+  PartialDelta seq = PartialDelta::ForRelation(view, 1, delta);
+  seq = ExtendLeft(view, bases[0], seq);
+  seq = ExtendRight(view, seq, bases[2]);
+
+  PartialDelta left = PartialDelta::ForRelation(view, 1, delta);
+  left = ExtendLeft(view, bases[0], left);
+  Relation unit(view.rel_schema(1));
+  unit.Add(IntTuple({3, 5}), 1);
+  unit.Add(IntTuple({3, 7}), 1);
+  PartialDelta right = PartialDelta::ForRelation(view, 1, unit);
+  right = ExtendRight(view, right, bases[2]);
+
+  PartialDelta merged = MergeParallelSweeps(view, 1, left, right);
+  EXPECT_EQ(merged.rel, seq.rel);
+}
+
+TEST(ParallelSweepTest, SameResultAsSweepOnPaperScenario) {
+  auto run = [](Algorithm algorithm) {
+    System sys(algorithm, PaperView(), PaperBases(PaperView()),
+               LatencyModel::Fixed(1000));
+    sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+    sys.ScheduleDelete(400, 2, IntTuple({7, 8}));
+    sys.ScheduleDelete(500, 0, IntTuple({2, 3}));
+    sys.Run();
+    EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+    std::vector<Relation> states;
+    for (const auto& install : sys.warehouse().install_log()) {
+      states.push_back(install.view_after);
+    }
+    return states;
+  };
+  std::vector<Relation> par = run(Algorithm::kParallelSweep);
+  std::vector<Relation> seq = run(Algorithm::kSweep);
+  ASSERT_EQ(par.size(), seq.size());
+  for (size_t i = 0; i < par.size(); ++i) {
+    EXPECT_EQ(par[i], seq[i]) << "install " << i;
+  }
+}
+
+TEST(ParallelSweepTest, CompleteConsistencyUnderConcurrency) {
+  System sys(Algorithm::kParallelSweep, PaperView(),
+             PaperBases(PaperView()), LatencyModel::Jittered(800, 600));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(300, 2, IntTuple({7, 8}));
+  sys.ScheduleInsert(500, 0, IntTuple({9, 3}));
+  sys.ScheduleDelete(700, 0, IntTuple({2, 3}));
+  sys.ScheduleInsert(900, 2, IntTuple({5, 9}));
+  sys.Run();
+  ConsistencyReport report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_EQ(report.level, ConsistencyLevel::kComplete) << report.detail;
+}
+
+TEST(ParallelSweepTest, SameMessageCountLowerLatencyThanSweep) {
+  auto run = [](Algorithm algorithm) {
+    System sys(algorithm, PaperView(), PaperBases(PaperView()),
+               LatencyModel::Fixed(1000));
+    // Update at the middle relation: parallelism halves the chain.
+    sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+    sys.Run();
+    return std::make_pair(
+        sys.network().stats().Of(MessageClass::kQueryRequest).messages,
+        sys.warehouse().install_log().back().time);
+  };
+  auto [par_msgs, par_done] = run(Algorithm::kParallelSweep);
+  auto [seq_msgs, seq_done] = run(Algorithm::kSweep);
+  EXPECT_EQ(par_msgs, seq_msgs);   // identical message complexity
+  EXPECT_LT(par_done, seq_done);   // but the sweep finishes sooner
+}
+
+TEST(ParallelSweepTest, EdgeRelationsDegradeGracefully) {
+  // Updates at the chain ends have only one direction; no merge runs.
+  System sys(Algorithm::kParallelSweep, PaperView(),
+             PaperBases(PaperView()));
+  sys.ScheduleInsert(0, 0, IntTuple({9, 3}));
+  sys.ScheduleDelete(20000, 2, IntTuple({7, 8}));
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  EXPECT_EQ(sys.warehouse().install_log().size(), 2u);
+}
+
+TEST(ParallelSweepTest, MixedTransactionMergesCorrectly) {
+  System sys(Algorithm::kParallelSweep, PaperView(),
+             PaperBases(PaperView()));
+  sys.ScheduleTxn(0, 1,
+                  {UpdateOp::Delete(IntTuple({3, 7})),
+                   UpdateOp::Insert(IntTuple({3, 5}))});
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+}
+
+}  // namespace
+}  // namespace sweepmv

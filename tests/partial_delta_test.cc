@@ -1,0 +1,106 @@
+#include "relational/partial_delta.h"
+
+#include <gtest/gtest.h>
+
+namespace sweepmv {
+namespace {
+
+ViewDef ChainView() {
+  return ViewDef::Builder()
+      .AddRelation("R1", Schema::AllInts({"A", "B"}))
+      .AddRelation("R2", Schema::AllInts({"C", "D"}))
+      .AddRelation("R3", Schema::AllInts({"E", "F"}))
+      .JoinOn(0, 1, 0)
+      .JoinOn(1, 1, 0)
+      .Build();
+}
+
+TEST(PartialDeltaTest, ForRelation) {
+  ViewDef v = ChainView();
+  Relation delta(v.rel_schema(1));
+  delta.Add(IntTuple({3, 5}), 1);
+  PartialDelta pd = PartialDelta::ForRelation(v, 1, delta);
+  EXPECT_EQ(pd.lo, 1);
+  EXPECT_EQ(pd.hi, 1);
+  EXPECT_FALSE(pd.SpansAll(v));
+  EXPECT_TRUE(pd.rel.Contains(IntTuple({3, 5})));
+}
+
+TEST(PartialDeltaTest, ExtendLeftThenRightReproducesSweep) {
+  // Walks ΔR2 = +(3,5) through the paper's initial database: left to R1,
+  // then right to R3 — exactly Figure 2's iterative computation.
+  ViewDef v = ChainView();
+  Relation r1 = Relation::OfInts(v.rel_schema(0), {{1, 3}, {2, 3}});
+  Relation r3 = Relation::OfInts(v.rel_schema(2), {{5, 6}, {7, 8}});
+
+  Relation delta(v.rel_schema(1));
+  delta.Add(IntTuple({3, 5}), 1);
+  PartialDelta pd = PartialDelta::ForRelation(v, 1, delta);
+
+  pd = ExtendLeft(v, r1, pd);
+  EXPECT_EQ(pd.lo, 0);
+  EXPECT_EQ(pd.hi, 1);
+  EXPECT_EQ(pd.rel.DistinctSize(), 2u);
+  EXPECT_TRUE(pd.rel.Contains(IntTuple({1, 3, 3, 5})));
+  EXPECT_TRUE(pd.rel.Contains(IntTuple({2, 3, 3, 5})));
+
+  pd = ExtendRight(v, pd, r3);
+  EXPECT_TRUE(pd.SpansAll(v));
+  EXPECT_TRUE(pd.rel.Contains(IntTuple({1, 3, 3, 5, 5, 6})));
+  EXPECT_TRUE(pd.rel.Contains(IntTuple({2, 3, 3, 5, 5, 6})));
+  EXPECT_EQ(pd.rel.DistinctSize(), 2u);
+}
+
+TEST(PartialDeltaTest, ExtendPreservesSignedCounts) {
+  ViewDef v = ChainView();
+  Relation delta(v.rel_schema(0));
+  delta.Add(IntTuple({2, 3}), -1);
+  PartialDelta pd = PartialDelta::ForRelation(v, 0, delta);
+
+  Relation r2 = Relation::OfInts(v.rel_schema(1), {{3, 7}});
+  pd = ExtendRight(v, pd, r2);
+  EXPECT_EQ(pd.rel.CountOf(IntTuple({2, 3, 3, 7})), -1);
+}
+
+TEST(PartialDeltaTest, ExtendWithDeltaOnBothSides) {
+  // ΔR1 ⋈ ΔR2 (both negative) is positive — the compensation product.
+  ViewDef v = ChainView();
+  Relation d2(v.rel_schema(1));
+  d2.Add(IntTuple({3, 7}), -1);
+  PartialDelta pd = PartialDelta::ForRelation(v, 1, d2);
+
+  Relation d1(v.rel_schema(0));
+  d1.Add(IntTuple({2, 3}), -1);
+  pd = ExtendLeft(v, d1, pd);
+  EXPECT_EQ(pd.rel.CountOf(IntTuple({2, 3, 3, 7})), 1);
+}
+
+TEST(PartialDeltaTest, OrderOfExtensionDoesNotMatter) {
+  // (R1 ⋈ Δ) ⋈ R3 == R1 ⋈ (Δ ⋈ R3) — associativity of the chain join.
+  ViewDef v = ChainView();
+  Relation r1 = Relation::OfInts(v.rel_schema(0), {{1, 3}, {2, 4}});
+  Relation r3 = Relation::OfInts(v.rel_schema(2), {{5, 6}, {7, 8}});
+  Relation delta = Relation::OfInts(v.rel_schema(1), {{3, 5}, {4, 7}});
+
+  PartialDelta a = PartialDelta::ForRelation(v, 1, delta);
+  a = ExtendLeft(v, r1, a);
+  a = ExtendRight(v, a, r3);
+
+  PartialDelta b = PartialDelta::ForRelation(v, 1, delta);
+  b = ExtendRight(v, b, r3);
+  b = ExtendLeft(v, r1, b);
+
+  EXPECT_EQ(a.rel, b.rel);
+  EXPECT_TRUE(a.SpansAll(v) && b.SpansAll(v));
+}
+
+TEST(PartialDeltaTest, DisplayString) {
+  ViewDef v = ChainView();
+  Relation delta(v.rel_schema(1));
+  delta.Add(IntTuple({3, 5}), 1);
+  PartialDelta pd = PartialDelta::ForRelation(v, 1, delta);
+  EXPECT_EQ(pd.ToDisplayString(), "span[1,1] {(3,5)[1]}");
+}
+
+}  // namespace
+}  // namespace sweepmv

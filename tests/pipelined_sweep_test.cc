@@ -1,0 +1,144 @@
+#include "core/pipelined_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "consistency/checker.h"
+#include "test_util.h"
+
+namespace sweepmv {
+namespace {
+
+using testing_util::PaperBases;
+using testing_util::PaperView;
+using testing_util::System;
+
+WarehouseConfig Inflight(int k) {
+  WarehouseConfig config;
+  config.pipeline_max_inflight = k;
+  return config;
+}
+
+TEST(PipelinedSweepTest, SingleUpdateIdenticalToSweep) {
+  System sys(Algorithm::kPipelinedSweep, PaperView(),
+             PaperBases(PaperView()));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  EXPECT_EQ(sys.network().stats().Of(MessageClass::kQueryRequest).messages,
+            2);
+}
+
+TEST(PipelinedSweepTest, OverlapsSweepsAndInstallsInOrder) {
+  System sys(Algorithm::kPipelinedSweep, PaperView(),
+             PaperBases(PaperView()), LatencyModel::Fixed(1000),
+             Inflight(8));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(400, 2, IntTuple({7, 8}));
+  sys.ScheduleDelete(500, 0, IntTuple({2, 3}));
+  sys.Run();
+
+  const auto& installs = sys.warehouse().install_log();
+  const auto& arrivals = sys.warehouse().arrival_log();
+  ASSERT_EQ(installs.size(), arrivals.size());
+  for (size_t i = 0; i < installs.size(); ++i) {
+    ASSERT_EQ(installs[i].update_ids.size(), 1u);
+    EXPECT_EQ(installs[i].update_ids[0], arrivals[i].first);
+  }
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+
+  auto& pipe = dynamic_cast<PipelinedSweepWarehouse&>(sys.warehouse());
+  EXPECT_GT(pipe.max_observed_inflight(), 1);
+}
+
+TEST(PipelinedSweepTest, CompleteConsistencyUnderSaturation) {
+  // A stream dense enough to saturate sequential SWEEP: the pipeline must
+  // keep complete consistency while overlapping many sweeps.
+  System sys(Algorithm::kPipelinedSweep, PaperView(),
+             PaperBases(PaperView()), LatencyModel::Fixed(1500),
+             Inflight(16));
+  for (int i = 0; i < 12; ++i) {
+    sys.ScheduleInsert(i * 300, i % 3,
+                       IntTuple({100 + i, (i % 2 == 0) ? 3 : 5}));
+  }
+  sys.Run();
+  ConsistencyReport report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_EQ(report.level, ConsistencyLevel::kComplete) << report.detail;
+}
+
+TEST(PipelinedSweepTest, SameStatesAsSequentialSweep) {
+  auto states = [](Algorithm algorithm) {
+    System sys(algorithm, PaperView(), PaperBases(PaperView()),
+               LatencyModel::Fixed(1200),
+               algorithm == Algorithm::kPipelinedSweep ? Inflight(8)
+                                                       : WarehouseConfig{});
+    sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+    sys.ScheduleDelete(200, 2, IntTuple({7, 8}));
+    sys.ScheduleInsert(400, 0, IntTuple({9, 3}));
+    sys.ScheduleDelete(600, 0, IntTuple({1, 3}));
+    sys.Run();
+    std::vector<Relation> out;
+    for (const auto& install : sys.warehouse().install_log()) {
+      out.push_back(install.view_after);
+    }
+    EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+    return out;
+  };
+  EXPECT_EQ(states(Algorithm::kPipelinedSweep),
+            states(Algorithm::kSweep));
+}
+
+TEST(PipelinedSweepTest, FinishesFasterThanSequentialUnderLoad) {
+  auto finish = [](Algorithm algorithm) {
+    System sys(algorithm, PaperView(), PaperBases(PaperView()),
+               LatencyModel::Fixed(2000),
+               algorithm == Algorithm::kPipelinedSweep ? Inflight(16)
+                                                       : WarehouseConfig{});
+    for (int i = 0; i < 10; ++i) {
+      sys.ScheduleInsert(i * 100, i % 3, IntTuple({200 + i, 3}));
+    }
+    sys.Run();
+    EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+    return sys.warehouse().install_log().back().time;
+  };
+  SimTime pipelined = finish(Algorithm::kPipelinedSweep);
+  SimTime sequential = finish(Algorithm::kSweep);
+  EXPECT_LT(pipelined, sequential / 2);
+}
+
+TEST(PipelinedSweepTest, InflightOneDegeneratesToSweep) {
+  System pipe(Algorithm::kPipelinedSweep, PaperView(),
+              PaperBases(PaperView()), LatencyModel::Fixed(1000),
+              Inflight(1));
+  System seq(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000));
+  for (System* sys : {&pipe, &seq}) {
+    sys->ScheduleInsert(0, 1, IntTuple({3, 5}));
+    sys->ScheduleDelete(400, 2, IntTuple({7, 8}));
+    sys->Run();
+  }
+  EXPECT_EQ(pipe.warehouse().view(), seq.warehouse().view());
+  EXPECT_EQ(pipe.network().stats().TotalMessages(),
+            seq.network().stats().TotalMessages());
+  auto& wh = dynamic_cast<PipelinedSweepWarehouse&>(pipe.warehouse());
+  EXPECT_EQ(wh.max_observed_inflight(), 1);
+}
+
+TEST(PipelinedSweepTest, JitteredStressStaysComplete) {
+  System sys(Algorithm::kPipelinedSweep, PaperView(),
+             PaperBases(PaperView()), LatencyModel::Jittered(600, 900),
+             Inflight(8));
+  sys.ScheduleInsert(0, 0, IntTuple({20, 5}));
+  sys.ScheduleInsert(150, 1, IntTuple({5, 7}));
+  sys.ScheduleDelete(300, 2, IntTuple({7, 8}));
+  sys.ScheduleInsert(450, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(600, 0, IntTuple({1, 3}));
+  sys.ScheduleInsert(750, 2, IntTuple({7, 9}));
+  sys.Run();
+  ConsistencyReport report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_EQ(report.level, ConsistencyLevel::kComplete) << report.detail;
+}
+
+}  // namespace
+}  // namespace sweepmv

@@ -1,0 +1,100 @@
+#include "relational/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace sweepmv {
+namespace {
+
+TEST(PredicateTest, TrueLiteral) {
+  Predicate p;
+  EXPECT_TRUE(p.IsTrueLiteral());
+  EXPECT_TRUE(p.Eval(IntTuple({1, 2})));
+  EXPECT_TRUE(p.Eval(Tuple()));
+  EXPECT_TRUE(Predicate::True().IsTrueLiteral());
+}
+
+TEST(PredicateTest, AttrEqAttr) {
+  Predicate p = Predicate::AttrEqAttr(0, 1);
+  EXPECT_TRUE(p.Eval(IntTuple({3, 3})));
+  EXPECT_FALSE(p.Eval(IntTuple({3, 4})));
+}
+
+TEST(PredicateTest, AttrCmpConst) {
+  Predicate lt = Predicate::AttrCmpConst(0, CmpOp::kLt, Value(int64_t{5}));
+  EXPECT_TRUE(lt.Eval(IntTuple({4})));
+  EXPECT_FALSE(lt.Eval(IntTuple({5})));
+
+  Predicate ge = Predicate::AttrCmpConst(0, CmpOp::kGe, Value(int64_t{5}));
+  EXPECT_TRUE(ge.Eval(IntTuple({5})));
+  EXPECT_TRUE(ge.Eval(IntTuple({6})));
+  EXPECT_FALSE(ge.Eval(IntTuple({4})));
+}
+
+TEST(PredicateTest, AllComparisonOps) {
+  auto cmp = [](CmpOp op, int64_t a, int64_t b) {
+    return Predicate::Compare(Operand::Const(Value(a)), op,
+                              Operand::Const(Value(b)))
+        .Eval(Tuple());
+  };
+  EXPECT_TRUE(cmp(CmpOp::kEq, 2, 2));
+  EXPECT_FALSE(cmp(CmpOp::kEq, 2, 3));
+  EXPECT_TRUE(cmp(CmpOp::kNe, 2, 3));
+  EXPECT_TRUE(cmp(CmpOp::kLt, 2, 3));
+  EXPECT_TRUE(cmp(CmpOp::kLe, 2, 2));
+  EXPECT_FALSE(cmp(CmpOp::kLe, 3, 2));
+  EXPECT_TRUE(cmp(CmpOp::kGt, 3, 2));
+  EXPECT_TRUE(cmp(CmpOp::kGe, 2, 2));
+  EXPECT_FALSE(cmp(CmpOp::kGe, 1, 2));
+}
+
+TEST(PredicateTest, AndOrNot) {
+  Predicate a = Predicate::AttrCmpConst(0, CmpOp::kGt, Value(int64_t{0}));
+  Predicate b = Predicate::AttrCmpConst(0, CmpOp::kLt, Value(int64_t{10}));
+  Predicate band = Predicate::And(a, b);
+  EXPECT_TRUE(band.Eval(IntTuple({5})));
+  EXPECT_FALSE(band.Eval(IntTuple({-1})));
+  EXPECT_FALSE(band.Eval(IntTuple({11})));
+
+  Predicate bor = Predicate::Or(
+      Predicate::AttrCmpConst(0, CmpOp::kEq, Value(int64_t{1})),
+      Predicate::AttrCmpConst(0, CmpOp::kEq, Value(int64_t{2})));
+  EXPECT_TRUE(bor.Eval(IntTuple({1})));
+  EXPECT_TRUE(bor.Eval(IntTuple({2})));
+  EXPECT_FALSE(bor.Eval(IntTuple({3})));
+
+  Predicate bnot = Predicate::Not(a);
+  EXPECT_FALSE(bnot.Eval(IntTuple({5})));
+  EXPECT_TRUE(bnot.Eval(IntTuple({-5})));
+}
+
+TEST(PredicateTest, AndWithTrueSimplifies) {
+  Predicate a = Predicate::AttrEqAttr(0, 1);
+  EXPECT_FALSE(Predicate::And(Predicate::True(), a).IsTrueLiteral());
+  // The simplification keeps the non-trivial side.
+  Predicate simplified = Predicate::And(Predicate::True(), a);
+  EXPECT_TRUE(simplified.Eval(IntTuple({2, 2})));
+  EXPECT_FALSE(simplified.Eval(IntTuple({2, 3})));
+}
+
+TEST(PredicateTest, StringComparison) {
+  Predicate p = Predicate::AttrCmpConst(0, CmpOp::kEq, Value("west"));
+  EXPECT_TRUE(p.Eval(Tuple{Value("west")}));
+  EXPECT_FALSE(p.Eval(Tuple{Value("east")}));
+}
+
+TEST(PredicateTest, CopySharesStructure) {
+  Predicate a = Predicate::AttrEqAttr(0, 1);
+  Predicate b = a;  // value semantics, shared subtree
+  EXPECT_TRUE(b.Eval(IntTuple({4, 4})));
+  EXPECT_FALSE(b.Eval(IntTuple({4, 5})));
+}
+
+TEST(PredicateTest, DisplayString) {
+  Predicate p = Predicate::And(
+      Predicate::AttrEqAttr(0, 1),
+      Predicate::AttrCmpConst(2, CmpOp::kGt, Value(int64_t{5})));
+  EXPECT_EQ(p.ToDisplayString(), "($0 = $1 AND $2 > 5)");
+}
+
+}  // namespace
+}  // namespace sweepmv

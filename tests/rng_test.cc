@@ -1,0 +1,115 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace sweepmv {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.Uniform(5, 5), 5);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(19);
+  int hits = 0;
+  const int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.03);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) sum += rng.Exponential(100.0);
+  EXPECT_NEAR(sum / kTrials, 100.0, 5.0);
+  // Exponential values are non-negative.
+  EXPECT_GE(rng.Exponential(1.0), 0.0);
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(29);
+  int64_t low_half = 0;
+  const int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    int64_t v = rng.Zipf(100, 0.8);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 100);
+    if (v < 50) ++low_half;
+  }
+  // Skew towards low ranks: much more than half the mass below the median.
+  EXPECT_GT(low_half, kTrials * 6 / 10);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // The child stream differs from the parent's continued stream.
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace sweepmv

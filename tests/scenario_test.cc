@@ -1,0 +1,134 @@
+#include "harness/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace sweepmv {
+namespace {
+
+ScenarioConfig SmallConfig(Algorithm algorithm) {
+  ScenarioConfig config;
+  config.algorithm = algorithm;
+  config.chain.num_relations = 3;
+  config.chain.initial_tuples = 12;
+  config.chain.join_domain = 5;
+  config.workload.total_txns = 20;
+  config.workload.mean_interarrival = 3000;
+  config.latency = LatencyModel::Fixed(800);
+  return config;
+}
+
+TEST(ScenarioTest, SweepRunEndsConsistent) {
+  RunResult result = RunScenario(SmallConfig(Algorithm::kSweep));
+  EXPECT_EQ(result.algorithm_name, "SWEEP");
+  EXPECT_EQ(result.updates_delivered, 20);
+  EXPECT_EQ(result.installs, 20);
+  EXPECT_EQ(result.final_view, result.expected_view);
+  EXPECT_EQ(result.consistency.level, ConsistencyLevel::kComplete)
+      << result.consistency.detail;
+  // 2(n-1) = 4 maintenance messages per update.
+  EXPECT_DOUBLE_EQ(result.maintenance_msgs_per_update, 4.0);
+}
+
+TEST(ScenarioTest, EveryAlgorithmMeetsItsPromise) {
+  for (Algorithm a : AllAlgorithms()) {
+    RunResult result = RunScenario(SmallConfig(a));
+    EXPECT_EQ(result.final_view, result.expected_view)
+        << AlgorithmName(a) << ": " << result.consistency.detail;
+    EXPECT_GE(static_cast<int>(result.consistency.level),
+              static_cast<int>(PromisedConsistency(a)))
+        << AlgorithmName(a) << ": " << result.consistency.detail;
+  }
+}
+
+TEST(ScenarioTest, DeterministicAcrossRuns) {
+  RunResult a = RunScenario(SmallConfig(Algorithm::kNestedSweep));
+  RunResult b = RunScenario(SmallConfig(Algorithm::kNestedSweep));
+  EXPECT_EQ(a.final_view, b.final_view);
+  EXPECT_EQ(a.net.TotalMessages(), b.net.TotalMessages());
+  EXPECT_EQ(a.installs, b.installs);
+  EXPECT_EQ(a.finish_time, b.finish_time);
+}
+
+TEST(ScenarioTest, StalenessPositiveUnderLatency) {
+  RunResult result = RunScenario(SmallConfig(Algorithm::kSweep));
+  EXPECT_GT(result.staleness_integral, 0.0);
+  EXPECT_GT(result.mean_incorporation_delay, 0.0);
+  EXPECT_GT(result.finish_time, 0);
+}
+
+TEST(ScenarioTest, StrobeNeverInstallsDuringContinuousStream) {
+  // A dense stream relative to latency: Strobe cannot install until the
+  // stream ends (Table 1: "Requires Quiescence"), while SWEEP installs
+  // view states continuously throughout the stream.
+  auto config_for = [](Algorithm a) {
+    ScenarioConfig config = SmallConfig(a);
+    config.workload.total_txns = 30;
+    config.workload.mean_interarrival = 400;  // << query round trips
+    config.workload.insert_fraction = 1.0;    // every update needs a query
+    config.latency = LatencyModel::Fixed(800);
+    return config;
+  };
+  RunResult strobe = RunScenario(config_for(Algorithm::kStrobe));
+  RunResult sweep = RunScenario(config_for(Algorithm::kSweep));
+
+  EXPECT_LT(strobe.installs, sweep.installs);
+  EXPECT_EQ(sweep.installs, 30);
+  // Strobe's first view refresh happens only after the last update has
+  // already arrived; SWEEP refreshes long before the stream ends.
+  ASSERT_GE(strobe.installs, 1);
+  EXPECT_GE(strobe.first_install_time, strobe.last_arrival_time);
+  EXPECT_LT(sweep.first_install_time, sweep.last_arrival_time);
+}
+
+TEST(ScenarioTest, CheckConsistencyCanBeSkipped) {
+  ScenarioConfig config = SmallConfig(Algorithm::kSweep);
+  config.check_consistency = false;
+  RunResult result = RunScenario(config);
+  EXPECT_TRUE(result.consistency.final_state_correct);
+}
+
+TEST(ScenarioTest, EcaUsesSingleSiteTopology) {
+  RunResult result = RunScenario(SmallConfig(Algorithm::kEca));
+  EXPECT_EQ(result.algorithm_name, "ECA");
+  EXPECT_EQ(result.final_view, result.expected_view);
+  // One query + one answer per update.
+  EXPECT_DOUBLE_EQ(result.maintenance_msgs_per_update, 2.0);
+}
+
+TEST(ScenarioTest, ExplicitScenarioRuns) {
+  ChainSpec chain;
+  chain.num_relations = 2;
+  chain.initial_tuples = 4;
+  ViewDef view = MakeChainView(chain);
+  std::vector<Relation> bases = MakeInitialBases(view, chain);
+
+  std::vector<ScheduledTxn> txns;
+  ScheduledTxn txn;
+  txn.at = 10;
+  txn.relation = 0;
+  txn.ops = {UpdateOp::Insert(IntTuple({100, 1, 2}))};
+  txns.push_back(txn);
+
+  ScenarioConfig config;
+  config.algorithm = Algorithm::kSweep;
+  RunResult result = RunExplicitScenario(config, view, bases, txns);
+  EXPECT_EQ(result.updates_delivered, 1);
+  EXPECT_EQ(result.final_view, result.expected_view);
+}
+
+TEST(ScenarioTest, HighConcurrencyAllDistributedAlgorithmsConverge) {
+  for (Algorithm a :
+       {Algorithm::kSweep, Algorithm::kNestedSweep, Algorithm::kStrobe,
+        Algorithm::kCStrobe, Algorithm::kRecompute}) {
+    ScenarioConfig config = SmallConfig(a);
+    config.workload.total_txns = 25;
+    config.workload.mean_interarrival = 500;
+    config.latency = LatencyModel::Jittered(700, 500);
+    RunResult result = RunScenario(config);
+    EXPECT_EQ(result.final_view, result.expected_view)
+        << AlgorithmName(a) << ": " << result.consistency.detail;
+  }
+}
+
+}  // namespace
+}  // namespace sweepmv

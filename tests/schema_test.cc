@@ -1,0 +1,51 @@
+#include "relational/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace sweepmv {
+namespace {
+
+TEST(SchemaTest, AllInts) {
+  Schema s = Schema::AllInts({"A", "B"});
+  ASSERT_EQ(s.arity(), 2u);
+  EXPECT_EQ(s.attr(0).name, "A");
+  EXPECT_EQ(s.attr(0).type, ValueType::kInt);
+  EXPECT_EQ(s.attr(1).name, "B");
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s = Schema::AllInts({"A", "B", "C"});
+  EXPECT_EQ(s.IndexOf("B"), 1);
+  EXPECT_EQ(s.IndexOf("Z"), -1);
+}
+
+TEST(SchemaTest, Concat) {
+  Schema a = Schema::AllInts({"A"});
+  Schema b = Schema::AllInts({"B", "C"});
+  Schema c = a.Concat(b);
+  ASSERT_EQ(c.arity(), 3u);
+  EXPECT_EQ(c.attr(0).name, "A");
+  EXPECT_EQ(c.attr(2).name, "C");
+}
+
+TEST(SchemaTest, MatchesChecksArityAndTypes) {
+  Schema s(std::vector<Attribute>{{"K", ValueType::kInt},
+                                  {"N", ValueType::kString}});
+  EXPECT_TRUE(s.Matches(Tuple{Value(int64_t{1}), Value("x")}));
+  EXPECT_FALSE(s.Matches(Tuple{Value("x"), Value(int64_t{1})}));
+  EXPECT_FALSE(s.Matches(IntTuple({1})));
+  EXPECT_FALSE(s.Matches(IntTuple({1, 2})));
+}
+
+TEST(SchemaTest, EqualityIncludesNamesAndTypes) {
+  EXPECT_EQ(Schema::AllInts({"A"}), Schema::AllInts({"A"}));
+  EXPECT_FALSE(Schema::AllInts({"A"}) == Schema::AllInts({"B"}));
+}
+
+TEST(SchemaTest, DisplayString) {
+  EXPECT_EQ(Schema::AllInts({"A", "B"}).ToDisplayString(),
+            "[A:int, B:int]");
+}
+
+}  // namespace
+}  // namespace sweepmv

@@ -1,0 +1,101 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sweepmv {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(100, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<SimTime> fire_times;
+  sim.Schedule(10, [&] {
+    fire_times.push_back(sim.now());
+    sim.Schedule(5, [&] { fire_times.push_back(sim.now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.Schedule(1, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, RunReturnsEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.Schedule(i, [] {});
+  EXPECT_EQ(sim.Run(), 7);
+}
+
+TEST(SimulatorTest, RunHonorsMaxEvents) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.Schedule(i, [] {});
+  EXPECT_EQ(sim.Run(4), 4);
+  EXPECT_EQ(sim.pending_events(), 6u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.Schedule(10, [&] { fired.push_back(10); });
+  sim.Schedule(20, [&] { fired.push_back(20); });
+  sim.Schedule(30, [&] { fired.push_back(30); });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(sim.now(), 20);
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.ScheduleAt(123, [&] { seen = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 123);
+}
+
+TEST(SimulatorTest, ZeroDelayFiresAtCurrentTime) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.Schedule(5, [&] {
+    sim.Schedule(0, [&] { times.push_back(sim.now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{5}));
+}
+
+}  // namespace
+}  // namespace sweepmv

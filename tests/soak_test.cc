@@ -1,0 +1,67 @@
+// Randomized soak: many seeds × randomized configurations per algorithm,
+// every run checked against its Table 1 promise by full replay. This is
+// the widest net in the suite; configurations are kept small enough that
+// the whole sweep stays fast.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "harness/scenario.h"
+
+namespace sweepmv {
+namespace {
+
+class Soak : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Soak, RandomConfigurationsMeetPromises) {
+  uint64_t seed = GetParam();
+  Rng rng(seed * 7919 + 13);
+
+  for (Algorithm a : AllAlgorithmVariants()) {
+    ScenarioConfig config;
+    config.algorithm = a;
+    config.chain.num_relations = static_cast<int>(rng.Uniform(2, 5));
+    config.chain.initial_tuples = static_cast<int>(rng.Uniform(4, 16));
+    config.chain.join_domain = rng.Uniform(2, 6);
+    config.chain.seed = rng.Next();
+    config.chain.narrow_projection = rng.Bernoulli(0.3) &&
+                                     a != Algorithm::kStrobe &&
+                                     a != Algorithm::kCStrobe;
+    config.workload.total_txns = static_cast<int>(rng.Uniform(5, 30));
+    config.workload.insert_fraction = 0.4 + rng.NextDouble() * 0.6;
+    config.workload.max_ops_per_txn =
+        static_cast<int>(rng.Uniform(1, 3));
+    config.workload.mean_interarrival = 400.0 + rng.NextDouble() * 5000;
+    config.workload.relation_skew = rng.Bernoulli(0.5) ? 0.7 : 0.0;
+    config.workload.seed = rng.Next();
+    config.latency = LatencyModel::Jittered(
+        rng.Uniform(100, 2000), rng.Uniform(0, 1500));
+    config.network_seed = rng.Next();
+    config.relations_per_site =
+        rng.Bernoulli(0.3) ? static_cast<int>(rng.Uniform(2, 3)) : 1;
+    config.warehouse.nested_max_recursion_depth =
+        static_cast<int>(rng.Uniform(1, 32));
+    config.warehouse.pipeline_max_inflight =
+        static_cast<int>(rng.Uniform(1, 16));
+
+    RunResult r = RunScenario(config);
+    ASSERT_EQ(r.final_view, r.expected_view)
+        << AlgorithmName(a) << " seed=" << seed
+        << " n=" << config.chain.num_relations << " : "
+        << r.consistency.detail;
+    ASSERT_GE(static_cast<int>(r.consistency.level),
+              static_cast<int>(PromisedConsistency(a)))
+        << AlgorithmName(a) << " seed=" << seed
+        << " n=" << config.chain.num_relations << " : "
+        << r.consistency.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Soak,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}),
+                         [](const ::testing::TestParamInfo<uint64_t>& i) {
+                           return "s" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace sweepmv

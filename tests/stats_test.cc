@@ -1,0 +1,69 @@
+#include "harness/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sweepmv {
+namespace {
+
+using testing_util::PaperBases;
+using testing_util::PaperView;
+using testing_util::System;
+
+TEST(StatsTest, NoUpdatesMeansZeroStaleness) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()));
+  sys.Run();
+  EXPECT_EQ(StalenessIntegral(sys.warehouse()), 0.0);
+  EXPECT_EQ(MeanIncorporationDelay(sys.warehouse()), 0.0);
+  EXPECT_EQ(LastInstallTime(sys.warehouse()), 0);
+}
+
+TEST(StatsTest, SingleUpdateDeterministicValues) {
+  // Fixed latency 1000, 3 relations: arrival t=1000, install t=5000
+  // (two query round trips after arrival). Staleness = 1 update * 4000.
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.Run();
+
+  EXPECT_EQ(LastInstallTime(sys.warehouse()), 5000);
+  EXPECT_DOUBLE_EQ(StalenessIntegral(sys.warehouse()), 4000.0);
+  EXPECT_DOUBLE_EQ(MeanIncorporationDelay(sys.warehouse()), 4000.0);
+}
+
+TEST(StatsTest, OverlappingOutstandingUpdatesIntegrate) {
+  // Two updates, the second arriving while the first is being processed:
+  // the integral counts both while both are outstanding.
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));     // arrives 1000
+  sys.ScheduleInsert(500, 0, IntTuple({9, 3}));   // arrives 1500
+  sys.Run();
+
+  // u0: outstanding [1000, 5000); u1: outstanding [1500, 9000).
+  // Integral = 4000 + 7500 = 11500.
+  EXPECT_DOUBLE_EQ(StalenessIntegral(sys.warehouse()), 11500.0);
+  EXPECT_DOUBLE_EQ(MeanIncorporationDelay(sys.warehouse()),
+                   (4000.0 + 7500.0) / 2.0);
+}
+
+TEST(StatsTest, BatchInstallCreditsWholeBatchAtInstallTime) {
+  System sys(Algorithm::kStrobe, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleInsert(100, 0, IntTuple({9, 3}));
+  sys.Run();
+
+  ASSERT_EQ(sys.warehouse().install_log().size(), 1u);
+  SimTime install = sys.warehouse().install_log()[0].time;
+  const auto& arrivals = sys.warehouse().arrival_log();
+  double expected = 0;
+  for (const auto& [id, at] : arrivals) {
+    expected += static_cast<double>(install - at);
+  }
+  EXPECT_DOUBLE_EQ(StalenessIntegral(sys.warehouse()), expected);
+}
+
+}  // namespace
+}  // namespace sweepmv

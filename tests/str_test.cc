@@ -1,0 +1,32 @@
+#include "common/str.h"
+
+#include <gtest/gtest.h>
+
+namespace sweepmv {
+namespace {
+
+TEST(StrTest, JoinBasic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StrTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(StrFormat("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrTest, StrFormatLongOutput) {
+  std::string big(500, 'x');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 500u);
+}
+
+TEST(StrTest, ToStringStreamsValues) {
+  EXPECT_EQ(ToString(42), "42");
+  EXPECT_EQ(ToString(std::string("s")), "s");
+}
+
+}  // namespace
+}  // namespace sweepmv

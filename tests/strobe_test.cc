@@ -1,0 +1,119 @@
+#include "core/strobe.h"
+
+#include <gtest/gtest.h>
+
+#include "consistency/checker.h"
+#include "test_util.h"
+
+namespace sweepmv {
+namespace {
+
+using testing_util::PaperBases;
+using testing_util::PaperView;
+using testing_util::System;
+
+TEST(StrobeTest, SingleInsert) {
+  System sys(Algorithm::kStrobe, PaperView(), PaperBases(PaperView()));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  EXPECT_EQ(sys.warehouse().view().CountOf(IntTuple({5, 6})), 2);
+  EXPECT_EQ(sys.warehouse().install_log().size(), 1u);
+}
+
+TEST(StrobeTest, DeleteHandledLocallyWithZeroQueries) {
+  System sys(Algorithm::kStrobe, PaperView(), PaperBases(PaperView()));
+  sys.ScheduleDelete(0, 2, IntTuple({7, 8}));
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  EXPECT_TRUE(sys.warehouse().view().Empty());
+  EXPECT_EQ(sys.network().stats().Of(MessageClass::kQueryRequest).messages,
+            0);
+}
+
+TEST(StrobeTest, BatchesConcurrentUpdatesUntilQuiescence) {
+  // Three mutually concurrent updates: Strobe waits for quiescence and
+  // installs once — strong but not complete consistency.
+  System sys(Algorithm::kStrobe, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(2000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleInsert(100, 0, IntTuple({9, 3}));
+  sys.ScheduleInsert(200, 2, IntTuple({5, 9}));
+  sys.Run();
+
+  EXPECT_EQ(sys.warehouse().install_log().size(), 1u);
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+
+  ConsistencyReport report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_EQ(report.level, ConsistencyLevel::kStrong) << report.detail;
+
+  auto& strobe = dynamic_cast<StrobeWarehouse&>(sys.warehouse());
+  EXPECT_EQ(strobe.batch_installs(), 1);
+}
+
+TEST(StrobeTest, ConcurrentInsertDuplicatesSuppressed) {
+  // ΔR1 and ΔR2 concurrent inserts produce the ΔR1 ⋈ ΔR2 term in both
+  // answers; the key assumption (duplicate suppression) must remove it.
+  System sys(Algorithm::kStrobe, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(2000));
+  sys.ScheduleInsert(0, 0, IntTuple({9, 3}));
+  sys.ScheduleInsert(100, 1, IntTuple({3, 5}));
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+}
+
+TEST(StrobeTest, DeleteRacingInsertQueryMarked) {
+  // An insert query is in flight when a delete lands: the delete marker
+  // must scrub the query's answer before it reaches the action list.
+  System sys(Algorithm::kStrobe, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(2000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));       // joins (5,6) via R3
+  sys.ScheduleDelete(100, 2, IntTuple({5, 6}));     // races the query
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  EXPECT_EQ(sys.warehouse().view().CountOf(IntTuple({5, 6})), 0);
+}
+
+TEST(StrobeTest, ViewTrailsUntilQuiescence) {
+  // While updates keep coming, nothing installs (the paper's criticism).
+  System sys(Algorithm::kStrobe, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(2000));
+  for (int i = 0; i < 6; ++i) {
+    sys.ScheduleInsert(i * 1000, i % 3, IntTuple({50 + i, 3}));
+  }
+  // Run only through the middle of the stream: no install can have
+  // happened because some query is always outstanding.
+  sys.sim().RunUntil(5500);
+  EXPECT_EQ(sys.warehouse().install_log().size(), 0u);
+  sys.Run();
+  EXPECT_GE(sys.warehouse().install_log().size(), 1u);
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+}
+
+TEST(StrobeTest, MixedTransactionSplitsCorrectly) {
+  System sys(Algorithm::kStrobe, PaperView(), PaperBases(PaperView()));
+  sys.ScheduleTxn(0, 1,
+                  {UpdateOp::Delete(IntTuple({3, 7})),
+                   UpdateOp::Insert(IntTuple({3, 5}))});
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+}
+
+TEST(StrobeTest, StrongConsistencyUnderJitter) {
+  System sys(Algorithm::kStrobe, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Jittered(500, 900));
+  sys.ScheduleInsert(0, 0, IntTuple({20, 5}));
+  sys.ScheduleInsert(300, 1, IntTuple({5, 7}));
+  sys.ScheduleDelete(600, 2, IntTuple({7, 8}));
+  sys.ScheduleInsert(4000, 1, IntTuple({3, 5}));
+  sys.Run();
+  ConsistencyReport report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_GE(static_cast<int>(report.level),
+            static_cast<int>(ConsistencyLevel::kStrong))
+      << report.detail;
+}
+
+}  // namespace
+}  // namespace sweepmv

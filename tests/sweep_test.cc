@@ -1,0 +1,243 @@
+#include "core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "consistency/checker.h"
+#include "test_util.h"
+
+namespace sweepmv {
+namespace {
+
+using testing_util::PaperBases;
+using testing_util::PaperView;
+using testing_util::System;
+
+TEST(SweepTest, InitialViewMatchesPaper) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()));
+  EXPECT_EQ(sys.warehouse().view().CountOf(IntTuple({7, 8})), 2);
+  EXPECT_EQ(sys.warehouse().view().DistinctSize(), 1u);
+}
+
+TEST(SweepTest, SingleInsertNoConcurrency) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));  // ΔR2 = +(3,5)
+  sys.Run();
+
+  const Relation& view = sys.warehouse().view();
+  EXPECT_EQ(view.CountOf(IntTuple({5, 6})), 2);
+  EXPECT_EQ(view.CountOf(IntTuple({7, 8})), 2);
+  EXPECT_EQ(view, sys.ExpectedView());
+  EXPECT_EQ(sys.warehouse().install_log().size(), 1u);
+
+  // n-1 = 2 incremental queries, each with one answer.
+  const NetworkStats& stats = sys.network().stats();
+  EXPECT_EQ(stats.Of(MessageClass::kQueryRequest).messages, 2);
+  EXPECT_EQ(stats.Of(MessageClass::kQueryAnswer).messages, 2);
+}
+
+TEST(SweepTest, SingleDeleteNoConcurrency) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()));
+  sys.ScheduleDelete(0, 2, IntTuple({7, 8}));
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  EXPECT_TRUE(sys.warehouse().view().Empty());
+}
+
+TEST(SweepTest, PaperSection52ConcurrentWalkthrough) {
+  // The three updates of Figure 5 made concurrent exactly as in the
+  // Section 5.2 narrative: ΔR2 arrives first; while its left-sweep query
+  // to R1 is in flight, ΔR3 and then ΔR1 arrive and must be compensated
+  // locally. The view must nevertheless step through every Figure 5
+  // state, in order.
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));    // ΔR2, arrives t=1000
+  sys.ScheduleDelete(400, 2, IntTuple({7, 8}));  // ΔR3, arrives t=1400
+  sys.ScheduleDelete(500, 0, IntTuple({2, 3}));  // ΔR1, arrives t=1500
+  sys.Run();
+
+  const auto& installs = sys.warehouse().install_log();
+  ASSERT_EQ(installs.size(), 3u);
+
+  // State after ΔR2: {(5,6)[2], (7,8)[2]}.
+  EXPECT_EQ(installs[0].view_after.CountOf(IntTuple({5, 6})), 2);
+  EXPECT_EQ(installs[0].view_after.CountOf(IntTuple({7, 8})), 2);
+  EXPECT_EQ(installs[0].view_after.DistinctSize(), 2u);
+
+  // State after ΔR3: {(5,6)[2]}.
+  EXPECT_EQ(installs[1].view_after.CountOf(IntTuple({5, 6})), 2);
+  EXPECT_EQ(installs[1].view_after.DistinctSize(), 1u);
+
+  // State after ΔR1: {(5,6)[1]}.
+  EXPECT_EQ(installs[2].view_after.CountOf(IntTuple({5, 6})), 1);
+  EXPECT_EQ(installs[2].view_after.DistinctSize(), 1u);
+
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+
+  // The walkthrough requires actual compensations (ΔR1 interfered with
+  // ΔR2's sweep, ΔR1 interfered with ΔR3's sweep).
+  auto& sweep = dynamic_cast<SweepWarehouse&>(sys.warehouse());
+  EXPECT_GE(sweep.compensations(), 2);
+}
+
+TEST(SweepTest, AchievesCompleteConsistencyUnderConcurrency) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(400, 2, IntTuple({7, 8}));
+  sys.ScheduleDelete(500, 0, IntTuple({2, 3}));
+  sys.ScheduleInsert(600, 0, IntTuple({9, 3}));
+  sys.ScheduleInsert(700, 1, IntTuple({3, 7}));
+  sys.Run();
+
+  ConsistencyReport report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_EQ(report.level, ConsistencyLevel::kComplete) << report.detail;
+}
+
+TEST(SweepTest, ProcessesUpdatesInArrivalOrder) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000));
+  sys.ScheduleInsert(0, 0, IntTuple({5, 3}));
+  sys.ScheduleInsert(1, 2, IntTuple({5, 9}));
+  sys.ScheduleInsert(2, 1, IntTuple({3, 5}));
+  sys.Run();
+
+  const auto& installs = sys.warehouse().install_log();
+  const auto& arrivals = sys.warehouse().arrival_log();
+  ASSERT_EQ(installs.size(), arrivals.size());
+  for (size_t i = 0; i < installs.size(); ++i) {
+    ASSERT_EQ(installs[i].update_ids.size(), 1u);
+    EXPECT_EQ(installs[i].update_ids[0], arrivals[i].first);
+  }
+}
+
+TEST(SweepTest, LinearMessageComplexityPerUpdate) {
+  // 2(n-1) maintenance messages per update (n-1 queries + n-1 answers),
+  // independent of concurrency.
+  for (int n = 2; n <= 6; ++n) {
+    ViewDef::Builder builder;
+    for (int r = 0; r < n; ++r) {
+      builder.AddRelation("R" + std::to_string(r),
+                          Schema::AllInts({"A", "B"}));
+    }
+    for (int r = 0; r + 1 < n; ++r) builder.JoinOn(r, 1, 0);
+    ViewDef view = builder.Build();
+
+    std::vector<Relation> bases;
+    for (int r = 0; r < n; ++r) {
+      bases.push_back(Relation::OfInts(view.rel_schema(r), {{1, 1}}));
+    }
+    System sys(Algorithm::kSweep, view, bases, LatencyModel::Fixed(100));
+    const int kUpdates = 4;
+    for (int i = 0; i < kUpdates; ++i) {
+      sys.ScheduleInsert(i * 10, i % n, IntTuple({100 + i, 1}));
+    }
+    sys.Run();
+
+    const NetworkStats& stats = sys.network().stats();
+    EXPECT_EQ(stats.Of(MessageClass::kQueryRequest).messages,
+              kUpdates * (n - 1))
+        << "n=" << n;
+    EXPECT_EQ(stats.Of(MessageClass::kQueryAnswer).messages,
+              kUpdates * (n - 1))
+        << "n=" << n;
+  }
+}
+
+TEST(SweepTest, ViewNeverHoldsNegativeCounts) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Jittered(500, 800));
+  sys.ScheduleDelete(0, 2, IntTuple({7, 8}));
+  sys.ScheduleDelete(10, 0, IntTuple({1, 3}));
+  sys.ScheduleInsert(20, 1, IntTuple({3, 5}));
+  sys.ScheduleDelete(30, 0, IntTuple({2, 3}));
+  sys.Run();
+  for (const InstallRecord& install : sys.warehouse().install_log()) {
+    EXPECT_FALSE(install.negative_counts);
+  }
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+}
+
+TEST(SweepTest, UpdateAtLeftmostRelation) {
+  // Left sweep is empty; only the right sweep runs.
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()));
+  sys.ScheduleInsert(0, 0, IntTuple({9, 3}));
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  EXPECT_EQ(sys.warehouse().view().CountOf(IntTuple({7, 8})), 3);
+}
+
+TEST(SweepTest, UpdateAtRightmostRelation) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()));
+  sys.ScheduleInsert(0, 2, IntTuple({7, 9}));
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  EXPECT_EQ(sys.warehouse().view().CountOf(IntTuple({7, 9})), 2);
+}
+
+TEST(SweepTest, SourceLocalTransactionAsSingleUnit) {
+  // A modify (delete+insert in one transaction) produces exactly one
+  // install.
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()));
+  sys.ScheduleTxn(0, 1,
+                  {UpdateOp::Delete(IntTuple({3, 7})),
+                   UpdateOp::Insert(IntTuple({3, 5}))});
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().install_log().size(), 1u);
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  EXPECT_EQ(sys.warehouse().view().CountOf(IntTuple({5, 6})), 2);
+  EXPECT_EQ(sys.warehouse().view().CountOf(IntTuple({7, 8})), 0);
+}
+
+TEST(SweepTest, ManyInterferingUpdatesFromSameSourceMerged) {
+  // Several updates of the same relation interfering with one sweep are
+  // compensated as one merged ΔRj (Figure 4's note).
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(2000));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  // All three R1 updates land while ΔR2's sweep is in flight.
+  sys.ScheduleInsert(100, 0, IntTuple({10, 3}));
+  sys.ScheduleInsert(200, 0, IntTuple({11, 3}));
+  sys.ScheduleDelete(300, 0, IntTuple({1, 3}));
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  ConsistencyReport report =
+      CheckConsistency(sys.view_def(), sys.SourceLogs(), sys.warehouse());
+  EXPECT_EQ(report.level, ConsistencyLevel::kComplete) << report.detail;
+}
+
+TEST(SweepTest, TwoRelationView) {
+  ViewDef view = ViewDef::Builder()
+                     .AddRelation("R1", Schema::AllInts({"A", "B"}))
+                     .AddRelation("R2", Schema::AllInts({"C", "D"}))
+                     .JoinOn(0, 1, 0)
+                     .Build();
+  std::vector<Relation> bases = {
+      Relation::OfInts(view.rel_schema(0), {{1, 3}}),
+      Relation::OfInts(view.rel_schema(1), {{3, 7}})};
+  System sys(Algorithm::kSweep, view, bases, LatencyModel::Fixed(500));
+  sys.ScheduleInsert(0, 0, IntTuple({2, 3}));
+  sys.ScheduleDelete(100, 1, IntTuple({3, 7}));
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  EXPECT_TRUE(sys.warehouse().view().Empty());
+}
+
+TEST(SweepTest, SingleRelationViewInstallsWithoutQueries) {
+  ViewDef view = ViewDef::Builder()
+                     .AddRelation("R", Schema::AllInts({"A", "B"}))
+                     .Project({1})
+                     .Build();
+  std::vector<Relation> bases = {
+      Relation::OfInts(view.rel_schema(0), {{1, 7}})};
+  System sys(Algorithm::kSweep, view, bases);
+  sys.ScheduleInsert(0, 0, IntTuple({2, 7}));
+  sys.Run();
+  EXPECT_EQ(sys.warehouse().view().CountOf(IntTuple({7})), 2);
+  EXPECT_EQ(sys.network().stats().Of(MessageClass::kQueryRequest).messages,
+            0);
+}
+
+}  // namespace
+}  // namespace sweepmv

@@ -1,0 +1,41 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace sweepmv {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  TablePrinter table({"Algorithm", "Msgs"});
+  table.AddRow({"SWEEP", "4"});
+  table.AddRow({"C-Strobe", "120"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("| Algorithm | Msgs |"), std::string::npos);
+  EXPECT_NE(out.find("| SWEEP     | 4    |"), std::string::npos);
+  EXPECT_NE(out.find("| C-Strobe  | 120  |"), std::string::npos);
+}
+
+TEST(TableTest, SeparatorProducesRule) {
+  TablePrinter table({"A"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  std::string out = table.Render();
+  // Header rule + top + separator + bottom = 4 rules.
+  size_t rules = 0;
+  for (size_t pos = out.find("+---"); pos != std::string::npos;
+       pos = out.find("+---", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TableTest, WideCellStretchesColumn) {
+  TablePrinter table({"X"});
+  table.AddRow({"a-very-wide-cell"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("| a-very-wide-cell |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sweepmv

@@ -1,0 +1,139 @@
+// Shared helpers for algorithm-level tests: the paper's Section 5.2
+// three-source system and a small wiring harness with explicit control
+// over latencies and update timing.
+
+#ifndef SWEEPMV_TESTS_TEST_UTIL_H_
+#define SWEEPMV_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/factory.h"
+#include "relational/view_def.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "source/data_source.h"
+#include "source/eca_source.h"
+
+namespace sweepmv {
+namespace testing_util {
+
+// V = Π[D,F] (R1[A,B] ⋈(B=C) R2[C,D] ⋈(D=E) R3[E,F]) — the paper's view.
+inline ViewDef PaperView() {
+  return ViewDef::Builder()
+      .AddRelation("R1", Schema::AllInts({"A", "B"}))
+      .AddRelation("R2", Schema::AllInts({"C", "D"}))
+      .AddRelation("R3", Schema::AllInts({"E", "F"}))
+      .JoinOn(0, 1, 0)
+      .JoinOn(1, 1, 0)
+      .Project({3, 5})
+      .Build();
+}
+
+// Figure 5's initial configuration.
+inline std::vector<Relation> PaperBases(const ViewDef& view) {
+  return {
+      Relation::OfInts(view.rel_schema(0), {{1, 3}, {2, 3}}),
+      Relation::OfInts(view.rel_schema(1), {{3, 7}}),
+      Relation::OfInts(view.rel_schema(2), {{5, 6}, {7, 8}}),
+  };
+}
+
+// A fully wired distributed system under test. Sources sit at site ids
+// 1..n, the warehouse at 0.
+class System {
+ public:
+  System(Algorithm algorithm, ViewDef view, std::vector<Relation> bases,
+         LatencyModel latency = LatencyModel::Fixed(1000),
+         WarehouseConfig config = WarehouseConfig{})
+      : view_(std::move(view)),
+        bases_(std::move(bases)),
+        network_(&sim_, latency, /*seed=*/1) {
+    const int n = view_.num_relations();
+    std::vector<int> source_sites;
+    if (RequiresSingleSource(algorithm)) {
+      source_sites.assign(static_cast<size_t>(n), 1);
+      eca_source_ = std::make_unique<EcaSource>(1, bases_, &view_,
+                                                &network_, 0, &ids_);
+      network_.RegisterSite(1, eca_source_.get());
+    } else {
+      for (int r = 0; r < n; ++r) {
+        source_sites.push_back(r + 1);
+        sources_.push_back(std::make_unique<DataSource>(
+            r + 1, r, bases_[static_cast<size_t>(r)], &view_, &network_, 0,
+            &ids_));
+        network_.RegisterSite(r + 1, sources_.back().get());
+      }
+    }
+    warehouse_ = MakeWarehouse(algorithm, 0, view_, &network_,
+                               source_sites, config);
+    network_.RegisterSite(0, warehouse_.get());
+
+    std::vector<const Relation*> rels;
+    for (const Relation& r : bases_) rels.push_back(&r);
+    warehouse_->InitializeView(view_.EvaluateFull(rels));
+    warehouse_->InitializeAuxiliary(bases_);
+  }
+
+  // Schedules a single-op transaction at virtual time `at`.
+  void ScheduleInsert(SimTime at, int rel, Tuple t) {
+    ScheduleTxn(at, rel, {UpdateOp::Insert(std::move(t))});
+  }
+  void ScheduleDelete(SimTime at, int rel, Tuple t) {
+    ScheduleTxn(at, rel, {UpdateOp::Delete(std::move(t))});
+  }
+  void ScheduleTxn(SimTime at, int rel, std::vector<UpdateOp> ops) {
+    sim_.ScheduleAt(at, [this, rel, ops]() {
+      if (eca_source_ != nullptr) {
+        eca_source_->ApplyTransaction(rel, ops);
+      } else {
+        sources_[static_cast<size_t>(rel)]->ApplyTransaction(ops);
+      }
+    });
+  }
+
+  void Run() { sim_.Run(); }
+
+  // Recomputes the expected view from the sources' current states.
+  Relation ExpectedView() const {
+    std::vector<const Relation*> rels;
+    for (int r = 0; r < view_.num_relations(); ++r) {
+      rels.push_back(eca_source_ != nullptr
+                         ? &eca_source_->relation(r)
+                         : &sources_[static_cast<size_t>(r)]->relation());
+    }
+    return view_.EvaluateFull(rels);
+  }
+
+  std::vector<const StateLog*> SourceLogs() const {
+    std::vector<const StateLog*> logs;
+    for (int r = 0; r < view_.num_relations(); ++r) {
+      logs.push_back(eca_source_ != nullptr
+                         ? &eca_source_->log(r)
+                         : &sources_[static_cast<size_t>(r)]->log());
+    }
+    return logs;
+  }
+
+  Simulator& sim() { return sim_; }
+  Network& network() { return network_; }
+  Warehouse& warehouse() { return *warehouse_; }
+  const ViewDef& view_def() const { return view_; }
+  DataSource& source(int rel) { return *sources_[static_cast<size_t>(rel)]; }
+  EcaSource& eca_source() { return *eca_source_; }
+
+ private:
+  ViewDef view_;
+  std::vector<Relation> bases_;
+  Simulator sim_;
+  Network network_;
+  UpdateIdGenerator ids_;
+  std::vector<std::unique_ptr<DataSource>> sources_;
+  std::unique_ptr<EcaSource> eca_source_;
+  std::unique_ptr<Warehouse> warehouse_;
+};
+
+}  // namespace testing_util
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_TESTS_TEST_UTIL_H_

@@ -1,0 +1,106 @@
+#include "harness/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sweepmv {
+namespace {
+
+using testing_util::PaperBases;
+using testing_util::PaperView;
+using testing_util::System;
+
+TEST(TraceTest, RecordsEveryTransmission) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000));
+  TraceRecorder trace;
+  trace.Attach(&sys.network());
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.Run();
+
+  // 1 update notification + 2 queries + 2 answers.
+  ASSERT_EQ(trace.messages().size(), 5u);
+  EXPECT_EQ(static_cast<int64_t>(trace.messages().size()),
+            sys.network().stats().TotalMessages());
+
+  const TracedMessage& first = trace.messages()[0];
+  EXPECT_EQ(first.cls, MessageClass::kUpdateNotification);
+  EXPECT_EQ(first.from, 2);  // source of relation 1
+  EXPECT_EQ(first.to, 0);
+  EXPECT_EQ(first.send_time, 0);
+  EXPECT_EQ(first.arrival_time, 1000);
+  EXPECT_NE(first.label.find("update u0 of R1"), std::string::npos);
+}
+
+TEST(TraceTest, ArrivalNeverPrecedesSend) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Jittered(500, 800));
+  TraceRecorder trace;
+  trace.Attach(&sys.network());
+  for (int i = 0; i < 5; ++i) {
+    sys.ScheduleInsert(i * 200, i % 3, IntTuple({50 + i, 3}));
+  }
+  sys.Run();
+  for (const TracedMessage& m : trace.messages()) {
+    EXPECT_GE(m.arrival_time, m.send_time);
+  }
+}
+
+TEST(TraceTest, FifoOrderingVisibleInTrace) {
+  // The paper's argument, checked on the wire: for every (answer from
+  // source s) the trace shows all earlier sends from s arriving earlier.
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Jittered(400, 900));
+  TraceRecorder trace;
+  trace.Attach(&sys.network());
+  for (int i = 0; i < 6; ++i) {
+    sys.ScheduleInsert(i * 150, i % 3, IntTuple({70 + i, 5}));
+  }
+  sys.Run();
+
+  // Per directed link, arrival order must equal send order.
+  std::map<std::pair<int, int>, SimTime> last_arrival;
+  for (const TracedMessage& m : trace.messages()) {
+    auto key = std::make_pair(m.from, m.to);
+    auto it = last_arrival.find(key);
+    if (it != last_arrival.end()) {
+      EXPECT_GE(m.arrival_time, it->second)
+          << "FIFO violated on link " << m.from << "->" << m.to;
+    }
+    last_arrival[key] = m.arrival_time;
+  }
+}
+
+TEST(TraceTest, RenderTimelineIncludesInstallsAndNames) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000));
+  TraceRecorder trace;
+  trace.Attach(&sys.network());
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.Run();
+
+  std::string timeline = RenderTimeline(
+      trace.messages(), {{0, "WH"}, {1, "S1"}, {2, "S2"}, {3, "S3"}},
+      sys.warehouse());
+  EXPECT_NE(timeline.find("WH   INSTALLS [u0]"), std::string::npos);
+  EXPECT_NE(timeline.find("S2   sends   update u0"), std::string::npos);
+  EXPECT_NE(timeline.find("(from WH)"), std::string::npos);
+  // Chronological: the first line is the t=0 send.
+  EXPECT_EQ(timeline.rfind("t=0", 0), 0u);
+}
+
+TEST(TraceTest, UnnamedSitesGetDefaultNames) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()));
+  TraceRecorder trace;
+  trace.Attach(&sys.network());
+  sys.ScheduleInsert(0, 0, IntTuple({9, 3}));
+  sys.Run();
+  std::string timeline =
+      RenderTimeline(trace.messages(), {}, sys.warehouse());
+  EXPECT_NE(timeline.find("site0"), std::string::npos);
+  EXPECT_NE(timeline.find("site1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sweepmv

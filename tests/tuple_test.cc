@@ -1,0 +1,74 @@
+#include "relational/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace sweepmv {
+namespace {
+
+TEST(TupleTest, ConstructionAndAccess) {
+  Tuple t{Value(int64_t{1}), Value("x")};
+  EXPECT_EQ(t.arity(), 2u);
+  EXPECT_EQ(t.at(0).AsInt(), 1);
+  EXPECT_EQ(t.at(1).AsString(), "x");
+}
+
+TEST(TupleTest, IntTupleHelper) {
+  Tuple t = IntTuple({7, 8, 9});
+  EXPECT_EQ(t.arity(), 3u);
+  EXPECT_EQ(t.at(2).AsInt(), 9);
+}
+
+TEST(TupleTest, Concat) {
+  Tuple a = IntTuple({1, 2});
+  Tuple b = IntTuple({3});
+  Tuple c = a.Concat(b);
+  EXPECT_EQ(c, IntTuple({1, 2, 3}));
+  // Originals untouched.
+  EXPECT_EQ(a.arity(), 2u);
+  EXPECT_EQ(b.arity(), 1u);
+}
+
+TEST(TupleTest, ConcatWithEmpty) {
+  Tuple a = IntTuple({1, 2});
+  Tuple empty;
+  EXPECT_EQ(a.Concat(empty), a);
+  EXPECT_EQ(empty.Concat(a), a);
+}
+
+TEST(TupleTest, ProjectReordersAndDuplicates) {
+  Tuple t = IntTuple({10, 20, 30});
+  EXPECT_EQ(t.Project({2, 0}), IntTuple({30, 10}));
+  EXPECT_EQ(t.Project({1, 1}), IntTuple({20, 20}));
+  EXPECT_EQ(t.Project({}), Tuple());
+}
+
+TEST(TupleTest, EqualityAndOrdering) {
+  EXPECT_EQ(IntTuple({1, 2}), IntTuple({1, 2}));
+  EXPECT_NE(IntTuple({1, 2}), IntTuple({1, 3}));
+  EXPECT_NE(IntTuple({1, 2}), IntTuple({1, 2, 3}));
+  EXPECT_LT(IntTuple({1, 2}), IntTuple({1, 3}));
+  EXPECT_LT(IntTuple({1}), IntTuple({1, 0}));  // prefix sorts first
+}
+
+TEST(TupleTest, HashConsistency) {
+  EXPECT_EQ(IntTuple({1, 2, 3}).Hash(), IntTuple({1, 2, 3}).Hash());
+  std::unordered_set<Tuple, TupleHash> set;
+  set.insert(IntTuple({1, 2}));
+  set.insert(IntTuple({1, 2}));
+  set.insert(IntTuple({2, 1}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TupleTest, HashOrderSensitive) {
+  EXPECT_NE(IntTuple({1, 2}).Hash(), IntTuple({2, 1}).Hash());
+}
+
+TEST(TupleTest, DisplayString) {
+  EXPECT_EQ(IntTuple({1, 3}).ToDisplayString(), "(1,3)");
+  EXPECT_EQ(Tuple().ToDisplayString(), "()");
+}
+
+}  // namespace
+}  // namespace sweepmv

@@ -1,0 +1,69 @@
+#include "source/update.h"
+
+#include <gtest/gtest.h>
+
+namespace sweepmv {
+namespace {
+
+Schema AB() { return Schema::AllInts({"A", "B"}); }
+
+TEST(UpdateOpTest, Builders) {
+  UpdateOp ins = UpdateOp::Insert(IntTuple({1, 2}));
+  UpdateOp del = UpdateOp::Delete(IntTuple({3, 4}));
+  EXPECT_EQ(ins.kind, UpdateOp::Kind::kInsert);
+  EXPECT_EQ(del.kind, UpdateOp::Kind::kDelete);
+  EXPECT_EQ(ins.tuple, IntTuple({1, 2}));
+}
+
+TEST(OpsToDeltaTest, SignedCounts) {
+  Relation delta = OpsToDelta(AB(), {UpdateOp::Insert(IntTuple({1, 2})),
+                                     UpdateOp::Delete(IntTuple({3, 4}))});
+  EXPECT_EQ(delta.CountOf(IntTuple({1, 2})), 1);
+  EXPECT_EQ(delta.CountOf(IntTuple({3, 4})), -1);
+}
+
+TEST(OpsToDeltaTest, InsertDeleteSameTupleCancels) {
+  Relation delta = OpsToDelta(AB(), {UpdateOp::Insert(IntTuple({1, 2})),
+                                     UpdateOp::Delete(IntTuple({1, 2}))});
+  EXPECT_TRUE(delta.Empty());
+}
+
+TEST(OpsToDeltaTest, RepeatedInsertAccumulates) {
+  Relation delta = OpsToDelta(AB(), {UpdateOp::Insert(IntTuple({1, 2})),
+                                     UpdateOp::Insert(IntTuple({1, 2}))});
+  EXPECT_EQ(delta.CountOf(IntTuple({1, 2})), 2);
+}
+
+TEST(UpdateTest, PurityClassification) {
+  Update u;
+  u.relation = 0;
+
+  u.delta = OpsToDelta(AB(), {UpdateOp::Insert(IntTuple({1, 2}))});
+  EXPECT_TRUE(u.IsPureInsert());
+  EXPECT_FALSE(u.IsPureDelete());
+
+  u.delta = OpsToDelta(AB(), {UpdateOp::Delete(IntTuple({1, 2}))});
+  EXPECT_FALSE(u.IsPureInsert());
+  EXPECT_TRUE(u.IsPureDelete());
+
+  u.delta = OpsToDelta(AB(), {UpdateOp::Insert(IntTuple({1, 2})),
+                              UpdateOp::Delete(IntTuple({3, 4}))});
+  EXPECT_FALSE(u.IsPureInsert());
+  EXPECT_FALSE(u.IsPureDelete());
+
+  // Empty deltas are neither (they are never shipped anyway).
+  u.delta = Relation(AB());
+  EXPECT_FALSE(u.IsPureInsert());
+  EXPECT_FALSE(u.IsPureDelete());
+}
+
+TEST(UpdateTest, DisplayString) {
+  Update u;
+  u.id = 7;
+  u.relation = 2;
+  u.delta = OpsToDelta(AB(), {UpdateOp::Delete(IntTuple({2, 3}))});
+  EXPECT_EQ(u.ToDisplayString(), "u7@R2 {(2,3)[-1]}");
+}
+
+}  // namespace
+}  // namespace sweepmv

@@ -1,0 +1,83 @@
+#include "relational/value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sweepmv {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value i(int64_t{42});
+  Value d(3.5);
+  Value s("abc");
+  EXPECT_EQ(i.type(), ValueType::kInt);
+  EXPECT_EQ(d.type(), ValueType::kDouble);
+  EXPECT_EQ(s.type(), ValueType::kString);
+  EXPECT_EQ(i.AsInt(), 42);
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 3.5);
+  EXPECT_EQ(s.AsString(), "abc");
+}
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_EQ(v.type(), ValueType::kInt);
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(ValueTest, EqualityWithinType) {
+  EXPECT_EQ(Value(int64_t{7}), Value(int64_t{7}));
+  EXPECT_NE(Value(int64_t{7}), Value(int64_t{8}));
+  EXPECT_EQ(Value("x"), Value(std::string("x")));
+  EXPECT_NE(Value("x"), Value("y"));
+}
+
+TEST(ValueTest, CrossTypeNeverEqual) {
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));
+  EXPECT_NE(Value(int64_t{1}), Value("1"));
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_LT(Value(1.0), Value(2.0));
+}
+
+TEST(ValueTest, OrderingAcrossTypesIsByTypeTag) {
+  // int < double < string in the variant index order.
+  EXPECT_LT(Value(int64_t{1000}), Value(0.5));
+  EXPECT_LT(Value(1000.0), Value("a"));
+}
+
+TEST(ValueTest, HashEqualValuesAgree) {
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(int64_t{5}).Hash());
+  EXPECT_EQ(Value("s").Hash(), Value("s").Hash());
+}
+
+TEST(ValueTest, HashDistinguishesTypeTag) {
+  // Not a strict requirement for correctness, but the mixing should make
+  // int 0 and double 0.0 collide only by astronomical accident.
+  EXPECT_NE(Value(int64_t{0}).Hash(), Value(0.0).Hash());
+}
+
+TEST(ValueTest, DisplayString) {
+  EXPECT_EQ(Value(int64_t{7}).ToDisplayString(), "7");
+  EXPECT_EQ(Value("ab").ToDisplayString(), "\"ab\"");
+  EXPECT_EQ(Value(2.5).ToDisplayString(), "2.5");
+}
+
+TEST(ValueTest, UsableInOrderedSet) {
+  std::set<Value> values{Value(int64_t{3}), Value(int64_t{1}),
+                         Value(int64_t{2})};
+  EXPECT_EQ(values.size(), 3u);
+  EXPECT_EQ(values.begin()->AsInt(), 1);
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt), "int");
+  EXPECT_STREQ(ValueTypeName(ValueType::kDouble), "double");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace sweepmv

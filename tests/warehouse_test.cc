@@ -1,0 +1,102 @@
+#include "core/warehouse.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sweepmv {
+namespace {
+
+using testing_util::PaperBases;
+using testing_util::PaperView;
+using testing_util::System;
+
+TEST(WarehouseTest, ArrivalLogRecordsDeliveryOrderAndTimes) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000));
+  sys.ScheduleInsert(0, 0, IntTuple({9, 3}));
+  sys.ScheduleInsert(500, 2, IntTuple({5, 9}));
+  sys.Run();
+
+  const auto& arrivals = sys.warehouse().arrival_log();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0].second, 1000);
+  EXPECT_EQ(arrivals[1].second, 1500);
+  EXPECT_LT(arrivals[0].first, arrivals[1].first);
+  EXPECT_EQ(sys.warehouse().updates_received(), 2);
+}
+
+TEST(WarehouseTest, InstallLogSnapshotsAndCounters) {
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()));
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.Run();
+
+  const auto& installs = sys.warehouse().install_log();
+  ASSERT_EQ(installs.size(), 1u);
+  EXPECT_EQ(installs[0].view_after, sys.warehouse().view());
+  EXPECT_FALSE(installs[0].negative_counts);
+  EXPECT_GT(installs[0].time, 0);
+  EXPECT_EQ(sys.warehouse().updates_incorporated(), 1);
+  EXPECT_GT(sys.warehouse().queries_sent(), 0);
+}
+
+TEST(WarehouseTest, LogInstallsCanBeDisabled) {
+  WarehouseConfig config;
+  config.base.log_installs = false;
+  System sys(Algorithm::kSweep, PaperView(), PaperBases(PaperView()),
+             LatencyModel::Fixed(1000), config);
+  sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+  sys.Run();
+  EXPECT_TRUE(sys.warehouse().install_log().empty());
+  // The view is still maintained, and the incorporation counter still
+  // advances.
+  EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView());
+  EXPECT_EQ(sys.warehouse().updates_incorporated(), 1);
+}
+
+TEST(WarehouseTest, NamesAndPromises) {
+  for (Algorithm a : AllAlgorithms()) {
+    EXPECT_STRNE(AlgorithmName(a), "?");
+    EXPECT_STRNE(PromisedMessageCost(a), "?");
+  }
+  EXPECT_EQ(PromisedConsistency(Algorithm::kSweep),
+            ConsistencyLevel::kComplete);
+  EXPECT_EQ(PromisedConsistency(Algorithm::kCStrobe),
+            ConsistencyLevel::kComplete);
+  EXPECT_EQ(PromisedConsistency(Algorithm::kStrobe),
+            ConsistencyLevel::kStrong);
+  EXPECT_EQ(PromisedConsistency(Algorithm::kNestedSweep),
+            ConsistencyLevel::kStrong);
+  EXPECT_EQ(PromisedConsistency(Algorithm::kEca),
+            ConsistencyLevel::kStrong);
+  EXPECT_EQ(PromisedConsistency(Algorithm::kRecompute),
+            ConsistencyLevel::kConvergent);
+  EXPECT_TRUE(RequiresSingleSource(Algorithm::kEca));
+  EXPECT_FALSE(RequiresSingleSource(Algorithm::kSweep));
+}
+
+TEST(WarehouseTest, FactoryBuildsEveryAlgorithm) {
+  for (Algorithm a : AllAlgorithmVariants()) {
+    System sys(a, PaperView(), PaperBases(PaperView()));
+    EXPECT_EQ(sys.warehouse().name(), AlgorithmName(a));
+    EXPECT_FALSE(sys.warehouse().Busy());
+    EXPECT_EQ(sys.warehouse().view().CountOf(IntTuple({7, 8})), 2);
+  }
+}
+
+TEST(WarehouseTest, EveryAlgorithmHandlesTheSameSimpleRun) {
+  for (Algorithm a : AllAlgorithmVariants()) {
+    System sys(a, PaperView(), PaperBases(PaperView()),
+               LatencyModel::Fixed(500));
+    sys.ScheduleInsert(0, 1, IntTuple({3, 5}));
+    sys.ScheduleDelete(5000, 2, IntTuple({7, 8}));
+    sys.Run();
+    EXPECT_EQ(sys.warehouse().view(), sys.ExpectedView())
+        << AlgorithmName(a);
+    EXPECT_TRUE(sys.warehouse().update_queue().empty());
+    EXPECT_FALSE(sys.warehouse().Busy());
+  }
+}
+
+}  // namespace
+}  // namespace sweepmv

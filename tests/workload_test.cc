@@ -1,0 +1,185 @@
+#include "workload/update_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/schema_gen.h"
+
+namespace sweepmv {
+namespace {
+
+TEST(SchemaGenTest, ChainViewShape) {
+  ChainSpec spec;
+  spec.num_relations = 4;
+  ViewDef view = MakeChainView(spec);
+  EXPECT_EQ(view.num_relations(), 4);
+  EXPECT_EQ(view.rel_schema(0).arity(), 3u);
+  // Chain condition: B of r joins A of r+1.
+  for (int r = 0; r + 1 < 4; ++r) {
+    ASSERT_EQ(view.chain_keys(r).size(), 1u);
+    EXPECT_EQ(view.chain_keys(r)[0], std::make_pair(2, 1));
+  }
+  // Identity projection by default.
+  EXPECT_EQ(view.view_schema().arity(), 12u);
+}
+
+TEST(SchemaGenTest, NarrowProjection) {
+  ChainSpec spec;
+  spec.num_relations = 3;
+  spec.narrow_projection = true;
+  ViewDef view = MakeChainView(spec);
+  EXPECT_EQ(view.view_schema().arity(), 2u);
+  EXPECT_EQ(view.view_schema().attr(0).name, "K0");
+  EXPECT_EQ(view.view_schema().attr(1).name, "B2");
+}
+
+TEST(SchemaGenTest, InitialBasesDeterministicAndKeyed) {
+  ChainSpec spec;
+  spec.initial_tuples = 10;
+  spec.join_domain = 4;
+  ViewDef view = MakeChainView(spec);
+  std::vector<Relation> a = MakeInitialBases(view, spec);
+  std::vector<Relation> b = MakeInitialBases(view, spec);
+  ASSERT_EQ(a.size(), 3u);
+  for (size_t r = 0; r < a.size(); ++r) {
+    EXPECT_EQ(a[r], b[r]);
+    EXPECT_EQ(a[r].DistinctSize(), 10u);
+    // Keys 0..9, join attrs within the domain.
+    std::set<int64_t> keys;
+    for (const auto& [t, c] : a[r].entries()) {
+      EXPECT_EQ(c, 1);
+      keys.insert(t.at(0).AsInt());
+      EXPECT_GE(t.at(1).AsInt(), 0);
+      EXPECT_LT(t.at(1).AsInt(), 4);
+      EXPECT_LT(t.at(2).AsInt(), 4);
+    }
+    EXPECT_EQ(keys.size(), 10u);
+  }
+  EXPECT_EQ(FirstFreshKey(spec), 10);
+}
+
+TEST(UpdateGenTest, DeterministicSchedule) {
+  ChainSpec chain;
+  ViewDef view = MakeChainView(chain);
+  std::vector<Relation> bases = MakeInitialBases(view, chain);
+  WorkloadSpec spec;
+  spec.total_txns = 30;
+  auto a = GenerateWorkload(view, bases, chain, spec);
+  auto b = GenerateWorkload(view, bases, chain, spec);
+  ASSERT_EQ(a.size(), 30u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].relation, b[i].relation);
+    ASSERT_EQ(a[i].ops.size(), b[i].ops.size());
+    for (size_t k = 0; k < a[i].ops.size(); ++k) {
+      EXPECT_EQ(a[i].ops[k].kind, b[i].ops[k].kind);
+      EXPECT_EQ(a[i].ops[k].tuple, b[i].ops[k].tuple);
+    }
+  }
+}
+
+TEST(UpdateGenTest, TimesNonDecreasingAndRelationsInRange) {
+  ChainSpec chain;
+  chain.num_relations = 5;
+  ViewDef view = MakeChainView(chain);
+  std::vector<Relation> bases = MakeInitialBases(view, chain);
+  WorkloadSpec spec;
+  spec.total_txns = 100;
+  spec.seed = 3;
+  auto txns = GenerateWorkload(view, bases, chain, spec);
+  SimTime prev = 0;
+  for (const ScheduledTxn& txn : txns) {
+    EXPECT_GE(txn.at, prev);
+    prev = txn.at;
+    EXPECT_GE(txn.relation, 0);
+    EXPECT_LT(txn.relation, 5);
+    EXPECT_FALSE(txn.ops.empty());
+  }
+}
+
+TEST(UpdateGenTest, DeletesOnlyTargetLiveTuples) {
+  // Replay the generated schedule against the bases: every delete must
+  // hit a currently-present tuple (count stays non-negative throughout).
+  ChainSpec chain;
+  chain.initial_tuples = 6;
+  ViewDef view = MakeChainView(chain);
+  std::vector<Relation> bases = MakeInitialBases(view, chain);
+  WorkloadSpec spec;
+  spec.total_txns = 200;
+  spec.insert_fraction = 0.4;  // delete-heavy
+  spec.seed = 11;
+  auto txns = GenerateWorkload(view, bases, chain, spec);
+
+  std::vector<Relation> state = bases;
+  for (const ScheduledTxn& txn : txns) {
+    for (const UpdateOp& op : txn.ops) {
+      auto& rel = state[static_cast<size_t>(txn.relation)];
+      rel.Add(op.tuple, op.kind == UpdateOp::Kind::kInsert ? 1 : -1);
+      EXPECT_FALSE(rel.HasNegative());
+    }
+  }
+}
+
+TEST(UpdateGenTest, InsertsUseFreshUniqueKeys) {
+  ChainSpec chain;
+  ViewDef view = MakeChainView(chain);
+  std::vector<Relation> bases = MakeInitialBases(view, chain);
+  WorkloadSpec spec;
+  spec.total_txns = 150;
+  spec.insert_fraction = 1.0;
+  auto txns = GenerateWorkload(view, bases, chain, spec);
+
+  std::set<int64_t> keys;
+  for (const ScheduledTxn& txn : txns) {
+    for (const UpdateOp& op : txn.ops) {
+      ASSERT_EQ(op.kind, UpdateOp::Kind::kInsert);
+      int64_t key = op.tuple.at(0).AsInt();
+      EXPECT_GE(key, FirstFreshKey(chain));
+      EXPECT_TRUE(keys.insert(key).second) << "key reused: " << key;
+    }
+  }
+}
+
+TEST(UpdateGenTest, InsertFractionRespected) {
+  ChainSpec chain;
+  ViewDef view = MakeChainView(chain);
+  std::vector<Relation> bases = MakeInitialBases(view, chain);
+  WorkloadSpec spec;
+  spec.total_txns = 1000;
+  spec.insert_fraction = 0.7;
+  spec.seed = 5;
+  auto txns = GenerateWorkload(view, bases, chain, spec);
+  TxnMix mix = MixOf(txns);
+  double frac = static_cast<double>(mix.inserts) /
+                static_cast<double>(mix.inserts + mix.deletes);
+  EXPECT_NEAR(frac, 0.7, 0.05);
+}
+
+TEST(UpdateGenTest, MultiOpTransactions) {
+  ChainSpec chain;
+  ViewDef view = MakeChainView(chain);
+  std::vector<Relation> bases = MakeInitialBases(view, chain);
+  WorkloadSpec spec;
+  spec.total_txns = 50;
+  spec.max_ops_per_txn = 4;
+  auto txns = GenerateWorkload(view, bases, chain, spec);
+  bool saw_multi = false;
+  for (const ScheduledTxn& txn : txns) {
+    EXPECT_LE(txn.ops.size(), 4u);
+    if (txn.ops.size() > 1) saw_multi = true;
+  }
+  EXPECT_TRUE(saw_multi);
+}
+
+TEST(UpdateGenTest, DescribeTxn) {
+  ScheduledTxn txn;
+  txn.at = 42;
+  txn.relation = 1;
+  txn.ops = {UpdateOp::Insert(IntTuple({1, 2, 3}))};
+  EXPECT_EQ(DescribeTxn(txn), "t=42 R1 +(1,2,3)");
+}
+
+}  // namespace
+}  // namespace sweepmv
