@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compensation.dir/ablation_compensation.cc.o"
+  "CMakeFiles/ablation_compensation.dir/ablation_compensation.cc.o.d"
+  "ablation_compensation"
+  "ablation_compensation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compensation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

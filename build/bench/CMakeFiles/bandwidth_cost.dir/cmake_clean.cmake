@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_cost.dir/bandwidth_cost.cc.o"
+  "CMakeFiles/bandwidth_cost.dir/bandwidth_cost.cc.o.d"
+  "bandwidth_cost"
+  "bandwidth_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_blowup.dir/concurrency_blowup.cc.o"
+  "CMakeFiles/concurrency_blowup.dir/concurrency_blowup.cc.o.d"
+  "concurrency_blowup"
+  "concurrency_blowup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_blowup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_query_size.dir/eca_query_size.cc.o"
+  "CMakeFiles/eca_query_size.dir/eca_query_size.cc.o.d"
+  "eca_query_size"
+  "eca_query_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_query_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

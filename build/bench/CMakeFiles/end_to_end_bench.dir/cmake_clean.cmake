@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/end_to_end_bench.dir/end_to_end_bench.cc.o"
+  "CMakeFiles/end_to_end_bench.dir/end_to_end_bench.cc.o.d"
+  "end_to_end_bench"
+  "end_to_end_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/end_to_end_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_example.dir/fig5_example.cc.o"
+  "CMakeFiles/fig5_example.dir/fig5_example.cc.o.d"
+  "fig5_example"
+  "fig5_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_amortization.dir/nested_amortization.cc.o"
+  "CMakeFiles/nested_amortization.dir/nested_amortization.cc.o.d"
+  "nested_amortization"
+  "nested_amortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_ops_bench.dir/relational_ops_bench.cc.o"
+  "CMakeFiles/relational_ops_bench.dir/relational_ops_bench.cc.o.d"
+  "relational_ops_bench"
+  "relational_ops_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_ops_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staleness.dir/staleness.cc.o"
+  "CMakeFiles/staleness.dir/staleness.cc.o.d"
+  "staleness"
+  "staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_variants.dir/sweep_variants.cc.o"
+  "CMakeFiles/sweep_variants.dir/sweep_variants.cc.o.d"
+  "sweep_variants"
+  "sweep_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_view.dir/multi_view.cpp.o"
+  "CMakeFiles/multi_view.dir/multi_view.cpp.o.d"
+  "multi_view"
+  "multi_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_figure5.dir/paper_figure5.cpp.o"
+  "CMakeFiles/paper_figure5.dir/paper_figure5.cpp.o.d"
+  "paper_figure5"
+  "paper_figure5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_figure5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_orders.dir/retail_orders.cpp.o"
+  "CMakeFiles/retail_orders.dir/retail_orders.cpp.o.d"
+  "retail_orders"
+  "retail_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

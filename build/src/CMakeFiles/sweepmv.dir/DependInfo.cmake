@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/sweepmv.dir/common/log.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/sweepmv.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/str.cc" "src/CMakeFiles/sweepmv.dir/common/str.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/common/str.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/sweepmv.dir/common/table.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/common/table.cc.o.d"
+  "/root/repo/src/consistency/checker.cc" "src/CMakeFiles/sweepmv.dir/consistency/checker.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/consistency/checker.cc.o.d"
+  "/root/repo/src/consistency/replay.cc" "src/CMakeFiles/sweepmv.dir/consistency/replay.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/consistency/replay.cc.o.d"
+  "/root/repo/src/core/cstrobe.cc" "src/CMakeFiles/sweepmv.dir/core/cstrobe.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/core/cstrobe.cc.o.d"
+  "/root/repo/src/core/eca.cc" "src/CMakeFiles/sweepmv.dir/core/eca.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/core/eca.cc.o.d"
+  "/root/repo/src/core/factory.cc" "src/CMakeFiles/sweepmv.dir/core/factory.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/core/factory.cc.o.d"
+  "/root/repo/src/core/nested_sweep.cc" "src/CMakeFiles/sweepmv.dir/core/nested_sweep.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/core/nested_sweep.cc.o.d"
+  "/root/repo/src/core/parallel_sweep.cc" "src/CMakeFiles/sweepmv.dir/core/parallel_sweep.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/core/parallel_sweep.cc.o.d"
+  "/root/repo/src/core/pipelined_sweep.cc" "src/CMakeFiles/sweepmv.dir/core/pipelined_sweep.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/core/pipelined_sweep.cc.o.d"
+  "/root/repo/src/core/recompute.cc" "src/CMakeFiles/sweepmv.dir/core/recompute.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/core/recompute.cc.o.d"
+  "/root/repo/src/core/strobe.cc" "src/CMakeFiles/sweepmv.dir/core/strobe.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/core/strobe.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/CMakeFiles/sweepmv.dir/core/sweep.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/core/sweep.cc.o.d"
+  "/root/repo/src/core/warehouse.cc" "src/CMakeFiles/sweepmv.dir/core/warehouse.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/core/warehouse.cc.o.d"
+  "/root/repo/src/harness/scenario.cc" "src/CMakeFiles/sweepmv.dir/harness/scenario.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/harness/scenario.cc.o.d"
+  "/root/repo/src/harness/stats.cc" "src/CMakeFiles/sweepmv.dir/harness/stats.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/harness/stats.cc.o.d"
+  "/root/repo/src/harness/trace.cc" "src/CMakeFiles/sweepmv.dir/harness/trace.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/harness/trace.cc.o.d"
+  "/root/repo/src/relational/aggregate.cc" "src/CMakeFiles/sweepmv.dir/relational/aggregate.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/relational/aggregate.cc.o.d"
+  "/root/repo/src/relational/csv.cc" "src/CMakeFiles/sweepmv.dir/relational/csv.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/relational/csv.cc.o.d"
+  "/root/repo/src/relational/operators.cc" "src/CMakeFiles/sweepmv.dir/relational/operators.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/relational/operators.cc.o.d"
+  "/root/repo/src/relational/partial_delta.cc" "src/CMakeFiles/sweepmv.dir/relational/partial_delta.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/relational/partial_delta.cc.o.d"
+  "/root/repo/src/relational/predicate.cc" "src/CMakeFiles/sweepmv.dir/relational/predicate.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/relational/predicate.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/CMakeFiles/sweepmv.dir/relational/relation.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/relational/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/sweepmv.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "src/CMakeFiles/sweepmv.dir/relational/tuple.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/relational/tuple.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/sweepmv.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/relational/value.cc.o.d"
+  "/root/repo/src/relational/view_def.cc" "src/CMakeFiles/sweepmv.dir/relational/view_def.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/relational/view_def.cc.o.d"
+  "/root/repo/src/sim/channel.cc" "src/CMakeFiles/sweepmv.dir/sim/channel.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/sim/channel.cc.o.d"
+  "/root/repo/src/sim/latency.cc" "src/CMakeFiles/sweepmv.dir/sim/latency.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/sim/latency.cc.o.d"
+  "/root/repo/src/sim/message.cc" "src/CMakeFiles/sweepmv.dir/sim/message.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/sim/message.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/sweepmv.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/sweepmv.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/source/data_source.cc" "src/CMakeFiles/sweepmv.dir/source/data_source.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/source/data_source.cc.o.d"
+  "/root/repo/src/source/eca_source.cc" "src/CMakeFiles/sweepmv.dir/source/eca_source.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/source/eca_source.cc.o.d"
+  "/root/repo/src/source/multi_source.cc" "src/CMakeFiles/sweepmv.dir/source/multi_source.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/source/multi_source.cc.o.d"
+  "/root/repo/src/source/state_log.cc" "src/CMakeFiles/sweepmv.dir/source/state_log.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/source/state_log.cc.o.d"
+  "/root/repo/src/source/update.cc" "src/CMakeFiles/sweepmv.dir/source/update.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/source/update.cc.o.d"
+  "/root/repo/src/sql/catalog.cc" "src/CMakeFiles/sweepmv.dir/sql/catalog.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/sql/catalog.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/sweepmv.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/sql/parser.cc.o.d"
+  "/root/repo/src/workload/scenario_spec.cc" "src/CMakeFiles/sweepmv.dir/workload/scenario_spec.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/workload/scenario_spec.cc.o.d"
+  "/root/repo/src/workload/schema_gen.cc" "src/CMakeFiles/sweepmv.dir/workload/schema_gen.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/workload/schema_gen.cc.o.d"
+  "/root/repo/src/workload/update_gen.cc" "src/CMakeFiles/sweepmv.dir/workload/update_gen.cc.o" "gcc" "src/CMakeFiles/sweepmv.dir/workload/update_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstrobe_test.dir/cstrobe_test.cc.o"
+  "CMakeFiles/cstrobe_test.dir/cstrobe_test.cc.o.d"
+  "cstrobe_test"
+  "cstrobe_test.pdb"
+  "cstrobe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstrobe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_source_test.dir/multi_source_test.cc.o"
+  "CMakeFiles/multi_source_test.dir/multi_source_test.cc.o.d"
+  "multi_source_test"
+  "multi_source_test.pdb"
+  "multi_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_sweep_test.dir/nested_sweep_test.cc.o"
+  "CMakeFiles/nested_sweep_test.dir/nested_sweep_test.cc.o.d"
+  "nested_sweep_test"
+  "nested_sweep_test.pdb"
+  "nested_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_delta_test.dir/partial_delta_test.cc.o"
+  "CMakeFiles/partial_delta_test.dir/partial_delta_test.cc.o.d"
+  "partial_delta_test"
+  "partial_delta_test.pdb"
+  "partial_delta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipelined_sweep_test.dir/pipelined_sweep_test.cc.o"
+  "CMakeFiles/pipelined_sweep_test.dir/pipelined_sweep_test.cc.o.d"
+  "pipelined_sweep_test"
+  "pipelined_sweep_test.pdb"
+  "pipelined_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipelined_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

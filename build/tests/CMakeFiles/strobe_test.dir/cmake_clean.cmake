@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strobe_test.dir/strobe_test.cc.o"
+  "CMakeFiles/strobe_test.dir/strobe_test.cc.o.d"
+  "strobe_test"
+  "strobe_test.pdb"
+  "strobe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strobe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
