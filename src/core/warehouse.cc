@@ -27,6 +27,15 @@ void Warehouse::InitializeView(Relation initial_view) {
 void Warehouse::OnMessage(int from, Message msg) {
   (void)from;
   if (auto* update = std::get_if<UpdateMessage>(&msg)) {
+    if (!seen_update_ids_.insert(update->update.id).second) {
+      // Redundant notification — a restarted source replaying its log, or
+      // at-least-once delivery without the session layer. The arrival
+      // order that defines consistency is the order of *first* arrivals.
+      ++duplicate_updates_ignored_;
+      SWEEP_LOG(Debug) << name() << " ignored duplicate "
+                       << update->update.ToDisplayString();
+      return;
+    }
     arrival_log_.emplace_back(update->update.id,
                               network_->simulator()->now());
     SWEEP_LOG(Debug) << name() << " received "
@@ -36,18 +45,86 @@ void Warehouse::OnMessage(int from, Message msg) {
     return;
   }
   if (auto* answer = std::get_if<QueryAnswer>(&msg)) {
+    if (!ResolveQuery(answer->query_id)) return;
     HandleQueryAnswer(std::move(*answer));
     return;
   }
   if (auto* answer = std::get_if<EcaQueryAnswer>(&msg)) {
+    if (!ResolveQuery(answer->query_id)) return;
     HandleEcaAnswer(std::move(*answer));
     return;
   }
   if (auto* answer = std::get_if<SnapshotAnswer>(&msg)) {
+    if (!ResolveSnapshotPart(answer->query_id, answer->relation)) return;
     HandleSnapshotAnswer(std::move(*answer));
     return;
   }
   SWEEP_CHECK_MSG(false, "warehouse received an unexpected message type");
+}
+
+void Warehouse::RegisterQuery(int64_t query_id, int target_site,
+                              const Message& request, int expected_answers) {
+  PendingQuery pending;
+  pending.target_site = target_site;
+  pending.expected_answers = expected_answers;
+  if (options_.query_timeout > 0) pending.request = request;
+  pending_queries_.emplace(query_id, std::move(pending));
+  if (options_.query_timeout > 0) {
+    ArmQueryTimer(query_id, options_.query_timeout);
+  }
+}
+
+bool Warehouse::ResolveQuery(int64_t query_id) {
+  if (pending_queries_.erase(query_id) == 0) {
+    // A duplicate answer (query re-issue raced the original answer) or an
+    // answer from a dead incarnation. The first answer won; drop this one.
+    ++stale_answers_ignored_;
+    SWEEP_LOG(Debug) << name() << " dropped stale answer #" << query_id;
+    return false;
+  }
+  return true;
+}
+
+bool Warehouse::ResolveSnapshotPart(int64_t query_id, int relation) {
+  auto it = pending_queries_.find(query_id);
+  if (it == pending_queries_.end()) {
+    ++stale_answers_ignored_;
+    SWEEP_LOG(Debug) << name() << " dropped stale snapshot part #"
+                     << query_id << " R" << relation;
+    return false;
+  }
+  PendingQuery& pending = it->second;
+  if (!pending.relations_seen.insert(relation).second) {
+    ++stale_answers_ignored_;
+    SWEEP_LOG(Debug) << name() << " dropped re-delivered snapshot part #"
+                     << query_id << " R" << relation;
+    return false;
+  }
+  if (static_cast<int>(pending.relations_seen.size()) >=
+      pending.expected_answers) {
+    pending_queries_.erase(it);
+  }
+  return true;
+}
+
+void Warehouse::ArmQueryTimer(int64_t query_id, SimTime delay) {
+  network_->simulator()->Schedule(delay, [this, query_id, delay]() {
+    auto it = pending_queries_.find(query_id);
+    if (it == pending_queries_.end()) return;  // answered meanwhile
+    PendingQuery& pending = it->second;
+    if (pending.attempts > options_.query_retry_limit) {
+      SWEEP_LOG(Info) << name() << " gave up on query #" << query_id
+                      << " after " << options_.query_retry_limit
+                      << " re-issues";
+      return;
+    }
+    ++pending.attempts;
+    ++queries_reissued_;
+    SWEEP_LOG(Debug) << name() << " re-issuing query #" << query_id
+                     << " (attempt " << pending.attempts << ")";
+    network_->Send(site_id_, pending.target_site, pending.request);
+    ArmQueryTimer(query_id, delay * 2);
+  });
 }
 
 void Warehouse::HandleQueryAnswer(QueryAnswer) {
@@ -71,6 +148,7 @@ int64_t Warehouse::SendSweepQuery(int target_rel, bool extend_left,
   request.target_rel = target_rel;
   request.extend_left = extend_left;
   request.partial = std::move(partial);
+  RegisterQuery(id, source_site(target_rel), request);
   network_->Send(site_id_, source_site(target_rel), std::move(request));
   return id;
 }
@@ -78,15 +156,24 @@ int64_t Warehouse::SendSweepQuery(int target_rel, bool extend_left,
 int64_t Warehouse::SendEcaQuery(std::vector<EcaTerm> terms) {
   int64_t id = next_query_id_++;
   ++queries_sent_;
-  network_->Send(site_id_, source_site(0),
-                 EcaQueryRequest{id, std::move(terms)});
+  EcaQueryRequest request{id, std::move(terms)};
+  RegisterQuery(id, source_site(0), request);
+  network_->Send(site_id_, source_site(0), std::move(request));
   return id;
 }
 
 int64_t Warehouse::SendSnapshotRequest(int target_rel) {
   int64_t id = next_query_id_++;
   ++queries_sent_;
-  network_->Send(site_id_, source_site(target_rel), SnapshotRequest{id});
+  int target = source_site(target_rel);
+  // A multi-relation site answers one snapshot request with one
+  // SnapshotAnswer per relation it hosts.
+  int expected = 0;
+  for (int rel = 0; rel < view_def_.num_relations(); ++rel) {
+    if (source_site(rel) == target) ++expected;
+  }
+  RegisterQuery(id, target, SnapshotRequest{id}, expected);
+  network_->Send(site_id_, target, SnapshotRequest{id});
   return id;
 }
 

@@ -11,6 +11,14 @@
 //   * query plumbing toward the sources.
 // Subclasses implement the UpdateView / ViewChange logic of a specific
 // algorithm as an event-driven state machine.
+//
+// Robustness (docs/fault_model.md): the base class also makes the
+// warehouse idempotent under at-least-once delivery — duplicate update
+// notifications (e.g. a restarted source replaying its committed log) are
+// discarded by id before they reach the queue, answers to queries that
+// are no longer outstanding are dropped before they reach the algorithm,
+// and an optional timeout re-issues unanswered queries verbatim so a
+// source crash cannot wedge a sweep.
 
 #ifndef SWEEPMV_CORE_WAREHOUSE_H_
 #define SWEEPMV_CORE_WAREHOUSE_H_
@@ -18,7 +26,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "relational/partial_delta.h"
@@ -49,6 +59,14 @@ class Warehouse : public Site {
     // Record a full view snapshot per install (consistency checking).
     // Disable for large throughput benches.
     bool log_installs = true;
+    // When > 0: an outstanding query unanswered for this many ticks is
+    // re-issued verbatim (same query_id — sources answer idempotently and
+    // stale/duplicate answers are discarded here), with the timeout
+    // doubling per attempt. Heals queries lost to a source crash. 0
+    // disables the timer entirely (no behavioural or event-count change).
+    SimTime query_timeout = 0;
+    // Re-issue attempts per query before giving up.
+    int query_retry_limit = 8;
   };
 
   // `source_sites[r]` is the site id serving queries for relation r (all
@@ -103,6 +121,14 @@ class Warehouse : public Site {
   }
   int64_t updates_incorporated() const { return updates_incorporated_; }
   int64_t queries_sent() const { return queries_sent_; }
+  // Robustness counters: redundant update notifications discarded (crash
+  // replays / at-least-once delivery), answers for no-longer-outstanding
+  // queries discarded, and queries re-issued after a timeout.
+  int64_t duplicate_updates_ignored() const {
+    return duplicate_updates_ignored_;
+  }
+  int64_t stale_answers_ignored() const { return stale_answers_ignored_; }
+  int64_t queries_reissued() const { return queries_reissued_; }
 
  protected:
   // Invoked after an update was appended to the queue.
@@ -145,6 +171,29 @@ class Warehouse : public Site {
  private:
   void RecordInstall(std::vector<int64_t> update_ids);
 
+  // Bookkeeping for idempotent query re-issue: remembers the request and
+  // its target site until the answer arrives. The request copy is only
+  // kept when timeouts are enabled. Snapshot requests to a multi-relation
+  // site are answered by several SnapshotAnswers sharing the query id
+  // (one per hosted relation); such a query stays pending until every
+  // expected relation has answered, and `relations_seen` detects
+  // re-delivered parts when a re-issue races the original answers.
+  struct PendingQuery {
+    Message request;
+    int target_site = -1;
+    int attempts = 1;
+    int expected_answers = 1;
+    std::unordered_set<int> relations_seen;
+  };
+  void RegisterQuery(int64_t query_id, int target_site,
+                     const Message& request, int expected_answers = 1);
+  // Removes the entry; false if the id is not outstanding (stale answer).
+  bool ResolveQuery(int64_t query_id);
+  // Consumes one relation's part of a multi-answer snapshot query; false
+  // if the id is not outstanding or this relation already answered.
+  bool ResolveSnapshotPart(int64_t query_id, int relation);
+  void ArmQueryTimer(int64_t query_id, SimTime delay);
+
   int site_id_;
   ViewDef view_def_;
   Network* network_;
@@ -158,6 +207,11 @@ class Warehouse : public Site {
   int64_t updates_incorporated_ = 0;
   int64_t queries_sent_ = 0;
   int64_t next_query_id_ = 0;
+  std::unordered_set<int64_t> seen_update_ids_;
+  std::map<int64_t, PendingQuery> pending_queries_;
+  int64_t duplicate_updates_ignored_ = 0;
+  int64_t stale_answers_ignored_ = 0;
+  int64_t queries_reissued_ = 0;
   InstallObserver observer_;
 };
 

@@ -1,0 +1,56 @@
+#include "harness/chaos.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sweepmv {
+
+FaultPlan MakeChaosPlan(const ChaosSpec& spec) {
+  SWEEP_CHECK(spec.horizon > 0 && spec.num_relations > 0);
+  SWEEP_CHECK(spec.num_crashes <= spec.num_relations);
+  Rng rng(spec.seed);
+
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.faults.drop_prob = spec.drop_prob;
+  plan.faults.dup_prob = spec.dup_prob;
+  plan.faults.burst_prob = spec.burst_prob;
+  plan.faults.burst_delay = spec.burst_delay;
+
+  for (int i = 0; i < spec.num_partitions; ++i) {
+    FaultModel::Partition window;
+    window.start = rng.Uniform(0, spec.horizon - 1);
+    window.end = window.start + spec.partition_len;
+    plan.faults.partitions.push_back(window);
+  }
+
+  // Crash victims without replacement so two crashes of the same source
+  // cannot overlap (DataSource::Crash CHECKs against double crashes).
+  std::vector<int> victims(static_cast<size_t>(spec.num_relations));
+  for (int r = 0; r < spec.num_relations; ++r) {
+    victims[static_cast<size_t>(r)] = r;
+  }
+  for (int i = 0; i < spec.num_crashes; ++i) {
+    int64_t pick =
+        rng.Uniform(i, static_cast<int64_t>(victims.size()) - 1);
+    std::swap(victims[static_cast<size_t>(i)],
+              victims[static_cast<size_t>(pick)]);
+    FaultPlan::CrashEvent crash;
+    crash.relation = victims[static_cast<size_t>(i)];
+    // Crashes land in the later three quarters of the horizon, after the
+    // victim has (almost surely) committed something — a crash before the
+    // first transaction exercises nothing.
+    crash.crash_at = rng.Uniform(spec.horizon / 4, spec.horizon - 1);
+    crash.restart_at = crash.crash_at + spec.crash_len;
+    plan.crashes.push_back(crash);
+  }
+
+  plan.query_timeout = spec.query_timeout;
+  plan.query_retry_limit = spec.query_retry_limit;
+  return plan;
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,55 @@
+// Chaos harness: turns a seed into a randomized fault schedule.
+//
+// A ChaosSpec describes the *intensity* of the chaos (drop/dup/burst
+// probabilities, how many partition windows and source crashes to place);
+// MakeChaosPlan places the actual windows and crash times deterministically
+// from the seed, so a failing schedule is reproducible by seed alone. The
+// chaos tests sweep seeds through this and assert that every SWEEP-family
+// run under the session layer still meets its consistency promise.
+
+#ifndef SWEEPMV_HARNESS_CHAOS_H_
+#define SWEEPMV_HARNESS_CHAOS_H_
+
+#include <cstdint>
+
+#include "harness/scenario.h"
+
+namespace sweepmv {
+
+struct ChaosSpec {
+  uint64_t seed = 1;
+
+  // Per-transmission fault intensities (see FaultModel).
+  double drop_prob = 0.05;
+  double dup_prob = 0.02;
+  double burst_prob = 0.02;
+  SimTime burst_delay = 5'000;
+
+  // Partition windows placed uniformly in [0, horizon); each lasts
+  // partition_len. 0 windows is allowed.
+  int num_partitions = 1;
+  SimTime partition_len = 8'000;
+
+  // Source crashes placed uniformly in [horizon/4, horizon), so the
+  // victim has work in its log to replay; each victim relation is drawn
+  // uniformly and restarts crash_len later. At most one crash per
+  // relation (victims are drawn without replacement).
+  int num_crashes = 1;
+  SimTime crash_len = 10'000;
+  int num_relations = 2;
+
+  // The workload time span the windows and crashes are placed in.
+  SimTime horizon = 100'000;
+
+  // Warehouse query re-issue defenses for the generated plan.
+  SimTime query_timeout = 30'000;
+  int query_retry_limit = 10;
+};
+
+// Deterministically expands the spec into a concrete FaultPlan (session
+// layer enabled; flip .reliability off to study the unprotected system).
+FaultPlan MakeChaosPlan(const ChaosSpec& spec);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_HARNESS_CHAOS_H_

@@ -57,6 +57,13 @@ RunResult RunExplicitScenario(const ScenarioConfig& config,
   Network network(&sim, config.latency, config.network_seed);
   UpdateIdGenerator ids;
 
+  const FaultPlan& plan = config.fault_plan;
+  if (plan.enabled) {
+    network.SetDefaultFaults(plan.faults);
+    network.EnableReliability(plan.reliability);
+    network.SetSessionOptions(plan.session);
+  }
+
   const bool single_source = RequiresSingleSource(config.algorithm);
   const int per_site = std::max(1, config.relations_per_site);
 
@@ -102,9 +109,14 @@ RunResult RunExplicitScenario(const ScenarioConfig& config,
     }
   }
 
+  WarehouseConfig warehouse_config = config.warehouse;
+  if (plan.enabled) {
+    warehouse_config.base.query_timeout = plan.query_timeout;
+    warehouse_config.base.query_retry_limit = plan.query_retry_limit;
+  }
   std::unique_ptr<Warehouse> warehouse =
       MakeWarehouse(config.algorithm, kWarehouseSite, view, &network,
-                    source_sites, config.warehouse);
+                    source_sites, warehouse_config);
   network.RegisterSite(kWarehouseSite, warehouse.get());
 
   // Initialize the materialized view to the correct value (Figure 4).
@@ -122,13 +134,36 @@ RunResult RunExplicitScenario(const ScenarioConfig& config,
                    [src, rel, ops]() { src->ApplyTxn(rel, ops); });
   }
 
-  int64_t executed = sim.Run(config.max_events);
-  SWEEP_CHECK_MSG(executed < config.max_events,
-                  "scenario exceeded the event budget (runaway protocol?)");
-  SWEEP_CHECK_MSG(warehouse->update_queue().empty() && !warehouse->Busy(),
-                  "simulation drained but the warehouse is still busy");
+  // Schedule the crash/restart plan. Crashes need the DataSource fail-stop
+  // interface, so the topology must be one relation per (crashable) site.
+  std::vector<DataSource*> crashable;
+  for (const FaultPlan::CrashEvent& crash : plan.crashes) {
+    SWEEP_CHECK_MSG(!single_source && per_site == 1,
+                    "crash plans need one-relation-per-site topology");
+    SWEEP_CHECK(crash.relation >= 0 && crash.relation < n);
+    SWEEP_CHECK_MSG(crash.restart_at > crash.crash_at,
+                    "a crash must precede its restart");
+    auto* source = dynamic_cast<DataSource*>(
+        site_of_relation[static_cast<size_t>(crash.relation)]);
+    SWEEP_CHECK(source != nullptr);
+    crashable.push_back(source);
+    sim.ScheduleAt(crash.crash_at, [source]() { source->Crash(); });
+    sim.ScheduleAt(crash.restart_at, [source]() { source->Restart(); });
+  }
 
+  int64_t executed = sim.Run(config.max_events);
   RunResult result;
+  if (plan.tolerate_failure) {
+    result.completed = executed < config.max_events &&
+                       warehouse->update_queue().empty() &&
+                       !warehouse->Busy();
+  } else {
+    SWEEP_CHECK_MSG(executed < config.max_events,
+                    "scenario exceeded the event budget (runaway protocol?)");
+    SWEEP_CHECK_MSG(warehouse->update_queue().empty() && !warehouse->Busy(),
+                    "simulation drained but the warehouse is still busy");
+  }
+
   result.algorithm_name = warehouse->name();
   result.net = network.stats();
   result.updates_delivered = warehouse->updates_received();
@@ -152,6 +187,12 @@ RunResult RunExplicitScenario(const ScenarioConfig& config,
         static_cast<double>(result.updates_delivered);
   }
   ExtractAlgorithmCounters(*warehouse, &result);
+  result.duplicate_updates_ignored = warehouse->duplicate_updates_ignored();
+  result.stale_answers_ignored = warehouse->stale_answers_ignored();
+  result.queries_reissued = warehouse->queries_reissued();
+  for (const DataSource* source : crashable) {
+    result.updates_replayed += source->updates_replayed();
+  }
 
   // Ground truth + consistency classification.
   std::vector<const StateLog*> logs;
@@ -167,7 +208,10 @@ RunResult RunExplicitScenario(const ScenarioConfig& config,
     replay.AdvanceTo(final_versions);
     result.expected_view = replay.CurrentView();
   }
-  if (config.check_consistency) {
+  // A wedged run gets the cheap final-state comparison only: the replay
+  // checker's install-by-install classification presumes every update was
+  // eventually incorporated.
+  if (config.check_consistency && result.completed) {
     result.consistency = CheckConsistency(view, logs, *warehouse);
   } else {
     result.consistency.final_state_correct =

@@ -16,12 +16,46 @@
 
 #include "consistency/checker.h"
 #include "core/factory.h"
+#include "sim/fault_model.h"
 #include "sim/latency.h"
 #include "sim/network.h"
+#include "sim/session.h"
 #include "workload/schema_gen.h"
 #include "workload/update_gen.h"
 
 namespace sweepmv {
+
+// Optional robustness layer for a scenario: link faults, the reliability
+// session toggle, source crash/restart schedule, and the warehouse's
+// query-timeout defenses. Disabled by default — a plain scenario is the
+// paper's pristine reliable-FIFO world.
+struct FaultPlan {
+  bool enabled = false;
+  // Applied to every directed link (including warehouse->source).
+  FaultModel faults;
+  // Session layer on faulty links (off = raw faulty delivery; the
+  // channel assumption of Section 2 is then genuinely violated).
+  bool reliability = true;
+  SessionOptions session;
+  // Source crash/restart schedule, by relation index. Requires the
+  // one-relation-per-site topology (relations_per_site == 1) and a
+  // multi-source algorithm.
+  struct CrashEvent {
+    int relation = 0;
+    SimTime crash_at = 0;
+    SimTime restart_at = 0;  // must be > crash_at
+  };
+  std::vector<CrashEvent> crashes;
+  // Warehouse query re-issue (0 keeps timeouts off). With crashes in the
+  // plan this should be > 0 or a sweep whose query died with the source
+  // never terminates.
+  SimTime query_timeout = 0;
+  int query_retry_limit = 8;
+  // Instead of CHECK-failing when the run ends with a wedged warehouse
+  // (expected when reliability is off and messages are genuinely lost),
+  // report it via RunResult::completed.
+  bool tolerate_failure = false;
+};
 
 struct ScenarioConfig {
   Algorithm algorithm = Algorithm::kSweep;
@@ -40,11 +74,16 @@ struct ScenarioConfig {
   // Safety valve for runaway protocols (C-Strobe under heavy
   // interference): abort the run after this many simulator events.
   int64_t max_events = 50'000'000;
+  // Fault injection (see FaultPlan).
+  FaultPlan fault_plan;
 };
 
 struct RunResult {
   std::string algorithm_name;
   NetworkStats net;
+  // False only under FaultPlan::tolerate_failure: the run drained with
+  // the warehouse still waiting on messages that will never arrive.
+  bool completed = true;
   int64_t updates_delivered = 0;
   int64_t installs = 0;
   ConsistencyReport consistency;
@@ -68,6 +107,12 @@ struct RunResult {
   int64_t compensating_queries = 0;  // C-Strobe
   int64_t max_query_terms = 0;       // ECA
   int64_t total_query_terms = 0;     // ECA
+
+  // Robustness counters (0 for pristine runs).
+  int64_t duplicate_updates_ignored = 0;  // warehouse id-level dedup
+  int64_t stale_answers_ignored = 0;      // late/duplicate query answers
+  int64_t queries_reissued = 0;           // timeout-driven re-issues
+  int64_t updates_replayed = 0;           // log replays by restarted sources
 };
 
 // Runs the scenario built from generated schema + workload.

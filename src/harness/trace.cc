@@ -46,6 +46,17 @@ std::string Describe(const Message& msg) {
       return StrFormat("snapshot of R%d (%zu tuples)", m.relation,
                        m.snapshot.DistinctSize());
     }
+    std::string operator()(const SessionDatagram& m) const {
+      if (!m.payload) {
+        return StrFormat("ack e%lld cum=%lld",
+                         static_cast<long long>(m.epoch),
+                         static_cast<long long>(m.cum_ack));
+      }
+      return StrFormat("dgram e%lld #%lld [",
+                       static_cast<long long>(m.epoch),
+                       static_cast<long long>(m.seq)) +
+             Describe(*m.payload) + "]";
+    }
   };
   return std::visit(Visitor{}, msg);
 }

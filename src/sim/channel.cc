@@ -10,4 +10,13 @@ SimTime Channel::NextArrival(SimTime now, int64_t payload_tuples) {
   return arrival;
 }
 
+SimTime Channel::UnorderedArrival(SimTime now, int64_t payload_tuples) {
+  SimTime arrival = now + latency_.Sample(rng_, payload_tuples);
+  // Track the high-water mark so a later switch back to FIFO sampling
+  // still never schedules before anything already on the wire.
+  if (arrival > last_arrival_) last_arrival_ = arrival;
+  ++messages_sent_;
+  return arrival;
+}
+
 }  // namespace sweepmv

@@ -31,6 +31,12 @@ class Channel {
   // arrival on this link.
   SimTime NextArrival(SimTime now, int64_t payload_tuples = 0);
 
+  // Arrival time without the FIFO clamp: jitter may schedule this
+  // transmission before earlier ones. Used by the fault-injection path
+  // for links whose FaultModel does not preserve ordering; the session
+  // layer's reorder buffer is then responsible for sequencing.
+  SimTime UnorderedArrival(SimTime now, int64_t payload_tuples = 0);
+
   int64_t messages_sent() const { return messages_sent_; }
 
   void set_latency(LatencyModel latency) { latency_ = latency; }

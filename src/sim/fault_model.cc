@@ -1,0 +1,38 @@
+#include "sim/fault_model.h"
+
+#include "common/str.h"
+
+namespace sweepmv {
+
+bool FaultModel::PartitionedAt(SimTime t) const {
+  for (const Partition& w : partitions) {
+    if (t >= w.start && t < w.end) return true;
+  }
+  return false;
+}
+
+std::string FaultModel::ToDisplayString() const {
+  std::string s = StrFormat("drop=%.3f dup=%.3f burst=%.3f/+%lld",
+                            drop_prob, dup_prob, burst_prob,
+                            static_cast<long long>(burst_delay));
+  for (const Partition& w : partitions) {
+    s += StrFormat(" part[%lld,%lld)", static_cast<long long>(w.start),
+                   static_cast<long long>(w.end));
+  }
+  return s;
+}
+
+FaultDecision SampleFaults(const FaultModel& model, Rng& rng, SimTime now) {
+  FaultDecision d;
+  // Fixed draw order keeps the stream aligned across outcomes.
+  bool drop = rng.Bernoulli(model.drop_prob);
+  bool dup = rng.Bernoulli(model.dup_prob);
+  bool burst = rng.Bernoulli(model.burst_prob);
+  d.partitioned = model.PartitionedAt(now);
+  d.drop = drop || d.partitioned;
+  d.duplicate = !d.drop && dup;
+  d.extra_delay = burst ? model.burst_delay : 0;
+  return d;
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,65 @@
+// Per-link fault injection.
+//
+// The paper assumes every source↔warehouse channel is reliable and FIFO
+// (Section 2). FaultModel is the knob that withdraws that assumption for
+// one directed link: messages can be dropped, duplicated, delayed by
+// congestion bursts, or blackholed during partition windows, all sampled
+// deterministically from a seeded per-link RNG so that a fault schedule
+// replays exactly. Attaching a FaultModel to a link marks it "not assumed
+// reliable"; the session layer (sim/session.h) then restores exactly-once
+// FIFO delivery on top — or, with reliability disabled, the raw faulty
+// behaviour is exposed to the protocols to demonstrate why the paper's
+// assumption is load-bearing.
+
+#ifndef SWEEPMV_SIM_FAULT_MODEL_H_
+#define SWEEPMV_SIM_FAULT_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/time.h"
+
+namespace sweepmv {
+
+struct FaultModel {
+  // Probability an individual transmission is lost.
+  double drop_prob = 0.0;
+  // Probability the wire delivers a second copy of a transmission.
+  double dup_prob = 0.0;
+  // Probability a transmission hits a congestion burst, adding
+  // `burst_delay` ticks on top of the sampled latency.
+  double burst_prob = 0.0;
+  SimTime burst_delay = 0;
+  // If true the raw wire still clamps arrivals FIFO (lossy but ordered);
+  // if false, jitter may reorder messages — the session layer's reorder
+  // buffer is what re-establishes order.
+  bool preserve_fifo = false;
+  // Half-open windows [start, end) during which every transmission on the
+  // link is lost.
+  struct Partition {
+    SimTime start = 0;
+    SimTime end = 0;
+  };
+  std::vector<Partition> partitions;
+
+  bool PartitionedAt(SimTime t) const;
+
+  std::string ToDisplayString() const;
+};
+
+// Outcome of sampling the model for one transmission. Always consumes
+// exactly three Bernoulli draws so the per-link fault stream stays aligned
+// regardless of outcomes (fault-schedule determinism).
+struct FaultDecision {
+  bool drop = false;       // lost (probability or partition)
+  bool partitioned = false;
+  bool duplicate = false;
+  SimTime extra_delay = 0;
+};
+
+FaultDecision SampleFaults(const FaultModel& model, Rng& rng, SimTime now);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_SIM_FAULT_MODEL_H_

@@ -25,6 +25,10 @@ MessageClass ClassOf(const Message& msg) {
     MessageClass operator()(const SnapshotAnswer&) const {
       return MessageClass::kQueryAnswer;
     }
+    MessageClass operator()(const SessionDatagram& m) const {
+      return m.payload ? ClassOf(*m.payload)
+                       : MessageClass::kTransportControl;
+    }
   };
   return std::visit(Visitor{}, msg);
 }
@@ -58,6 +62,9 @@ int64_t PayloadTuples(const Message& msg) {
     int64_t operator()(const SnapshotAnswer& m) const {
       return static_cast<int64_t>(m.snapshot.DistinctSize());
     }
+    int64_t operator()(const SessionDatagram& m) const {
+      return m.payload ? PayloadTuples(*m.payload) : 0;
+    }
   };
   return std::visit(Visitor{}, msg);
 }
@@ -70,6 +77,8 @@ const char* MessageClassName(MessageClass c) {
       return "query";
     case MessageClass::kQueryAnswer:
       return "answer";
+    case MessageClass::kTransportControl:
+      return "transport";
     default:
       return "?";
   }

@@ -17,6 +17,7 @@
 #define SWEEPMV_SIM_MESSAGE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <variant>
@@ -76,16 +77,36 @@ struct SnapshotAnswer {
   Relation snapshot;
 };
 
+// SessionDatagram carries any Message by pointer, so the variant can
+// include it by forward declaration.
+struct SessionDatagram;
+
 using Message =
     std::variant<UpdateMessage, QueryRequest, QueryAnswer, EcaQueryRequest,
-                 EcaQueryAnswer, SnapshotRequest, SnapshotAnswer>;
+                 EcaQueryAnswer, SnapshotRequest, SnapshotAnswer,
+                 SessionDatagram>;
+
+// Reliability-layer envelope (sim/session.h, docs/fault_model.md): a
+// sequenced application payload, or — with seq == -1 — a pure cumulative
+// ack. Only faulty links carry datagrams; sites never see them (the
+// network unwraps before delivery).
+struct SessionDatagram {
+  int64_t seq = -1;       // -1 marks a pure ack
+  int64_t base_seq = 0;   // sender's oldest unacked at transmit time
+  int64_t cum_ack = -1;   // highest in-order delivered seq (acks only)
+  int64_t epoch = 0;      // sender incarnation (acks: epoch being acked)
+  std::shared_ptr<const Message> payload;  // null for pure acks
+};
 
 // Broad classes for traffic accounting.
 enum class MessageClass : int {
   kUpdateNotification = 0,
   kQueryRequest = 1,
   kQueryAnswer = 2,
-  kNumClasses = 3,
+  // Session-layer control traffic (acks); data datagrams classify as
+  // their payload.
+  kTransportControl = 3,
+  kNumClasses = 4,
 };
 
 MessageClass ClassOf(const Message& msg);

@@ -1,0 +1,99 @@
+#include "sim/session.h"
+
+#include "common/check.h"
+
+namespace sweepmv {
+
+int64_t SessionSender::Enqueue(std::shared_ptr<const Message> payload) {
+  SWEEP_CHECK(payload != nullptr);
+  int64_t seq = next_seq_++;
+  unacked_.emplace(seq, std::move(payload));
+  return seq;
+}
+
+bool SessionSender::OnAck(int64_t epoch, int64_t cum_ack) {
+  if (epoch != epoch_) return false;  // ack for a dead incarnation
+  bool progress = false;
+  while (!unacked_.empty() && unacked_.begin()->first <= cum_ack) {
+    unacked_.erase(unacked_.begin());
+    progress = true;
+  }
+  if (progress) {
+    rto_ = opts_.rto_initial;
+    consecutive_timeouts_ = 0;
+  }
+  return progress;
+}
+
+SessionSender::TimeoutAction SessionSender::OnTimeout() {
+  TimeoutAction action;
+  if (unacked_.empty()) return action;
+  ++consecutive_timeouts_;
+  if (consecutive_timeouts_ > opts_.retry_budget) {
+    action.abandoned = true;
+    action.abandoned_count = static_cast<int64_t>(unacked_.size());
+    unacked_.clear();
+    consecutive_timeouts_ = 0;
+    rto_ = opts_.rto_initial;
+    return action;
+  }
+  for (const auto& [seq, payload] : unacked_) {
+    action.resend.push_back(Retransmission{seq, payload});
+  }
+  SimTime doubled = rto_ * 2;
+  rto_ = doubled > opts_.rto_max ? opts_.rto_max : doubled;
+  return action;
+}
+
+void SessionSender::RestartWithNewEpoch() {
+  ++epoch_;
+  next_seq_ = 0;
+  unacked_.clear();
+  rto_ = opts_.rto_initial;
+  consecutive_timeouts_ = 0;
+}
+
+SessionReceiver::Accepted SessionReceiver::OnData(
+    int64_t epoch, int64_t seq, int64_t base_seq,
+    std::shared_ptr<const Message> payload) {
+  Accepted acc;
+  if (epoch < epoch_) {
+    acc.stale_epoch = true;
+    return acc;
+  }
+  if (epoch > epoch_) {
+    // The peer restarted with a fresh incarnation; its numbering begins
+    // anew.
+    epoch_ = epoch;
+    expected_ = 0;
+    buffer_.clear();
+  }
+  acc.ack_epoch = epoch_;
+  if (base_seq > expected_) {
+    // Everything below base_seq was acked by a previous incarnation of
+    // this receiver — delivered before our crash. Skip forward.
+    expected_ = base_seq;
+    buffer_.erase(buffer_.begin(), buffer_.lower_bound(expected_));
+  }
+  if (seq < expected_ || buffer_.count(seq) != 0) {
+    acc.duplicate = true;
+  } else {
+    buffer_.emplace(seq, std::move(payload));
+    auto it = buffer_.find(expected_);
+    while (it != buffer_.end() && it->first == expected_) {
+      acc.deliver.push_back(std::move(it->second));
+      it = buffer_.erase(it);
+      ++expected_;
+    }
+  }
+  acc.cum_ack = expected_ - 1;
+  return acc;
+}
+
+void SessionReceiver::Reset() {
+  epoch_ = -1;
+  expected_ = 0;
+  buffer_.clear();
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,146 @@
+// Reliability session layer: exactly-once FIFO delivery over faulty links.
+//
+// SWEEP's compensation argument (and every other algorithm here) was
+// written against the paper's Section 2 assumption of reliable FIFO
+// channels. When a link carries a FaultModel that assumption is gone, so
+// the network interposes a per-directed-link session:
+//
+//   sender    — assigns consecutive sequence numbers, buffers unacked
+//               payloads, retransmits on timeout with exponential backoff
+//               and a retry budget;
+//   receiver  — suppresses duplicates, buffers out-of-order arrivals, and
+//               releases payloads to the application strictly in sequence
+//               order, acknowledging cumulatively;
+//   epochs    — each site incarnation bumps its sender epoch on restart; a
+//               receiver that sees a higher epoch resets (the peer lost
+//               its state in a crash and is starting over), and stale
+//               in-flight datagrams from dead incarnations are discarded.
+//
+// Receiver-crash resync: every data datagram carries the sender's
+// `base_seq` (oldest unacked). A receiver advances its expectation to
+// base_seq — sequence numbers below it were cumulatively acked by a
+// previous incarnation of this receiver, i.e. delivered before the crash.
+// In crash-free operation base_seq never exceeds the receiver's next
+// expected sequence, so the rule is a no-op there.
+//
+// These classes are pure state machines: Network (sim/network.cc) owns the
+// scheduling of transmissions, timers and acks. That keeps the protocol
+// unit-testable without a simulator.
+
+#ifndef SWEEPMV_SIM_SESSION_H_
+#define SWEEPMV_SIM_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/time.h"
+
+namespace sweepmv {
+
+struct SessionOptions {
+  // Initial retransmission timeout. 0 = derive from the link's latency
+  // model (4·base + 2·jitter + 500) when the network installs the session.
+  SimTime rto_initial = 0;
+  // Backoff cap. 0 = 16× the initial RTO.
+  SimTime rto_max = 0;
+  // Consecutive timeouts without ack progress before the sender abandons
+  // the unacked buffer (the link is declared dead). Generous by default:
+  // partitions are expected to heal.
+  int retry_budget = 64;
+};
+
+// Sender half of one directed session.
+class SessionSender {
+ public:
+  SessionSender() = default;
+
+  void Configure(const SessionOptions& opts) {
+    opts_ = opts;
+    rto_ = opts_.rto_initial;
+  }
+
+  // Registers a payload for transmission; returns its sequence number.
+  int64_t Enqueue(std::shared_ptr<const Message> payload);
+
+  int64_t epoch() const { return epoch_; }
+  // Oldest unacked sequence (== next sequence when fully acked).
+  int64_t base_seq() const {
+    return unacked_.empty() ? next_seq_ : unacked_.begin()->first;
+  }
+  bool HasUnacked() const { return !unacked_.empty(); }
+  size_t unacked_count() const { return unacked_.size(); }
+  SimTime rto() const { return rto_; }
+  int consecutive_timeouts() const { return consecutive_timeouts_; }
+
+  // Cumulative ack for `epoch`: drops buffered payloads with seq <=
+  // cum_ack. Returns true if anything new was acked (progress resets the
+  // backoff and the retry count).
+  bool OnAck(int64_t epoch, int64_t cum_ack);
+
+  struct Retransmission {
+    int64_t seq = -1;
+    std::shared_ptr<const Message> payload;
+  };
+  struct TimeoutAction {
+    // Every still-unacked payload, to be retransmitted (go-back-N).
+    std::vector<Retransmission> resend;
+    // Retry budget exhausted: the buffer was discarded, give up.
+    bool abandoned = false;
+    int64_t abandoned_count = 0;
+  };
+  // One retransmission-timer expiry: doubles the RTO (capped), charges the
+  // retry budget.
+  TimeoutAction OnTimeout();
+
+  // Crash/restart: in-flight state is lost; the new incarnation restarts
+  // sequencing from zero under the next epoch.
+  void RestartWithNewEpoch();
+
+ private:
+  SessionOptions opts_;
+  int64_t epoch_ = 0;
+  int64_t next_seq_ = 0;
+  std::map<int64_t, std::shared_ptr<const Message>> unacked_;
+  SimTime rto_ = 0;
+  int consecutive_timeouts_ = 0;
+};
+
+// Receiver half of one directed session.
+class SessionReceiver {
+ public:
+  SessionReceiver() = default;
+
+  struct Accepted {
+    // Payloads released in sequence order by this arrival.
+    std::vector<std::shared_ptr<const Message>> deliver;
+    // Cumulative ack to send back (highest in-order delivered seq, -1 if
+    // nothing yet), tagged with the sender epoch it acknowledges.
+    int64_t cum_ack = -1;
+    int64_t ack_epoch = 0;
+    // The datagram was a duplicate (already delivered or already
+    // buffered); re-acked so a lost ack heals.
+    bool duplicate = false;
+    // The datagram came from a dead incarnation; dropped, no ack.
+    bool stale_epoch = false;
+  };
+  Accepted OnData(int64_t epoch, int64_t seq, int64_t base_seq,
+                  std::shared_ptr<const Message> payload);
+
+  // Receiver site crashed: delivery/dedup state is lost.
+  void Reset();
+
+  int64_t expected() const { return expected_; }
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  int64_t epoch_ = -1;
+  int64_t expected_ = 0;
+  std::map<int64_t, std::shared_ptr<const Message>> buffer_;
+};
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_SIM_SESSION_H_

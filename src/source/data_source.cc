@@ -25,6 +25,9 @@ DataSource::DataSource(int site_id, int relation_index, Relation initial,
 }
 
 int64_t DataSource::ApplyTransaction(const std::vector<UpdateOp>& ops) {
+  // A crashed site executes no transactions; the workload simply does not
+  // happen here until the site is back.
+  if (crashed_) return -1;
   Relation delta = OpsToDelta(view_->rel_schema(relation_index_), ops);
   if (delta.Empty()) return -1;
 
@@ -50,6 +53,38 @@ int64_t DataSource::ApplyTransaction(const std::vector<UpdateOp>& ops) {
 
 void DataSource::AddWarehouse(int warehouse_site) {
   warehouse_sites_.push_back(warehouse_site);
+}
+
+void DataSource::Crash() {
+  SWEEP_CHECK_MSG(!crashed_, "source is already crashed");
+  crashed_ = true;
+  network_->CrashSite(site_id_);
+  SWEEP_LOG(Debug) << "source R" << relation_index_ << " crashed";
+}
+
+void DataSource::Restart() {
+  SWEEP_CHECK_MSG(crashed_, "source is not crashed");
+  crashed_ = false;
+  network_->RestartSite(site_id_);
+  // Recovery: the source cannot know which notifications reached the
+  // warehouse (that knowledge was volatile), so it replays the whole
+  // committed log. Per-link session FIFO delivers the replays in log
+  // order and the warehouse discards ids it already incorporated, which
+  // together preserve the per-source prefix property SWEEP's consistency
+  // argument needs.
+  for (const LoggedUpdate& logged : log_.updates()) {
+    Update update;
+    update.id = logged.id;
+    update.relation = relation_index_;
+    update.delta = logged.delta;
+    update.applied_at = logged.applied_at;
+    for (int warehouse : warehouse_sites_) {
+      network_->Send(site_id_, warehouse, UpdateMessage{update});
+    }
+    ++updates_replayed_;
+  }
+  SWEEP_LOG(Debug) << "source R" << relation_index_ << " restarted, "
+                   << "replayed " << log_.updates().size() << " updates";
 }
 
 int64_t DataSource::ApplyTxn(int relation_index,
@@ -78,6 +113,9 @@ int64_t DataSource::ApplyDelete(Tuple t) {
 }
 
 void DataSource::OnMessage(int from, Message msg) {
+  // The network drops deliveries to crashed sites; this guard is defense
+  // in depth.
+  if (crashed_) return;
   if (auto* query = std::get_if<QueryRequest>(&msg)) {
     SWEEP_CHECK_MSG(query->target_rel == relation_index_,
                     "query routed to the wrong source");

@@ -61,6 +61,21 @@ class DataSource : public SourceSite {
   // sources). Queries are always answered to their sender.
   void AddWarehouse(int warehouse_site);
 
+  // Crash-failure model (docs/fault_model.md). Crash() takes the site
+  // down: volatile state — in-flight messages, session state, anything
+  // being computed — is lost; the base relation and the committed update
+  // log survive (they are the durable store a real source recovers from).
+  // While crashed the site executes nothing: local transactions are
+  // refused and the network drops traffic to and from it.
+  void Crash();
+  // Brings the site back under a new incarnation and replays every
+  // committed update from the state log to all registered warehouses —
+  // at-least-once recovery; warehouses discard the ids they already saw.
+  void Restart();
+  bool crashed() const { return crashed_; }
+  // Update notifications re-sent by Restart() replays.
+  int64_t updates_replayed() const { return updates_replayed_; }
+
   // SourceSite interface (single hosted relation).
   int64_t ApplyTxn(int relation_index,
                    const std::vector<UpdateOp>& ops) override;
@@ -83,6 +98,8 @@ class DataSource : public SourceSite {
   UpdateIdGenerator* ids_;
   StateLog log_;
   int64_t queries_answered_ = 0;
+  bool crashed_ = false;
+  int64_t updates_replayed_ = 0;
 };
 
 }  // namespace sweepmv

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace sweepmv {
 namespace {
 
@@ -51,6 +53,51 @@ TEST(ChannelTest, SetLatencyTakesEffect) {
   EXPECT_EQ(ch.NextArrival(0), 100);
   ch.set_latency(LatencyModel::Fixed(500));
   EXPECT_EQ(ch.NextArrival(200), 700);
+}
+
+TEST(ChannelTest, FifoMonotonicUnderExtremeJitter) {
+  // Jitter two orders of magnitude above the base latency, sends at
+  // irregular (but increasing) times: arrivals must still be a
+  // non-decreasing sequence, each no earlier than send + base.
+  Channel ch(LatencyModel::Jittered(10, 5'000), Rng(1234));
+  Rng clock(99);
+  SimTime now = 0;
+  SimTime prev_arrival = 0;
+  for (int i = 0; i < 2'000; ++i) {
+    now += clock.Uniform(0, 40);
+    SimTime arrival = ch.NextArrival(now);
+    EXPECT_GE(arrival, prev_arrival);
+    EXPECT_GE(arrival, now + 10);
+    prev_arrival = arrival;
+  }
+}
+
+TEST(ChannelTest, UnorderedArrivalCanReorder) {
+  // Without the FIFO clamp, jitter is allowed to schedule a later send
+  // before an earlier one — the behaviour the session layer's reorder
+  // buffer exists to absorb.
+  Channel ch(LatencyModel::Jittered(10, 2'000), Rng(7));
+  bool reordered = false;
+  SimTime prev = ch.UnorderedArrival(0);
+  for (int i = 1; i < 200; ++i) {
+    SimTime arrival = ch.UnorderedArrival(i);
+    if (arrival < prev) reordered = true;
+    prev = arrival;
+  }
+  EXPECT_TRUE(reordered);
+  EXPECT_EQ(ch.messages_sent(), 200);
+}
+
+TEST(ChannelTest, UnorderedArrivalKeepsFifoHighWaterMark) {
+  // A switch back to FIFO sampling must not schedule before anything the
+  // unordered path already put on the wire.
+  Channel ch(LatencyModel::Jittered(10, 2'000), Rng(21));
+  SimTime high_water = 0;
+  for (int i = 0; i < 50; ++i) {
+    high_water = std::max(high_water, ch.UnorderedArrival(i));
+  }
+  SimTime fifo = ch.NextArrival(51);
+  EXPECT_GE(fifo, high_water);
 }
 
 }  // namespace

@@ -12,8 +12,14 @@ namespace {
 using testing_util::PaperBases;
 using testing_util::PaperView;
 
+// GTEST_FLAG_SET only exists from googletest 1.12; assign through the
+// older GTEST_FLAG macro so the file builds against 1.11 as well.
+void UseThreadsafeDeathTests() {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+}
+
 TEST(ContractDeathTest, DeletingAbsentTupleAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  UseThreadsafeDeathTests();
   ViewDef view = PaperView();
   Simulator sim;
   Network net(&sim, LatencyModel::Fixed(10), 1);
@@ -26,14 +32,14 @@ TEST(ContractDeathTest, DeletingAbsentTupleAborts) {
 }
 
 TEST(ContractDeathTest, TupleSchemaMismatchAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  UseThreadsafeDeathTests();
   Relation r(Schema::AllInts({"A", "B"}));
   EXPECT_DEATH(r.Add(IntTuple({1, 2, 3}), 1),
                "does not match relation schema");
 }
 
 TEST(ContractDeathTest, ExtendPastChainEndAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  UseThreadsafeDeathTests();
   ViewDef view = PaperView();
   Relation delta(view.rel_schema(0));
   delta.Add(IntTuple({1, 3}), 1);
@@ -44,7 +50,7 @@ TEST(ContractDeathTest, ExtendPastChainEndAborts) {
 }
 
 TEST(ContractDeathTest, DuplicateSiteRegistrationAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  UseThreadsafeDeathTests();
   ViewDef view = PaperView();
   Simulator sim;
   Network net(&sim, LatencyModel::Fixed(10), 1);
@@ -55,7 +61,7 @@ TEST(ContractDeathTest, DuplicateSiteRegistrationAborts) {
 }
 
 TEST(ContractDeathTest, SendingToUnknownSiteAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  UseThreadsafeDeathTests();
   Simulator sim;
   Network net(&sim, LatencyModel::Fixed(10), 1);
   EXPECT_DEATH(net.Send(0, 42, SnapshotRequest{1}),
@@ -63,7 +69,7 @@ TEST(ContractDeathTest, SendingToUnknownSiteAborts) {
 }
 
 TEST(ContractDeathTest, MisroutedQueryAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  UseThreadsafeDeathTests();
   ViewDef view = PaperView();
   Simulator sim;
   Network net(&sim, LatencyModel::Fixed(10), 1);
@@ -82,7 +88,7 @@ TEST(ContractDeathTest, MisroutedQueryAborts) {
 }
 
 TEST(ContractDeathTest, SchedulingInThePastAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  UseThreadsafeDeathTests();
   Simulator sim;
   sim.Schedule(100, [] {});
   sim.Run();
