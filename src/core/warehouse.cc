@@ -12,10 +12,26 @@ Warehouse::Warehouse(int site_id, ViewDef view_def, Network* network,
       network_(network),
       source_sites_(std::move(source_sites)),
       options_(options),
-      view_(view_def_.view_schema()) {
+      view_(view_def_.view_schema()),
+      update_watermarks_(
+          static_cast<size_t>(view_def_.num_relations()), -1) {
   SWEEP_CHECK(network != nullptr);
   SWEEP_CHECK(static_cast<int>(source_sites_.size()) ==
               view_def_.num_relations());
+}
+
+bool Warehouse::IsDuplicateUpdate(const Update& update) {
+  if (options_.fifo_update_streams) {
+    SWEEP_CHECK(update.relation >= 0 &&
+                update.relation <
+                    static_cast<int>(update_watermarks_.size()));
+    int64_t& watermark =
+        update_watermarks_[static_cast<size_t>(update.relation)];
+    if (update.id <= watermark) return true;
+    watermark = update.id;
+    return false;
+  }
+  return !seen_update_ids_.insert(update.id).second;
 }
 
 void Warehouse::InitializeView(Relation initial_view) {
@@ -27,7 +43,7 @@ void Warehouse::InitializeView(Relation initial_view) {
 void Warehouse::OnMessage(int from, Message msg) {
   (void)from;
   if (auto* update = std::get_if<UpdateMessage>(&msg)) {
-    if (!seen_update_ids_.insert(update->update.id).second) {
+    if (IsDuplicateUpdate(update->update)) {
       // Redundant notification — a restarted source replaying its log, or
       // at-least-once delivery without the session layer. The arrival
       // order that defines consistency is the order of *first* arrivals.

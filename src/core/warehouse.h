@@ -67,6 +67,19 @@ class Warehouse : public Site {
     SimTime query_timeout = 0;
     // Re-issue attempts per query before giving up.
     int query_retry_limit = 8;
+    // Duplicate-update detection strategy. True (the default) assumes
+    // each relation's update notifications arrive in id order — which
+    // holds on pristine links and on faulty links under the session
+    // layer, since ids are assigned in source commit order, crash
+    // replays resend the log in order, and delivery is FIFO per link.
+    // Dedup state is then one high-water id per relation (bounded
+    // forever) instead of a grow-only id set: an arriving id at or below
+    // its relation's watermark was, by the FIFO argument, already
+    // delivered — the cumulative-ack reasoning of the session layer
+    // lifted to update ids. Set false only when updates can genuinely
+    // reorder (faulty links with the reliability layer disabled); the
+    // warehouse then falls back to remembering every id.
+    bool fifo_update_streams = true;
   };
 
   // `source_sites[r]` is the site id serving queries for relation r (all
@@ -129,6 +142,12 @@ class Warehouse : public Site {
   }
   int64_t stale_answers_ignored() const { return stale_answers_ignored_; }
   int64_t queries_reissued() const { return queries_reissued_; }
+
+  // Entries of duplicate-detection state that can still grow with the run
+  // (the fallback id set; the per-relation watermarks are fixed-size and
+  // not counted). Stays 0 under fifo_update_streams — the bound the
+  // chaos tests assert.
+  size_t dedup_state_size() const { return seen_update_ids_.size(); }
 
  protected:
   // Invoked after an update was appended to the queue.
@@ -207,6 +226,14 @@ class Warehouse : public Site {
   int64_t updates_incorporated_ = 0;
   int64_t queries_sent_ = 0;
   int64_t next_query_id_ = 0;
+  // True if the arriving update is a redundant notification; records it
+  // as seen otherwise. Watermark-based under fifo_update_streams,
+  // id-set-based otherwise.
+  bool IsDuplicateUpdate(const Update& update);
+  // Highest update id seen per relation (-1 = none); the bounded dedup
+  // state under fifo_update_streams.
+  std::vector<int64_t> update_watermarks_;
+  // Fallback dedup state when update streams may reorder.
   std::unordered_set<int64_t> seen_update_ids_;
   std::map<int64_t, PendingQuery> pending_queries_;
   int64_t duplicate_updates_ignored_ = 0;

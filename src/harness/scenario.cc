@@ -66,6 +66,7 @@ RunResult RunExplicitScenario(const ScenarioConfig& config,
 
   const bool single_source = RequiresSingleSource(config.algorithm);
   const int per_site = std::max(1, config.relations_per_site);
+  const SourceStorageOptions storage_options{config.use_indexes};
 
   // Topology: site id per relation, one SourceSite per relation for
   // transaction injection and ground-truth logs.
@@ -90,7 +91,7 @@ RunResult RunExplicitScenario(const ScenarioConfig& config,
       if (hi - lo == 1) {
         site = std::make_unique<DataSource>(
             site_id, lo, initial_bases[static_cast<size_t>(lo)], &view,
-            &network, kWarehouseSite, &ids);
+            &network, kWarehouseSite, &ids, storage_options);
       } else {
         std::vector<std::pair<int, Relation>> hosted;
         for (int r = lo; r < hi; ++r) {
@@ -98,7 +99,7 @@ RunResult RunExplicitScenario(const ScenarioConfig& config,
         }
         site = std::make_unique<MultiRelationSource>(
             site_id, std::move(hosted), &view, &network, kWarehouseSite,
-            &ids);
+            &ids, storage_options);
       }
       network.RegisterSite(site_id, site.get());
       for (int r = lo; r < hi; ++r) {
@@ -113,6 +114,10 @@ RunResult RunExplicitScenario(const ScenarioConfig& config,
   if (plan.enabled) {
     warehouse_config.base.query_timeout = plan.query_timeout;
     warehouse_config.base.query_retry_limit = plan.query_retry_limit;
+    // Raw faulty delivery (reliability off) can reorder update streams,
+    // so the bounded watermark dedup is unsound there; fall back to the
+    // remember-every-id set.
+    warehouse_config.base.fifo_update_streams = plan.reliability;
   }
   std::unique_ptr<Warehouse> warehouse =
       MakeWarehouse(config.algorithm, kWarehouseSite, view, &network,
@@ -190,6 +195,11 @@ RunResult RunExplicitScenario(const ScenarioConfig& config,
   result.duplicate_updates_ignored = warehouse->duplicate_updates_ignored();
   result.stale_answers_ignored = warehouse->stale_answers_ignored();
   result.queries_reissued = warehouse->queries_reissued();
+  result.dedup_state_entries =
+      static_cast<int64_t>(warehouse->dedup_state_size());
+  for (const auto& site : owned_sources) {
+    result.storage.MergeFrom(site->storage_stats());
+  }
   for (const DataSource* source : crashable) {
     result.updates_replayed += source->updates_replayed();
   }

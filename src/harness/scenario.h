@@ -20,6 +20,7 @@
 #include "sim/latency.h"
 #include "sim/network.h"
 #include "sim/session.h"
+#include "storage/indexed_relation.h"
 #include "workload/schema_gen.h"
 #include "workload/update_gen.h"
 
@@ -71,6 +72,11 @@ struct ScenarioConfig {
   int relations_per_site = 1;
   // Verify consistency by replay (skip for large throughput benches).
   bool check_consistency = true;
+  // Storage engine: sources maintain the IndexCatalog's hash indexes and
+  // answer sweep queries by probing them (src/storage/). Off = re-scan
+  // the base relation per query; results are identical (the equivalence
+  // property test proves it), only the cost differs.
+  bool use_indexes = true;
   // Safety valve for runaway protocols (C-Strobe under heavy
   // interference): abort the run after this many simulator events.
   int64_t max_events = 50'000'000;
@@ -113,6 +119,13 @@ struct RunResult {
   int64_t stale_answers_ignored = 0;      // late/duplicate query answers
   int64_t queries_reissued = 0;           // timeout-driven re-issues
   int64_t updates_replayed = 0;           // log replays by restarted sources
+  // Growable dedup-state entries left at the warehouse after the run
+  // (0 under FIFO update streams — the watermark dedup is fixed-size).
+  int64_t dedup_state_entries = 0;
+
+  // Storage-engine counters summed over every source site (all zero with
+  // use_indexes off or for ECA's index-less single source).
+  StorageStats storage;
 };
 
 // Runs the scenario built from generated schema + workload.

@@ -92,6 +92,15 @@ class Relation {
 
   const CountMap& entries() const { return counts_; }
 
+  // Pointer to the stored (tuple, count) entry, or nullptr if absent.
+  // Stable across other insertions/erasures and across rehashing
+  // (unordered_map node stability) — the storage layer's hash indexes
+  // (src/storage/) point at these entries instead of copying tuples.
+  const CountMap::value_type* FindEntry(const Tuple& t) const {
+    auto it = counts_.find(t);
+    return it == counts_.end() ? nullptr : &*it;
+  }
+
   // Deterministic (sorted by tuple) snapshot of the entries; use for
   // display and for order-insensitive comparisons in tests.
   std::vector<std::pair<Tuple, int64_t>> SortedEntries() const;

@@ -3,25 +3,35 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "relational/partial_delta.h"
+#include "storage/index_catalog.h"
+#include "storage/indexed_ops.h"
 
 namespace sweepmv {
 
 DataSource::DataSource(int site_id, int relation_index, Relation initial,
                        const ViewDef* view, Network* network,
-                       int warehouse_site, UpdateIdGenerator* ids)
+                       int warehouse_site, UpdateIdGenerator* ids,
+                       SourceStorageOptions storage)
     : site_id_(site_id),
       relation_index_(relation_index),
-      relation_(std::move(initial)),
+      store_(std::move(initial)),
       view_(view),
       network_(network),
       warehouse_sites_{warehouse_site},
-      ids_(ids) {
+      ids_(ids),
+      storage_options_(storage) {
   SWEEP_CHECK(view != nullptr && network != nullptr && ids != nullptr);
   SWEEP_CHECK(relation_index >= 0 &&
               relation_index < view->num_relations());
-  SWEEP_CHECK_MSG(!relation_.HasNegative(),
+  SWEEP_CHECK_MSG(!store_.relation().HasNegative(),
                   "base relations must have positive counts");
-  log_.SetInitial(relation_);
+  log_.SetInitial(store_.relation());
+  if (storage_options_.use_indexes) {
+    IndexCatalog catalog(*view_);
+    for (const auto& key : catalog.key_sets(relation_index_)) {
+      store_.EnsureIndex(key);
+    }
+  }
 }
 
 int64_t DataSource::ApplyTransaction(const std::vector<UpdateOp>& ops) {
@@ -31,8 +41,8 @@ int64_t DataSource::ApplyTransaction(const std::vector<UpdateOp>& ops) {
   Relation delta = OpsToDelta(view_->rel_schema(relation_index_), ops);
   if (delta.Empty()) return -1;
 
-  relation_.Merge(delta);
-  SWEEP_CHECK_MSG(!relation_.HasNegative(),
+  store_.Merge(delta);
+  SWEEP_CHECK_MSG(!store_.relation().HasNegative(),
                   "transaction deleted a tuple that was not present");
 
   Update update;
@@ -66,6 +76,9 @@ void DataSource::Restart() {
   SWEEP_CHECK_MSG(crashed_, "source is not crashed");
   crashed_ = false;
   network_->RestartSite(site_id_);
+  // Indexes are a volatile cache over the durable relation; the new
+  // incarnation rebuilds them before answering any query.
+  store_.RebuildIndexes();
   // Recovery: the source cannot know which notifications reached the
   // warehouse (that knowledge was volatile), so it replays the whole
   // committed log. Per-link session FIFO delivers the replays in log
@@ -101,7 +114,13 @@ const StateLog& DataSource::LogOf(int relation_index) const {
 
 const Relation& DataSource::RelationOf(int relation_index) const {
   SWEEP_CHECK(relation_index == relation_index_);
-  return relation_;
+  return store_.relation();
+}
+
+StorageStats DataSource::storage_stats() const {
+  StorageStats stats = store_.stats();
+  stats.MergeFrom(query_stats_);
+  return stats;
 }
 
 int64_t DataSource::ApplyInsert(Tuple t) {
@@ -119,10 +138,19 @@ void DataSource::OnMessage(int from, Message msg) {
   if (auto* query = std::get_if<QueryRequest>(&msg)) {
     SWEEP_CHECK_MSG(query->target_rel == relation_index_,
                     "query routed to the wrong source");
-    PartialDelta result =
-        query->extend_left
-            ? ExtendLeft(*view_, relation_, query->partial)
-            : ExtendRight(*view_, query->partial, relation_);
+    PartialDelta result;
+    if (storage_options_.use_indexes) {
+      result = query->extend_left
+                   ? ExtendLeftIndexed(*view_, store_, query->partial,
+                                       &query_stats_)
+                   : ExtendRightIndexed(*view_, query->partial, store_,
+                                        &query_stats_);
+    } else {
+      result = query->extend_left
+                   ? ExtendLeft(*view_, store_.relation(), query->partial)
+                   : ExtendRight(*view_, query->partial, store_.relation());
+      ++query_stats_.scan_fallbacks;
+    }
     ++queries_answered_;
     network_->Send(site_id_, from,
                    QueryAnswer{query->query_id, std::move(result)});
@@ -131,7 +159,7 @@ void DataSource::OnMessage(int from, Message msg) {
   if (auto* snap = std::get_if<SnapshotRequest>(&msg)) {
     network_->Send(site_id_, from,
                    SnapshotAnswer{snap->query_id, relation_index_,
-                                  relation_});
+                                  store_.relation()});
     return;
   }
   SWEEP_CHECK_MSG(false, "data source received an unexpected message type");

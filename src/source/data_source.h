@@ -22,6 +22,7 @@
 #include "source/source_site.h"
 #include "source/state_log.h"
 #include "source/update.h"
+#include "storage/indexed_relation.h"
 
 namespace sweepmv {
 
@@ -35,13 +36,23 @@ class UpdateIdGenerator {
   int64_t next_ = 0;
 };
 
+// Per-source storage-engine knobs.
+struct SourceStorageOptions {
+  // Maintain the IndexCatalog's hash indexes and answer incremental
+  // queries by probing them. Off = the pre-storage-engine behaviour
+  // (every query re-scans the relation); kept as an ablation/equivalence
+  // switch — results are identical either way, only the cost differs.
+  bool use_indexes = true;
+};
+
 class DataSource : public SourceSite {
  public:
   // `relation_index` is the position of this source's base relation in the
   // view chain. `warehouse_site` is where updates and answers are sent.
   DataSource(int site_id, int relation_index, Relation initial,
              const ViewDef* view, Network* network, int warehouse_site,
-             UpdateIdGenerator* ids);
+             UpdateIdGenerator* ids,
+             SourceStorageOptions storage = SourceStorageOptions{});
 
   // Executes a source-local transaction atomically: applies every op in
   // order, logs the resulting delta, and ships it to the warehouse as a
@@ -84,18 +95,24 @@ class DataSource : public SourceSite {
 
   int site_id() const { return site_id_; }
   int relation_index() const { return relation_index_; }
-  const Relation& relation() const { return relation_; }
+  const Relation& relation() const { return store_.relation(); }
+  const IndexedRelation& store() const { return store_; }
   const StateLog& log() const { return log_; }
   int64_t queries_answered() const { return queries_answered_; }
+
+  // Index maintenance + query-path counters for this site.
+  StorageStats storage_stats() const override;
 
  private:
   int site_id_;
   int relation_index_;
-  Relation relation_;
+  IndexedRelation store_;
   const ViewDef* view_;
   Network* network_;
   std::vector<int> warehouse_sites_;
   UpdateIdGenerator* ids_;
+  SourceStorageOptions storage_options_;
+  StorageStats query_stats_;
   StateLog log_;
   int64_t queries_answered_ = 0;
   bool crashed_ = false;

@@ -32,7 +32,8 @@ class MultiRelationSource : public SourceSite {
   MultiRelationSource(int site_id,
                       std::vector<std::pair<int, Relation>> relations,
                       const ViewDef* view, Network* network,
-                      int warehouse_site, UpdateIdGenerator* ids);
+                      int warehouse_site, UpdateIdGenerator* ids,
+                      SourceStorageOptions storage = SourceStorageOptions{});
 
   int64_t ApplyTxn(int relation_index,
                    const std::vector<UpdateOp>& ops) override;
@@ -46,9 +47,12 @@ class MultiRelationSource : public SourceSite {
   std::vector<int> hosted_relations() const;
   int64_t queries_answered() const { return queries_answered_; }
 
+  // Index maintenance + query-path counters across hosted relations.
+  StorageStats storage_stats() const override;
+
  private:
   struct Hosted {
-    Relation relation;
+    IndexedRelation store;
     StateLog log;
   };
 
@@ -60,6 +64,8 @@ class MultiRelationSource : public SourceSite {
   Network* network_;
   int warehouse_site_;
   UpdateIdGenerator* ids_;
+  SourceStorageOptions storage_options_;
+  StorageStats query_stats_;
   std::map<int, Hosted> hosted_;
   int64_t queries_answered_ = 0;
 };

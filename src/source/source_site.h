@@ -17,6 +17,7 @@
 #include "sim/site.h"
 #include "source/state_log.h"
 #include "source/update.h"
+#include "storage/indexed_relation.h"
 
 namespace sweepmv {
 
@@ -33,6 +34,10 @@ class SourceSite : public Site {
   // Ground-truth log / current state of a hosted relation.
   virtual const StateLog& LogOf(int relation_index) const = 0;
   virtual const Relation& RelationOf(int relation_index) const = 0;
+
+  // Storage-engine counters for this site (zeros for sites that answer
+  // queries without maintained indexes, e.g. the ECA single source).
+  virtual StorageStats storage_stats() const { return StorageStats{}; }
 };
 
 }  // namespace sweepmv

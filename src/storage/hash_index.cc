@@ -1,0 +1,40 @@
+#include "storage/hash_index.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace sweepmv {
+
+HashIndex::HashIndex(std::vector<int> key_positions)
+    : key_positions_(std::move(key_positions)) {
+  SWEEP_CHECK_MSG(!key_positions_.empty(),
+                  "an index needs at least one key column");
+}
+
+void HashIndex::OnInsert(const Entry* entry) {
+  SWEEP_CHECK(entry != nullptr);
+  buckets_[entry->first.Project(key_positions_)].insert(entry);
+}
+
+void HashIndex::OnErase(const Entry* entry) {
+  SWEEP_CHECK(entry != nullptr);
+  auto it = buckets_.find(entry->first.Project(key_positions_));
+  SWEEP_CHECK_MSG(it != buckets_.end(),
+                  "erasing a tuple the index never saw");
+  it->second.erase(entry);
+  if (it->second.empty()) buckets_.erase(it);
+}
+
+const HashIndex::Bucket* HashIndex::Probe(const Tuple& key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+void HashIndex::RebuildFrom(const Relation& rel) {
+  buckets_.clear();
+  buckets_.reserve(rel.DistinctSize());
+  for (const Entry& entry : rel.entries()) OnInsert(&entry);
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,61 @@
+// A maintained multiset hash index over one key-column set of a Relation.
+//
+// The index maps a key tuple (the projection of a stored tuple onto
+// `key_positions`) to the set of relation entries carrying that key. It
+// stores *pointers into the relation's count map* — std::unordered_map
+// guarantees pointer/reference stability across insert, erase (of other
+// elements) and rehash — so the index never duplicates tuple payloads and
+// a probe always reads the live multiplicity count.
+//
+// The index is passive: it does not observe the relation by itself.
+// IndexedRelation (indexed_relation.h) owns both and calls OnInsert /
+// OnErase as entries appear and vanish, keeping every maintained index
+// consistent in O(1) amortized per mutation.
+
+#ifndef SWEEPMV_STORAGE_HASH_INDEX_H_
+#define SWEEPMV_STORAGE_HASH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/tuple.h"
+
+namespace sweepmv {
+
+class HashIndex {
+ public:
+  // One (tuple, count) entry of the indexed relation's count map.
+  using Entry = Relation::CountMap::value_type;
+  using Bucket = std::unordered_set<const Entry*>;
+
+  explicit HashIndex(std::vector<int> key_positions);
+
+  const std::vector<int>& key_positions() const { return key_positions_; }
+
+  // A new distinct tuple gained a nonzero count. O(1) amortized.
+  void OnInsert(const Entry* entry);
+
+  // `entry`'s count is about to reach zero and the relation will erase it.
+  // Must run while the entry is still alive (its tuple is projected here).
+  // O(1) amortized.
+  void OnErase(const Entry* entry);
+
+  // Entries whose key projection equals `key`; nullptr when none.
+  const Bucket* Probe(const Tuple& key) const;
+
+  // Drops everything and re-inserts every entry of `rel`. O(|rel|).
+  void RebuildFrom(const Relation& rel);
+
+  size_t distinct_keys() const { return buckets_.size(); }
+
+ private:
+  std::vector<int> key_positions_;
+  std::unordered_map<Tuple, Bucket, TupleHash> buckets_;
+};
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_STORAGE_HASH_INDEX_H_

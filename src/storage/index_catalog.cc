@@ -1,0 +1,49 @@
+#include "storage/index_catalog.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sweepmv {
+
+std::vector<int> IndexCatalog::LeftProbeKey(const ViewDef& view, int rel) {
+  SWEEP_CHECK(rel >= 0 && rel < view.num_relations() - 1);
+  std::vector<int> key;
+  for (const auto& [a, b] : view.chain_keys(rel)) {
+    (void)b;
+    key.push_back(a);
+  }
+  return key;
+}
+
+std::vector<int> IndexCatalog::RightProbeKey(const ViewDef& view, int rel) {
+  SWEEP_CHECK(rel >= 1 && rel < view.num_relations());
+  std::vector<int> key;
+  for (const auto& [a, b] : view.chain_keys(rel - 1)) {
+    (void)a;
+    key.push_back(b);
+  }
+  return key;
+}
+
+IndexCatalog::IndexCatalog(const ViewDef& view) {
+  const int n = view.num_relations();
+  key_sets_.resize(static_cast<size_t>(n));
+  for (int rel = 0; rel < n; ++rel) {
+    auto& sets = key_sets_[static_cast<size_t>(rel)];
+    auto add = [&sets](std::vector<int> key) {
+      if (key.empty()) return;  // cross-product link: nothing to index
+      if (std::find(sets.begin(), sets.end(), key) != sets.end()) return;
+      sets.push_back(std::move(key));
+    };
+    if (rel > 0) add(RightProbeKey(view, rel));
+    if (rel < n - 1) add(LeftProbeKey(view, rel));
+  }
+}
+
+const std::vector<std::vector<int>>& IndexCatalog::key_sets(int rel) const {
+  SWEEP_CHECK(rel >= 0 && rel < num_relations());
+  return key_sets_[static_cast<size_t>(rel)];
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,54 @@
+// IndexCatalog: decides which key sets each source relation must index.
+//
+// The decision walks the ViewDef's join graph once at scenario setup.
+// In the chain V = R0 ⋈ R1 ⋈ … ⋈ R(n-1), relation j is the *indexed*
+// (large) side of an incremental query in exactly two situations:
+//
+//   * a left-extension query — the partial spans [j+1, hi] and R_j joins
+//     on its chain condition with R_{j+1}; the probe key projects R_j
+//     onto the LEFT attributes of chain_keys(j). Needed iff j < n-1.
+//   * a right-extension query — the partial spans [lo, j-1] and R_j joins
+//     with R_{j-1}; the probe key projects R_j onto the RIGHT attributes
+//     of chain_keys(j-1). Needed iff j > 0.
+//
+// Duplicate key sets collapse (an interior relation whose two chain
+// conditions use the same local columns maintains one index); a chain
+// link with no equi-join conditions (an explicit cross product) yields no
+// key set — no index can narrow a cross product and the query path falls
+// back to the scan join.
+
+#ifndef SWEEPMV_STORAGE_INDEX_CATALOG_H_
+#define SWEEPMV_STORAGE_INDEX_CATALOG_H_
+
+#include <vector>
+
+#include "relational/view_def.h"
+
+namespace sweepmv {
+
+class IndexCatalog {
+ public:
+  explicit IndexCatalog(const ViewDef& view);
+
+  int num_relations() const { return static_cast<int>(key_sets_.size()); }
+
+  // Key-column sets (positions local to the relation) that the source of
+  // relation `rel` must maintain indexes over. Deduplicated; may be empty
+  // (single-relation views, cross-product links).
+  const std::vector<std::vector<int>>& key_sets(int rel) const;
+
+  // The key set serving left-extension queries that target `rel`
+  // (requires rel < n-1). Empty for a cross-product link.
+  static std::vector<int> LeftProbeKey(const ViewDef& view, int rel);
+
+  // The key set serving right-extension queries that target `rel`
+  // (requires rel > 0). Empty for a cross-product link.
+  static std::vector<int> RightProbeKey(const ViewDef& view, int rel);
+
+ private:
+  std::vector<std::vector<std::vector<int>>> key_sets_;
+};
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_STORAGE_INDEX_CATALOG_H_

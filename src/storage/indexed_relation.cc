@@ -1,0 +1,75 @@
+#include "storage/indexed_relation.h"
+
+#include <memory>
+
+#include "common/check.h"
+
+namespace sweepmv {
+
+void StorageStats::MergeFrom(const StorageStats& other) {
+  index_probes += other.index_probes;
+  index_matches += other.index_matches;
+  scan_fallbacks += other.scan_fallbacks;
+  index_builds += other.index_builds;
+  indexes_maintained += other.indexes_maintained;
+}
+
+void IndexedRelation::EnsureIndex(const std::vector<int>& key_positions) {
+  for (int pos : key_positions) {
+    SWEEP_CHECK(pos >= 0 &&
+                static_cast<size_t>(pos) < rel_.schema().arity());
+  }
+  if (FindIndex(key_positions) != nullptr) return;
+  auto index = std::make_unique<HashIndex>(key_positions);
+  index->RebuildFrom(rel_);
+  ++index_builds_;
+  indexes_.push_back(std::move(index));
+}
+
+const HashIndex* IndexedRelation::FindIndex(
+    const std::vector<int>& key_positions) const {
+  for (const auto& index : indexes_) {
+    if (index->key_positions() == key_positions) return index.get();
+  }
+  return nullptr;
+}
+
+void IndexedRelation::Add(const Tuple& t, int64_t count) {
+  if (count == 0) return;
+  const HashIndex::Entry* existing = rel_.FindEntry(t);
+  const int64_t before = existing ? existing->second : 0;
+  if (before + count == 0) {
+    // The entry is about to vanish: unhook it from every index while the
+    // map node is still alive, then let the relation erase it.
+    for (const auto& index : indexes_) index->OnErase(existing);
+    rel_.Add(t, count);
+    return;
+  }
+  rel_.Add(t, count);
+  if (before == 0) {
+    const HashIndex::Entry* entry = rel_.FindEntry(t);
+    for (const auto& index : indexes_) index->OnInsert(entry);
+  }
+  // before != 0 and still nonzero: the node (and thus every index
+  // pointer) is unchanged; the new count is read through it.
+}
+
+void IndexedRelation::Merge(const Relation& delta) {
+  for (const auto& [t, c] : delta.entries()) Add(t, c);
+}
+
+void IndexedRelation::RebuildIndexes() {
+  for (const auto& index : indexes_) {
+    index->RebuildFrom(rel_);
+    ++index_builds_;
+  }
+}
+
+StorageStats IndexedRelation::stats() const {
+  StorageStats stats;
+  stats.index_builds = index_builds_;
+  stats.indexes_maintained = static_cast<int64_t>(indexes_.size());
+  return stats;
+}
+
+}  // namespace sweepmv

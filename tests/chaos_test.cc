@@ -23,13 +23,14 @@ namespace {
 // A scenario hostile enough to exercise every robustness mechanism:
 // >=5% drops, duplication, jitter reordering, one partition window and
 // one source crash/restart in the middle of the workload.
-ScenarioConfig ChaoticConfig(Algorithm algorithm, uint64_t seed) {
+ScenarioConfig ChaoticConfig(Algorithm algorithm, uint64_t seed,
+                             int total_txns = 25) {
   ScenarioConfig config;
   config.algorithm = algorithm;
   config.chain.num_relations = 2;
   config.chain.initial_tuples = 12;
   config.chain.join_domain = 4;
-  config.workload.total_txns = 25;
+  config.workload.total_txns = total_txns;
   config.workload.mean_interarrival = 3'000.0;
   config.latency = LatencyModel::Jittered(200, 800);
   config.network_seed = seed;
@@ -125,6 +126,40 @@ TEST(ChaosDivergence, ReliabilityOffStillFineOnPristineLinks) {
   RunResult with_plan = RunScenario(config);
   EXPECT_TRUE(with_plan.completed);
   EXPECT_TRUE(with_plan.consistency.final_state_correct);
+}
+
+TEST(ChaosDedupState, WatermarkDedupStaysBoundedOverLongChaosRun) {
+  // The warehouse must ignore replayed updates after a source restart,
+  // but remembering every id ever seen grows without bound. Under the
+  // session layer each relation's update stream is FIFO, so a
+  // per-relation high-watermark (analogous to the session layer's
+  // cumulative ack) suffices — and its state is a fixed-size vector, so
+  // dedup_state_entries (the growable id-set's size) stays at zero no
+  // matter how long the run is.
+  ScenarioConfig config =
+      ChaoticConfig(Algorithm::kSweep, 4, /*total_txns=*/120);
+  RunResult result = RunScenario(config);
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.consistency.final_state_correct);
+  // The crash/restart replay really produced duplicates to ignore.
+  EXPECT_GT(result.updates_replayed, 0);
+  EXPECT_GT(result.duplicate_updates_ignored, 0);
+  EXPECT_EQ(result.dedup_state_entries, 0);
+}
+
+TEST(ChaosDedupState, IdSetFallbackGrowsWithRunLength) {
+  // Control: with the watermark disabled (as when raw faulty delivery
+  // may reorder streams), the remember-every-id fallback grows linearly
+  // with delivered updates — the cost the watermark eliminates.
+  ScenarioConfig config;
+  config.algorithm = Algorithm::kSweep;
+  config.chain.num_relations = 2;
+  config.workload.total_txns = 40;
+  config.warehouse.base.fifo_update_streams = false;
+  RunResult result = RunScenario(config);
+  EXPECT_GT(result.updates_delivered, 0);
+  EXPECT_EQ(result.dedup_state_entries, result.updates_delivered);
 }
 
 TEST(ChaosPlanTest, DeterministicFromSeed) {
