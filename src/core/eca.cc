@@ -8,10 +8,17 @@
 namespace sweepmv {
 
 EcaWarehouse::EcaWarehouse(int site_id, ViewDef view_def, Network* network,
-                           std::vector<int> source_sites, Options options)
+                           std::vector<int> source_sites,
+                           EcaOptions options)
     : Warehouse(site_id, std::move(view_def), network,
-                std::move(source_sites), options),
+                std::move(source_sites), options.base),
+      compensation_(options.compensation),
       pending_delta_(this->view_def().view_schema()) {}
+
+EcaWarehouse::EcaWarehouse(int site_id, ViewDef view_def, Network* network,
+                           std::vector<int> source_sites, Options options)
+    : EcaWarehouse(site_id, std::move(view_def), network,
+                   std::move(source_sites), EcaOptions{options, true}) {}
 
 void EcaWarehouse::HandleUpdateArrival() { MaybeStartNext(); }
 
@@ -41,7 +48,7 @@ void EcaWarehouse::MaybeStartNext() {
   // Offset terms: one per recorded contamination of this update by a
   // previous answer, with the opposite sign.
   auto it = offsets_.find(query.update_id);
-  if (it != offsets_.end()) {
+  if (compensation_ && it != offsets_.end()) {
     for (const OffsetTerm& offset : it->second) {
       EcaTerm term;
       term.sign = -offset.sign;
@@ -79,10 +86,12 @@ void EcaWarehouse::HandleEcaAnswer(EcaQueryAnswer answer) {
   // Contamination propagation: every update still queued now was, by
   // FIFO, applied at the source before our query evaluated, so each term
   // we shipped picked up an error component with that update's delta.
-  for (const Update& w : mutable_queue()) {
-    for (const OffsetTerm& sent : active_->sent_terms) {
-      if (sent.deltas.count(w.relation) != 0) continue;
-      offsets_[w.id].push_back(sent);
+  if (compensation_) {
+    for (const Update& w : mutable_queue()) {
+      for (const OffsetTerm& sent : active_->sent_terms) {
+        if (sent.deltas.count(w.relation) != 0) continue;
+        offsets_[w.id].push_back(sent);
+      }
     }
   }
 

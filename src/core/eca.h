@@ -33,6 +33,20 @@ namespace sweepmv {
 
 class EcaWarehouse : public Warehouse {
  public:
+  struct EcaOptions {
+    Options base;
+    // Ablation switch: with the compensating offset terms off, queries
+    // carry only the base term and answers contaminated by concurrent
+    // updates are applied raw — the update-anomaly ECA was invented to
+    // fix, and the naive maintenance the schedule-space explorer
+    // (src/verify/) exhibits a counterexample for. Never disable in real
+    // use.
+    bool compensation = true;
+  };
+
+  EcaWarehouse(int site_id, ViewDef view_def, Network* network,
+               std::vector<int> source_sites, EcaOptions options);
+
   EcaWarehouse(int site_id, ViewDef view_def, Network* network,
                std::vector<int> source_sites, Options options = Options{});
 
@@ -69,6 +83,7 @@ class EcaWarehouse : public Warehouse {
   void MaybeStartNext();
   void TryInstall();
 
+  bool compensation_ = true;
   std::optional<ActiveQuery> active_;
   // Contamination records per queued update id.
   std::map<int64_t, std::vector<OffsetTerm>> offsets_;

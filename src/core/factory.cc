@@ -141,10 +141,14 @@ std::unique_ptr<Warehouse> MakeWarehouse(Algorithm algorithm, int site_id,
       return std::make_unique<CStrobeWarehouse>(
           site_id, std::move(view_def), network, std::move(source_sites),
           config.base);
-    case Algorithm::kEca:
+    case Algorithm::kEca: {
+      EcaWarehouse::EcaOptions options;
+      options.base = config.base;
+      options.compensation = config.eca_compensation;
       return std::make_unique<EcaWarehouse>(
           site_id, std::move(view_def), network, std::move(source_sites),
-          config.base);
+          options);
+    }
     case Algorithm::kRecompute:
       return std::make_unique<RecomputeWarehouse>(
           site_id, std::move(view_def), network, std::move(source_sites),

@@ -57,6 +57,10 @@ struct WarehouseConfig {
   // SWEEP ablation switch (see SweepOptions) — leave true outside of the
   // ablation bench.
   bool sweep_local_compensation = true;
+  // ECA ablation switch (see EcaWarehouse::EcaOptions) — with it off, ECA
+  // degenerates to naive maintenance and the schedule-space explorer can
+  // exhibit the classic update anomaly. Leave true in real use.
+  bool eca_compensation = true;
   // Pipelined SWEEP's in-flight ViewChange cap (see PipelineOptions).
   int pipeline_max_inflight = 16;
 };

@@ -124,6 +124,9 @@ bool Warehouse::ResolveSnapshotPart(int64_t query_id, int relation) {
 }
 
 void Warehouse::ArmQueryTimer(int64_t query_id, SimTime delay) {
+  // lint:allow direct-schedule local timer, not a protocol message: fires
+  // at this site only, sends nothing itself, so it needs no EventLabel
+  // channel and cannot perturb per-link FIFO order.
   network_->simulator()->Schedule(delay, [this, query_id, delay]() {
     auto it = pending_queries_.find(query_id);
     if (it == pending_queries_.end()) return;  // answered meanwhile

@@ -153,8 +153,10 @@ void Network::SendDirect(LinkState& link, int from, int to, Message msg) {
   // The shared_ptr makes the lambda copyable (std::function requires it)
   // without copying the payload relation on every move of the closure.
   Site* dest = sites_.at(to);
+  EventLabel label{EventKind::kDelivery, from, to,
+                   MessageClassName(ClassOf(msg))};
   auto boxed = std::make_shared<Message>(std::move(msg));
-  sim_->ScheduleAt(arrival, [this, dest, from, to, boxed]() {
+  sim_->ScheduleAt(arrival, label, [this, dest, from, to, boxed]() {
     if (crashed_.count(to) != 0) {
       ++stats_.reliability.crash_drops;
       return;
@@ -187,9 +189,13 @@ void Network::ScheduleFaultyDelivery(LinkState& link, int from, int to,
                                      SimTime extra_delay) {
   int64_t payload = PayloadTuples(*msg);
   SimTime depart = sim_->now() + extra_delay;
-  SimTime arrival = link.faults->preserve_fifo
-                        ? link.channel.NextArrival(depart, payload)
-                        : link.channel.UnorderedArrival(depart, payload);
+  SimTime arrival =
+      link.faults->preserve_fifo
+          ? link.channel.NextArrival(depart, payload)
+          // lint:allow unordered-arrival fault injection deliberately
+          // reorders this link; consumers must opt out of FIFO dedup
+          // (Options::fifo_update_streams=false) on such runs.
+          : link.channel.UnorderedArrival(depart, payload);
   if (tap_) {
     TapEvent event;
     event.send_time = sim_->now();
@@ -199,7 +205,9 @@ void Network::ScheduleFaultyDelivery(LinkState& link, int from, int to,
     event.message = msg.get();
     tap_(event);
   }
-  sim_->ScheduleAt(arrival, [this, from, to, msg = std::move(msg)]() {
+  EventLabel label{EventKind::kDelivery, from, to,
+                   MessageClassName(ClassOf(*msg))};
+  sim_->ScheduleAt(arrival, label, [this, from, to, msg = std::move(msg)]() {
     DeliverNow(from, to, msg);
   });
 }
@@ -266,7 +274,9 @@ void Network::SendAck(int from, int to, int64_t ack_epoch,
     event.message = ack.get();
     tap_(event);
   }
-  sim_->ScheduleAt(arrival, [this, from, to, ack]() {
+  EventLabel label{EventKind::kDelivery, from, to,
+                   MessageClassName(MessageClass::kTransportControl)};
+  sim_->ScheduleAt(arrival, label, [this, from, to, ack]() {
     DeliverNow(from, to, ack);
   });
 }

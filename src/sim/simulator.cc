@@ -1,20 +1,126 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <tuple>
+#include <utility>
+
 #include "common/check.h"
 
 namespace sweepmv {
 
+namespace {
+
+// Channel identity for controlled-mode FIFO grouping.
+using ChannelKey = std::tuple<int, int, int>;
+
+ChannelKey KeyOf(const EventLabel& label) {
+  switch (label.kind) {
+    case EventKind::kDelivery:
+      return {static_cast<int>(EventKind::kDelivery), label.from, label.to};
+    case EventKind::kTxn:
+      return {static_cast<int>(EventKind::kTxn), -1, label.to};
+    case EventKind::kInternal:
+      break;
+  }
+  return {static_cast<int>(EventKind::kInternal), -1, -1};
+}
+
+}  // namespace
+
 void Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  Schedule(delay, EventLabel{}, std::move(fn));
+}
+
+void Simulator::Schedule(SimTime delay, EventLabel label,
+                         std::function<void()> fn) {
   SWEEP_CHECK(delay >= 0);
-  ScheduleAt(now_ + delay, std::move(fn));
+  ScheduleAt(now_ + delay, label, std::move(fn));
 }
 
 void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
-  SWEEP_CHECK_MSG(when >= now_, "cannot schedule in the past");
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  ScheduleAt(when, EventLabel{}, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime when, EventLabel label,
+                           std::function<void()> fn) {
+  SWEEP_CHECK_MSG(when >= now_ || controlled(),
+                  "cannot schedule in the past");
+  Event event{when, next_seq_++, label, std::move(fn)};
+  if (controlled()) {
+    pending_.push_back(std::move(event));
+  } else {
+    queue_.push(std::move(event));
+  }
+}
+
+void Simulator::SetScheduler(Scheduler* scheduler) {
+  SWEEP_CHECK(scheduler != nullptr);
+  SWEEP_CHECK_MSG(queue_.empty() && pending_.empty() && next_seq_ == 0,
+                  "SetScheduler must precede all scheduling");
+  scheduler_ = scheduler;
+}
+
+std::vector<size_t> Simulator::ReadyIndices() const {
+  // Head per channel: deliveries in send (seq) order — the network hands
+  // them to us in per-link send order, so seq order *is* FIFO order —
+  // transaction and internal channels in (time, seq) order.
+  std::map<ChannelKey, size_t> heads;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    const Event& ev = pending_[i];
+    ChannelKey key = KeyOf(ev.label);
+    auto [it, inserted] = heads.emplace(key, i);
+    if (inserted) continue;
+    const Event& head = pending_[it->second];
+    bool earlier;
+    if (ev.label.kind == EventKind::kDelivery) {
+      earlier = ev.seq < head.seq;
+    } else {
+      earlier = std::make_pair(ev.when, ev.seq) <
+                std::make_pair(head.when, head.seq);
+    }
+    if (earlier) it->second = i;
+  }
+  std::vector<size_t> indices;
+  indices.reserve(heads.size());
+  for (const auto& [key, idx] : heads) indices.push_back(idx);
+  return indices;
+}
+
+std::vector<Scheduler::Candidate> Simulator::Ready() const {
+  SWEEP_CHECK_MSG(controlled(), "Ready() needs a scheduler");
+  std::vector<Scheduler::Candidate> ready;
+  for (size_t idx : ReadyIndices()) {
+    const Event& ev = pending_[idx];
+    ready.push_back(Scheduler::Candidate{ev.label, ev.when, ev.seq});
+  }
+  return ready;
+}
+
+bool Simulator::StepControlled() {
+  if (pending_.empty()) return false;
+  std::vector<size_t> indices = ReadyIndices();
+  std::vector<Scheduler::Candidate> ready;
+  ready.reserve(indices.size());
+  for (size_t idx : indices) {
+    const Event& ev = pending_[idx];
+    ready.push_back(Scheduler::Candidate{ev.label, ev.when, ev.seq});
+  }
+  size_t pick = scheduler_->Pick(ready);
+  SWEEP_CHECK_MSG(pick < ready.size(), "scheduler picked out of range");
+  size_t idx = indices[pick];
+  Event ev = std::move(pending_[idx]);
+  pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(idx));
+  // The controlled clock never runs backwards: executing a "late" head
+  // first leaves earlier-stamped heads in the logical past.
+  now_ = std::max(now_, ev.when);
+  ev.fn();
+  return true;
 }
 
 bool Simulator::Step() {
+  if (controlled()) return StepControlled();
   if (queue_.empty()) return false;
   // priority_queue::top returns const&; the handler is moved out before
   // pop via a const_cast-free copy of the callable wrapper.
@@ -35,6 +141,7 @@ int64_t Simulator::Run(int64_t max_events) {
 }
 
 int64_t Simulator::RunUntil(SimTime until) {
+  SWEEP_CHECK_MSG(!controlled(), "RunUntil is time-ordered-mode only");
   SWEEP_CHECK(until >= now_);
   int64_t executed = 0;
   while (!queue_.empty() && queue_.top().when <= until && Step()) {

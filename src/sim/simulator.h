@@ -5,6 +5,16 @@
 // simulation: every send, delivery, and workload arrival is an event on a
 // virtual clock. Determinism is total — ties in delivery time break by
 // schedule order — so every experiment replays exactly from its seed.
+//
+// Two execution modes share the event vocabulary:
+//   * time-ordered (default) — events run in (time, schedule-order), the
+//     classic discrete-event loop every bench and scenario uses;
+//   * controlled — a pluggable Scheduler picks the next event among the
+//     *ready* set: per channel (one directed network link, one site's
+//     transaction stream) events stay in order, but across channels the
+//     scheduler may run any head it likes, regardless of timestamps. The
+//     schedule-space explorer (src/verify/) drives this mode to enumerate
+//     FIFO-respecting interleavings the wall clock would never produce.
 
 #ifndef SWEEPMV_SIM_SIMULATOR_H_
 #define SWEEPMV_SIM_SIMULATOR_H_
@@ -18,6 +28,46 @@
 
 namespace sweepmv {
 
+// What kind of event a scheduled closure represents. Only controlled mode
+// cares: the kind defines the channel whose internal order is preserved.
+enum class EventKind : int {
+  // Harness machinery (timers, crash plans, unlabeled legacy events).
+  // Conservatively ordered by (time, schedule order) on one shared
+  // channel, and treated as dependent on everything by the explorer.
+  kInternal = 0,
+  // A source-local transaction at site `to`. Transactions of one site
+  // form a channel (the source's serial execution order).
+  kTxn = 1,
+  // A message delivery on the directed link `from` -> `to`. Deliveries of
+  // one link form a channel (the paper's reliable-FIFO assumption).
+  kDelivery = 2,
+};
+
+struct EventLabel {
+  EventKind kind = EventKind::kInternal;
+  int from = -1;
+  int to = -1;
+  // Static human-readable tag for traces (e.g. the message class name).
+  const char* what = "";
+};
+
+// Controlled-mode hook: picks which ready event runs next.
+class Scheduler {
+ public:
+  struct Candidate {
+    EventLabel label;
+    SimTime when = 0;
+    int64_t seq = 0;
+  };
+
+  virtual ~Scheduler() = default;
+
+  // `ready` is non-empty and holds exactly the FIFO-respecting heads (one
+  // per non-empty channel), in a deterministic channel order. Returns the
+  // index of the event to execute.
+  virtual size_t Pick(const std::vector<Candidate>& ready) = 0;
+};
+
 class Simulator {
  public:
   Simulator() = default;
@@ -29,11 +79,27 @@ class Simulator {
 
   // Schedules `fn` to run `delay` ticks from now (delay >= 0).
   void Schedule(SimTime delay, std::function<void()> fn);
+  void Schedule(SimTime delay, EventLabel label, std::function<void()> fn);
 
   // Schedules `fn` at absolute time `when` (when >= now()).
   void ScheduleAt(SimTime when, std::function<void()> fn);
+  void ScheduleAt(SimTime when, EventLabel label, std::function<void()> fn);
 
-  // Runs the earliest pending event. Returns false if none are pending.
+  // Switches to controlled mode. Must be called before anything is
+  // scheduled; `scheduler` must outlive the simulator's runs. In
+  // controlled mode the clock only moves forward (an event whose
+  // timestamp is in the "past" relative to an already-executed later
+  // event leaves the clock untouched).
+  void SetScheduler(Scheduler* scheduler);
+  bool controlled() const { return scheduler_ != nullptr; }
+
+  // Controlled mode: the ready set Step() would offer the scheduler now
+  // (empty when no events are pending).
+  std::vector<Scheduler::Candidate> Ready() const;
+
+  // Runs the next event — the earliest pending one in time-ordered mode,
+  // the scheduler's pick in controlled mode. Returns false if none are
+  // pending.
   bool Step();
 
   // Runs events until the queue drains or `max_events` have run (if
@@ -42,14 +108,18 @@ class Simulator {
 
   // Runs events with time <= `until`; the clock ends at `until` even if
   // the queue drained earlier. Returns the number of events executed.
+  // Time-ordered mode only.
   int64_t RunUntil(SimTime until);
 
-  size_t pending_events() const { return queue_.size(); }
+  size_t pending_events() const {
+    return controlled() ? pending_.size() : queue_.size();
+  }
 
  private:
   struct Event {
     SimTime when;
     int64_t seq;
+    EventLabel label;
     std::function<void()> fn;
   };
   struct Later {
@@ -59,9 +129,17 @@ class Simulator {
     }
   };
 
+  // Controlled mode: picks the ready set's indices into `pending_`
+  // (parallel to the candidate list Ready() builds).
+  std::vector<size_t> ReadyIndices() const;
+  bool StepControlled();
+
   SimTime now_ = 0;
   int64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Controlled-mode store (unsorted; the ready-set computation orders it).
+  std::vector<Event> pending_;
+  Scheduler* scheduler_ = nullptr;
 };
 
 }  // namespace sweepmv

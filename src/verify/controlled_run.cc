@@ -1,0 +1,147 @@
+#include "verify/controlled_run.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/str.h"
+#include "sim/latency.h"
+
+namespace sweepmv {
+
+namespace {
+
+constexpr int kWarehouseSite = 0;
+
+TraceStep RecordStep(const std::vector<Scheduler::Candidate>& ready,
+                     size_t chosen) {
+  TraceStep step;
+  step.label = ready[chosen].label;
+  step.when = ready[chosen].when;
+  step.chosen = chosen;
+  step.ready.reserve(ready.size());
+  for (const Scheduler::Candidate& c : ready) step.ready.push_back(c.label);
+  return step;
+}
+
+}  // namespace
+
+size_t ReplayScheduler::Pick(const std::vector<Candidate>& ready) {
+  SWEEP_CHECK(!ready.empty());
+  size_t choice = cursor_ < choices_.size() ? choices_[cursor_] : 0;
+  ++cursor_;
+  if (choice >= ready.size()) choice = ready.size() - 1;
+  trace_.steps.push_back(RecordStep(ready, choice));
+  return choice;
+}
+
+size_t RandomScheduler::Pick(const std::vector<Candidate>& ready) {
+  SWEEP_CHECK(!ready.empty());
+  size_t choice = static_cast<size_t>(
+      rng_.Uniform(0, static_cast<int64_t>(ready.size()) - 1));
+  trace_.steps.push_back(RecordStep(ready, choice));
+  return choice;
+}
+
+ControlledSystem::ControlledSystem(const ControlledScenario& scenario,
+                                   Scheduler* scheduler)
+    : view_(scenario.view),
+      bases_(scenario.initial_bases),
+      network_(&sim_, LatencyModel::Fixed(scenario.latency), /*seed=*/1) {
+  const int n = view_.num_relations();
+  SWEEP_CHECK(static_cast<int>(bases_.size()) == n);
+  sim_.SetScheduler(scheduler);
+
+  std::vector<int> source_sites;
+  if (RequiresSingleSource(scenario.algorithm)) {
+    source_sites.assign(static_cast<size_t>(n), 1);
+    eca_source_ = std::make_unique<EcaSource>(
+        1, bases_, &view_, &network_, kWarehouseSite, &ids_);
+    network_.RegisterSite(1, eca_source_.get());
+  } else {
+    for (int r = 0; r < n; ++r) {
+      source_sites.push_back(r + 1);
+      sources_.push_back(std::make_unique<DataSource>(
+          r + 1, r, bases_[static_cast<size_t>(r)], &view_, &network_,
+          kWarehouseSite, &ids_));
+      network_.RegisterSite(r + 1, sources_.back().get());
+    }
+  }
+  warehouse_ = MakeWarehouse(scenario.algorithm, kWarehouseSite, view_,
+                             &network_, source_sites, scenario.warehouse);
+  network_.RegisterSite(kWarehouseSite, warehouse_.get());
+
+  std::vector<const Relation*> rels;
+  for (const Relation& r : bases_) rels.push_back(&r);
+  warehouse_->InitializeView(view_.EvaluateFull(rels));
+  warehouse_->InitializeAuxiliary(bases_);
+
+  // All transactions enter at t=0; only the schedule orders them against
+  // deliveries. Same-relation transactions stay in list order (their
+  // events share a channel).
+  for (const ControlledTxn& txn : scenario.txns) {
+    SWEEP_CHECK(txn.relation >= 0 && txn.relation < n);
+    int site = eca_source_ != nullptr ? 1 : txn.relation + 1;
+    EventLabel label{EventKind::kTxn, -1, site, "txn"};
+    int rel = txn.relation;
+    auto ops = txn.ops;
+    sim_.ScheduleAt(0, label, [this, rel, ops]() {
+      if (eca_source_ != nullptr) {
+        eca_source_->ApplyTransaction(rel, ops);
+      } else {
+        sources_[static_cast<size_t>(rel)]->ApplyTransaction(ops);
+      }
+    });
+  }
+}
+
+int64_t ControlledSystem::Run(int64_t max_steps) {
+  return sim_.Run(max_steps);
+}
+
+std::vector<const StateLog*> ControlledSystem::SourceLogs() const {
+  std::vector<const StateLog*> logs;
+  for (int r = 0; r < view_.num_relations(); ++r) {
+    logs.push_back(eca_source_ != nullptr
+                       ? &eca_source_->log(r)
+                       : &sources_[static_cast<size_t>(r)]->log());
+  }
+  return logs;
+}
+
+ConsistencyReport ControlledSystem::Check() const {
+  return CheckConsistency(view_, SourceLogs(), *warehouse_);
+}
+
+std::string ControlledOutcome::Fingerprint() const {
+  std::string out = trace.ToString();
+  out += StrFormat("steps: %lld  installs: %zu  level: %s\n",
+                   static_cast<long long>(steps), installs,
+                   ConsistencyLevelName(report.level));
+  out += "final view: " + final_view + "\n";
+  return out;
+}
+
+ControlledOutcome RunWithChoices(const ControlledScenario& scenario,
+                                 const std::vector<size_t>& choices,
+                                 int64_t max_steps) {
+  ReplayScheduler scheduler(choices);
+  ControlledSystem system(scenario, &scheduler);
+  ControlledOutcome outcome;
+  outcome.steps = system.Run(max_steps);
+  outcome.completed = system.Drained() && system.WarehouseIdle();
+  if (outcome.completed) {
+    outcome.report = system.Check();
+  } else {
+    outcome.report.level = ConsistencyLevel::kInconsistent;
+    outcome.report.detail =
+        system.Drained()
+            ? "run drained with the warehouse still busy"
+            : "run exceeded the step budget (runaway schedule?)";
+  }
+  outcome.trace = scheduler.trace();
+  outcome.installs = system.warehouse().install_log().size();
+  outcome.final_view = system.warehouse().view().ToDisplayString();
+  return outcome;
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,152 @@
+// Controlled execution of one maintenance scenario under a pluggable
+// scheduler.
+//
+// Mirrors the harness wiring (sources or ECA's single multi-relation
+// source, pristine FIFO network, warehouse running the chosen algorithm)
+// but attaches a Scheduler to the simulator before anything is scheduled,
+// so the caller — the schedule-space explorer — decides the interleaving
+// of transactions and message deliveries instead of the virtual clock.
+// Every transaction is scheduled at t=0: the *schedule*, not timestamps,
+// determines when a source executes it relative to in-flight queries.
+
+#ifndef SWEEPMV_VERIFY_CONTROLLED_RUN_H_
+#define SWEEPMV_VERIFY_CONTROLLED_RUN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "consistency/checker.h"
+#include "core/factory.h"
+#include "core/warehouse.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "source/data_source.h"
+#include "source/eca_source.h"
+#include "source/update.h"
+#include "verify/schedule.h"
+
+namespace sweepmv {
+
+// One source-local transaction. Transactions of the same relation execute
+// in list order (the source's serial schedule); everything else is up to
+// the scheduler.
+struct ControlledTxn {
+  int relation = 0;
+  std::vector<UpdateOp> ops;
+};
+
+struct ControlledScenario {
+  Algorithm algorithm = Algorithm::kSweep;
+  ViewDef view;
+  std::vector<Relation> initial_bases;
+  std::vector<ControlledTxn> txns;
+  WarehouseConfig warehouse;
+  SimTime latency = 1000;
+};
+
+// Records every pick; replays a choice vector, continuing with the
+// deterministic default (index 0) past its end. Out-of-range choices
+// clamp to the last candidate so any vector is a valid schedule (the
+// counterexample minimizer relies on this).
+class ReplayScheduler : public Scheduler {
+ public:
+  ReplayScheduler() = default;
+  explicit ReplayScheduler(std::vector<size_t> choices)
+      : choices_(std::move(choices)) {}
+
+  size_t Pick(const std::vector<Candidate>& ready) override;
+
+  const ScheduleTrace& trace() const { return trace_; }
+
+ private:
+  std::vector<size_t> choices_;
+  size_t cursor_ = 0;
+  ScheduleTrace trace_;
+};
+
+// Uniform random pick at every step — the seeded random-walk mode for
+// scenarios too large to enumerate.
+class RandomScheduler : public Scheduler {
+ public:
+  explicit RandomScheduler(uint64_t seed) : rng_(seed) {}
+
+  size_t Pick(const std::vector<Candidate>& ready) override;
+
+  const ScheduleTrace& trace() const { return trace_; }
+
+ private:
+  Rng rng_;
+  ScheduleTrace trace_;
+};
+
+// The fully wired system under a controlled simulator. Sources sit at
+// site ids 1..n, the warehouse at 0.
+class ControlledSystem {
+ public:
+  ControlledSystem(const ControlledScenario& scenario,
+                   Scheduler* scheduler);
+
+  ControlledSystem(const ControlledSystem&) = delete;
+  ControlledSystem& operator=(const ControlledSystem&) = delete;
+
+  // Runs up to `max_steps` scheduler picks; returns the number executed
+  // (fewer only when the event set drained).
+  int64_t Run(int64_t max_steps);
+
+  // The ready set the scheduler would be offered next (empty = drained).
+  std::vector<Scheduler::Candidate> Ready() const {
+    return sim_.Ready();
+  }
+
+  bool Drained() const { return sim_.pending_events() == 0; }
+  bool WarehouseIdle() const {
+    return warehouse_->update_queue().empty() && !warehouse_->Busy();
+  }
+
+  // Classifies the finished run against the consistency lattice. Call
+  // only after the run drained.
+  ConsistencyReport Check() const;
+
+  const Warehouse& warehouse() const { return *warehouse_; }
+  const ViewDef& view_def() const { return view_; }
+  std::vector<const StateLog*> SourceLogs() const;
+
+ private:
+  ViewDef view_;
+  std::vector<Relation> bases_;
+  Simulator sim_;
+  Network network_;
+  UpdateIdGenerator ids_;
+  std::vector<std::unique_ptr<DataSource>> sources_;
+  std::unique_ptr<EcaSource> eca_source_;
+  std::unique_ptr<Warehouse> warehouse_;
+};
+
+// Outcome of one complete controlled run.
+struct ControlledOutcome {
+  ConsistencyReport report;
+  ScheduleTrace trace;
+  int64_t steps = 0;
+  // The run drained within the step budget with an idle warehouse. A
+  // false here is itself a protocol failure (a wedged or runaway
+  // schedule) and classifies as inconsistent.
+  bool completed = false;
+  size_t installs = 0;
+  std::string final_view;
+
+  // Canonical serialization of everything schedule-determined — the
+  // string the byte-identical-replay test compares.
+  std::string Fingerprint() const;
+};
+
+// Replays `choices` (defaults past the end) and classifies the run.
+ControlledOutcome RunWithChoices(const ControlledScenario& scenario,
+                                 const std::vector<size_t>& choices,
+                                 int64_t max_steps);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_VERIFY_CONTROLLED_RUN_H_

@@ -1,0 +1,280 @@
+#include "verify/explorer.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "common/check.h"
+#include "common/str.h"
+
+namespace sweepmv {
+
+namespace {
+
+// Stable identity of a ready candidate: its channel plus how many events
+// of that channel the prefix already executed.
+EventId IdOf(const EventLabel& label, const ScheduleTrace& prefix_trace) {
+  EventId id;
+  id.channel = ChannelOf(label);
+  for (const TraceStep& step : prefix_trace.steps) {
+    if (ChannelOf(step.label) == id.channel) ++id.index;
+  }
+  return id;
+}
+
+bool Contains(const std::vector<EventId>& set, const EventId& id) {
+  return std::find(set.begin(), set.end(), id) != set.end();
+}
+
+struct Dfs {
+  const ExplorerConfig& config;
+  ExploreResult result;
+  bool stop = false;
+
+  void Classify(const ControlledOutcome& outcome,
+                const std::vector<size_t>& choices) {
+    ++result.schedules;
+    result.worst = std::min(result.worst, outcome.report.level);
+    if (outcome.report.level >= config.required) return;
+    ++result.violations;
+    if (!result.counterexample.has_value()) {
+      std::vector<size_t> minimized = choices;
+      if (config.minimize) {
+        minimized = MinimizeViolation(config.scenario, config.required,
+                                      std::move(minimized),
+                                      config.max_steps_per_run,
+                                      &result.executions);
+      }
+      ControlledOutcome final_run = RunWithChoices(
+          config.scenario, minimized, config.max_steps_per_run);
+      ++result.executions;
+      Counterexample cx;
+      cx.choices = std::move(minimized);
+      cx.trace = final_run.trace;
+      cx.report = final_run.report;
+      result.counterexample = std::move(cx);
+    }
+    if (config.stop_at_first_violation) stop = true;
+  }
+
+  // Visits the node reached by `prefix`; `sleep` holds events provably
+  // redundant to explore here (their interleavings are covered by
+  // already-explored sibling branches).
+  void Visit(std::vector<size_t>& prefix, std::vector<EventId> sleep) {
+    if (stop) return;
+    if (result.schedules >= config.max_schedules) {
+      stop = true;
+      result.exhausted = false;
+      return;
+    }
+
+    ReplayScheduler scheduler(prefix);
+    ControlledSystem system(config.scenario, &scheduler);
+    ++result.executions;
+    int64_t ran = system.Run(static_cast<int64_t>(prefix.size()));
+    SWEEP_CHECK_MSG(ran == static_cast<int64_t>(prefix.size()),
+                    "schedule prefix drained early");
+
+    std::vector<Scheduler::Candidate> ready = system.Ready();
+    if (ready.empty()) {
+      // Terminal: this execution is one complete schedule.
+      ControlledOutcome outcome;
+      outcome.steps = ran;
+      outcome.completed = system.WarehouseIdle();
+      if (outcome.completed) {
+        outcome.report = system.Check();
+      } else {
+        outcome.report.level = ConsistencyLevel::kInconsistent;
+        outcome.report.detail = "run drained with the warehouse busy";
+      }
+      Classify(outcome, prefix);
+      return;
+    }
+    if (static_cast<int64_t>(prefix.size()) >= config.max_steps_per_run) {
+      ControlledOutcome outcome;
+      outcome.steps = ran;
+      outcome.report.level = ConsistencyLevel::kInconsistent;
+      outcome.report.detail = "schedule exceeded the step budget";
+      Classify(outcome, prefix);
+      return;
+    }
+
+    result.max_ready =
+        std::max(result.max_ready, static_cast<int64_t>(ready.size()));
+    if (ready.size() > 1) ++result.decision_points;
+
+    std::vector<EventId> ids;
+    ids.reserve(ready.size());
+    for (const Scheduler::Candidate& c : ready) {
+      ids.push_back(IdOf(c.label, scheduler.trace()));
+    }
+
+    bool any_explorable = false;
+    std::vector<EventId> done;
+    for (size_t i = 0; i < ready.size(); ++i) {
+      if (config.sleep_sets && Contains(sleep, ids[i])) {
+        ++result.sleep_pruned;
+        continue;
+      }
+      any_explorable = true;
+      // Child sleep set: everything slept here or explored in an earlier
+      // sibling stays asleep below, provided it commutes with the step
+      // taken (Godefroid's sleep-set rule).
+      std::vector<EventId> child_sleep;
+      if (config.sleep_sets) {
+        for (const EventId& z : sleep) {
+          if (Independent(LabelOfChannelHead(z), ready[i].label)) {
+            child_sleep.push_back(z);
+          }
+        }
+        for (const EventId& z : done) {
+          if (Independent(LabelOfChannelHead(z), ready[i].label)) {
+            child_sleep.push_back(z);
+          }
+        }
+      }
+      prefix.push_back(i);
+      Visit(prefix, std::move(child_sleep));
+      prefix.pop_back();
+      if (stop) return;
+      done.push_back(ids[i]);
+    }
+    if (!any_explorable) ++result.sleep_blocked;
+  }
+
+  // The independence relation only needs each event's affected site,
+  // which its channel determines; reconstruct a label from the id.
+  static EventLabel LabelOfChannelHead(const EventId& id) {
+    EventLabel label;
+    label.kind = id.channel.kind;
+    label.from = id.channel.from;
+    label.to = id.channel.to;
+    return label;
+  }
+};
+
+}  // namespace
+
+std::string Counterexample::Summary() const {
+  std::string out = StrFormat(
+      "violation: level %s (%s)\nchoices:",
+      ConsistencyLevelName(report.level), report.detail.c_str());
+  for (size_t c : choices) out += StrFormat(" %zu", c);
+  out += "\nschedule:\n" + trace.ToString();
+  return out;
+}
+
+ExploreResult ExploreExhaustive(const ExplorerConfig& config) {
+  Dfs dfs{config, ExploreResult{}, false};
+  dfs.result.exhausted = true;
+  std::vector<size_t> prefix;
+  dfs.Visit(prefix, {});
+  if (dfs.stop && dfs.result.schedules >= config.max_schedules) {
+    dfs.result.exhausted = false;
+  }
+  if (dfs.stop && dfs.result.violations > 0 &&
+      config.stop_at_first_violation) {
+    // Stopped early by design; the space was not necessarily covered.
+    dfs.result.exhausted = false;
+  }
+  return dfs.result;
+}
+
+ExploreResult ExploreRandom(const ExplorerConfig& config, int64_t walks,
+                            uint64_t seed) {
+  ExploreResult result;
+  Rng root(seed);
+  for (int64_t w = 0; w < walks; ++w) {
+    if (result.schedules >= config.max_schedules) break;
+    RandomScheduler scheduler(root.Next());
+    ControlledSystem system(config.scenario, &scheduler);
+    ++result.executions;
+    int64_t ran = system.Run(config.max_steps_per_run);
+    ControlledOutcome outcome;
+    outcome.steps = ran;
+    outcome.completed = system.Drained() && system.WarehouseIdle();
+    if (outcome.completed) {
+      outcome.report = system.Check();
+    } else {
+      outcome.report.level = ConsistencyLevel::kInconsistent;
+      outcome.report.detail = system.Drained()
+                                  ? "run drained with the warehouse busy"
+                                  : "run exceeded the step budget";
+    }
+    ++result.schedules;
+    result.worst = std::min(result.worst, outcome.report.level);
+    for (const TraceStep& step : scheduler.trace().steps) {
+      result.max_ready = std::max(result.max_ready,
+                                  static_cast<int64_t>(step.ready.size()));
+      if (step.ready.size() > 1) ++result.decision_points;
+    }
+    if (outcome.report.level >= config.required) continue;
+    ++result.violations;
+    if (!result.counterexample.has_value()) {
+      std::vector<size_t> choices = scheduler.trace().Choices();
+      if (config.minimize) {
+        choices = MinimizeViolation(config.scenario, config.required,
+                                    std::move(choices),
+                                    config.max_steps_per_run,
+                                    &result.executions);
+      }
+      ControlledOutcome final_run =
+          RunWithChoices(config.scenario, choices, config.max_steps_per_run);
+      ++result.executions;
+      Counterexample cx;
+      cx.choices = std::move(choices);
+      cx.trace = final_run.trace;
+      cx.report = final_run.report;
+      result.counterexample = std::move(cx);
+    }
+    if (config.stop_at_first_violation) break;
+  }
+  return result;
+}
+
+std::vector<size_t> MinimizeViolation(const ControlledScenario& scenario,
+                                      ConsistencyLevel required,
+                                      std::vector<size_t> choices,
+                                      int64_t max_steps_per_run,
+                                      int64_t* executions) {
+  auto violates = [&](const std::vector<size_t>& candidate) {
+    if (executions != nullptr) ++(*executions);
+    ControlledOutcome outcome =
+        RunWithChoices(scenario, candidate, max_steps_per_run);
+    return outcome.report.level < required;
+  };
+  auto trim = [](std::vector<size_t>& v) {
+    while (!v.empty() && v.back() == 0) v.pop_back();
+  };
+
+  trim(choices);
+  SWEEP_CHECK_MSG(violates(choices),
+                  "MinimizeViolation requires a violating schedule");
+
+  // Shortest violating prefix, defaults beyond it. Violation is not
+  // monotone in the prefix length, so scan from the front and take the
+  // first prefix that still violates (the full vector always does).
+  for (size_t k = 0; k < choices.size(); ++k) {
+    std::vector<size_t> candidate(
+        choices.begin(), choices.begin() + static_cast<ptrdiff_t>(k));
+    if (violates(candidate)) {
+      choices.resize(k);
+      break;
+    }
+  }
+
+  // Lower every choice as far as the violation allows.
+  for (size_t i = 0; i < choices.size(); ++i) {
+    while (choices[i] > 0) {
+      std::vector<size_t> candidate = choices;
+      --candidate[i];
+      if (!violates(candidate)) break;
+      choices = std::move(candidate);
+    }
+  }
+  trim(choices);
+  return choices;
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,110 @@
+// Schedule-space explorer: the discrete-event simulator as a model
+// checker.
+//
+// Treats one maintenance scenario (view, initial bases, a fixed set of
+// source transactions) as a transition system whose nondeterminism is the
+// scheduler's pick among ready events, and explores it:
+//
+//   * ExploreExhaustive — depth-first enumeration of every
+//     FIFO-respecting interleaving, optionally pruned by sleep sets
+//     (partial-order reduction over the "different affected site" =>
+//     independent relation of verify/schedule.h). Each enumerated
+//     schedule is executed from scratch — stateless model checking — and
+//     classified against the paper's consistency lattice by
+//     consistency/checker. Sound for trace properties: commuting
+//     independent events changes no site-local history, so every
+//     Mazurkiewicz trace class is classified by its explored
+//     representative.
+//
+//   * ExploreRandom — seeded uniform random walks for scenarios whose
+//     schedule space is too large to enumerate.
+//
+// A schedule whose run classifies below `required` is a violation; the
+// first one found is greedily minimized (trailing defaults trimmed,
+// choices lowered while the violation persists) and returned as a
+// replayable counterexample — a protocol-level race report.
+
+#ifndef SWEEPMV_VERIFY_EXPLORER_H_
+#define SWEEPMV_VERIFY_EXPLORER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verify/controlled_run.h"
+
+namespace sweepmv {
+
+struct ExplorerConfig {
+  ControlledScenario scenario;
+  // Minimum acceptable consistency level; classifying below it makes a
+  // schedule a violation. Set to the algorithm's PromisedConsistency to
+  // check Table 1's promise, or kConvergent to hunt for divergence only.
+  ConsistencyLevel required = ConsistencyLevel::kConvergent;
+  // Sleep-set partial-order reduction (exhaustive mode). Off = naive
+  // enumeration of every interleaving, for measuring the reduction.
+  bool sleep_sets = true;
+  // Budget of complete schedules; exploration stops (exhausted=false)
+  // when exceeded.
+  int64_t max_schedules = 1'000'000;
+  // Per-run step budget; a run that exceeds it classifies as a violation
+  // (runaway schedule).
+  int64_t max_steps_per_run = 100'000;
+  // Stop at (and minimize) the first violation instead of counting all.
+  bool stop_at_first_violation = true;
+  // Greedily minimize the first violating schedule.
+  bool minimize = true;
+};
+
+struct Counterexample {
+  // Choice vector replaying the violation (RunWithChoices).
+  std::vector<size_t> choices;
+  // Full trace of the (minimized) violating run.
+  ScheduleTrace trace;
+  ConsistencyReport report;
+
+  std::string Summary() const;
+};
+
+struct ExploreResult {
+  // Complete schedules executed and classified.
+  int64_t schedules = 0;
+  // Total controlled executions, including interior-node replays and
+  // minimization probes (the throughput bench's denominator).
+  int64_t executions = 0;
+  // Branches skipped because their event was in the sleep set, and
+  // executions abandoned with every ready event sleeping. Zero with
+  // sleep_sets off.
+  int64_t sleep_pruned = 0;
+  int64_t sleep_blocked = 0;
+  // Interior decision points (ready set > 1) encountered.
+  int64_t decision_points = 0;
+  int64_t max_ready = 0;
+  // The whole space was covered within the schedule budget (exhaustive
+  // mode; random mode always reports false).
+  bool exhausted = false;
+  int64_t violations = 0;
+  // Weakest level any schedule reached (kComplete when nothing ran).
+  ConsistencyLevel worst = ConsistencyLevel::kComplete;
+  std::optional<Counterexample> counterexample;
+};
+
+ExploreResult ExploreExhaustive(const ExplorerConfig& config);
+
+ExploreResult ExploreRandom(const ExplorerConfig& config, int64_t walks,
+                            uint64_t seed);
+
+// Greedy minimization of a violating choice vector: trim trailing
+// defaults, then try lowering every choice toward 0, keeping each change
+// that still violates `required`. Returns the minimized vector;
+// `executions`, if given, accumulates the probe-run count.
+std::vector<size_t> MinimizeViolation(const ControlledScenario& scenario,
+                                      ConsistencyLevel required,
+                                      std::vector<size_t> choices,
+                                      int64_t max_steps_per_run,
+                                      int64_t* executions = nullptr);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_VERIFY_EXPLORER_H_

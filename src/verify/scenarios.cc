@@ -1,0 +1,58 @@
+#include "verify/scenarios.h"
+
+namespace sweepmv {
+
+namespace {
+
+ViewDef PaperView() {
+  return ViewDef::Builder()
+      .AddRelation("R1", Schema::AllInts({"A", "B"}))
+      .AddRelation("R2", Schema::AllInts({"C", "D"}))
+      .AddRelation("R3", Schema::AllInts({"E", "F"}))
+      .JoinOn(0, 1, 0)
+      .JoinOn(1, 1, 0)
+      .Project({3, 5})
+      .Build();
+}
+
+std::vector<Relation> PaperBases(const ViewDef& view) {
+  return {
+      Relation::OfInts(view.rel_schema(0), {{1, 3}, {2, 3}}),
+      Relation::OfInts(view.rel_schema(1), {{3, 7}}),
+      Relation::OfInts(view.rel_schema(2), {{5, 6}, {7, 8}}),
+  };
+}
+
+}  // namespace
+
+ControlledScenario PaperExampleScenario(Algorithm algorithm) {
+  ViewDef view = PaperView();
+  std::vector<Relation> bases = PaperBases(view);
+  ControlledScenario scenario{algorithm, std::move(view),
+                              std::move(bases),
+                              {
+                                  {1, {UpdateOp::Insert(IntTuple({3, 5}))}},
+                                  {2, {UpdateOp::Delete(IntTuple({7, 8}))}},
+                                  {0, {UpdateOp::Delete(IntTuple({2, 3}))}},
+                              },
+                              WarehouseConfig{},
+                              /*latency=*/1000};
+  return scenario;
+}
+
+ControlledScenario EcaAnomalyScenario(bool compensation) {
+  ViewDef view = PaperView();
+  std::vector<Relation> bases = PaperBases(view);
+  ControlledScenario scenario{Algorithm::kEca, std::move(view),
+                              std::move(bases),
+                              {
+                                  {1, {UpdateOp::Insert(IntTuple({3, 5}))}},
+                                  {0, {UpdateOp::Insert(IntTuple({9, 3}))}},
+                              },
+                              WarehouseConfig{},
+                              /*latency=*/1000};
+  scenario.warehouse.eca_compensation = compensation;
+  return scenario;
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,33 @@
+// Canonical scenarios for the schedule-space explorer.
+//
+// The paper's Section 5.2 worked example (Figure 5) — the three-relation
+// join view with one update at each source — is the exhaustive-mode
+// benchmark scenario: small enough to enumerate, rich enough to exercise
+// every interference pattern the proofs argue about. The anomaly
+// scenario drives the same view through ECA with its compensating offset
+// terms disabled, which is the naive maintenance Section 3 shows to be
+// incorrect; the explorer finds the racing interleaving and produces the
+// minimized counterexample.
+
+#ifndef SWEEPMV_VERIFY_SCENARIOS_H_
+#define SWEEPMV_VERIFY_SCENARIOS_H_
+
+#include "verify/controlled_run.h"
+
+namespace sweepmv {
+
+// V = Π[D,F] (R1[A,B] ⋈(B=C) R2[C,D] ⋈(D=E) R3[E,F]) with Figure 5's
+// initial bases and the three concurrent updates of Section 5.2 (insert
+// R2(3,5), delete R3(7,8), delete R1(2,3)), under `algorithm`.
+ControlledScenario PaperExampleScenario(Algorithm algorithm);
+
+// The same view with two interfering updates — insert R2(3,5), insert
+// R1(9,3), the Section 4 error-term example — under ECA with
+// `compensation`. With compensation off there exist schedules whose
+// contaminated answer is applied raw and double-counts the joint tuple:
+// the update anomaly, reachable by the explorer.
+ControlledScenario EcaAnomalyScenario(bool compensation);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_VERIFY_SCENARIOS_H_

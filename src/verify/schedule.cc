@@ -1,0 +1,71 @@
+#include "verify/schedule.h"
+
+#include "common/str.h"
+
+namespace sweepmv {
+
+ChannelId ChannelOf(const EventLabel& label) {
+  switch (label.kind) {
+    case EventKind::kDelivery:
+      return ChannelId{EventKind::kDelivery, label.from, label.to};
+    case EventKind::kTxn:
+      return ChannelId{EventKind::kTxn, -1, label.to};
+    case EventKind::kInternal:
+      break;
+  }
+  return ChannelId{EventKind::kInternal, -1, -1};
+}
+
+int AffectedSite(const EventLabel& label) {
+  switch (label.kind) {
+    case EventKind::kDelivery:
+    case EventKind::kTxn:
+      return label.to;
+    case EventKind::kInternal:
+      break;
+  }
+  return -2;
+}
+
+bool Independent(const EventLabel& a, const EventLabel& b) {
+  int sa = AffectedSite(a);
+  int sb = AffectedSite(b);
+  if (sa == -2 || sb == -2) return false;
+  return sa != sb;
+}
+
+std::string LabelToString(const EventLabel& label) {
+  switch (label.kind) {
+    case EventKind::kDelivery:
+      return StrFormat("%s %d->%d", label.what, label.from, label.to);
+    case EventKind::kTxn:
+      return StrFormat("txn@%d", label.to);
+    case EventKind::kInternal:
+      break;
+  }
+  return "internal";
+}
+
+std::string ScheduleTrace::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const TraceStep& step = steps[i];
+    out += StrFormat("%3zu: %s  (pick %zu of {", i,
+                     LabelToString(step.label).c_str(), step.chosen);
+    for (size_t j = 0; j < step.ready.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += LabelToString(step.ready[j]);
+    }
+    out += "})\n";
+  }
+  return out;
+}
+
+std::vector<size_t> ScheduleTrace::Choices() const {
+  std::vector<size_t> choices;
+  choices.reserve(steps.size());
+  for (const TraceStep& step : steps) choices.push_back(step.chosen);
+  return choices;
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,87 @@
+// Schedule vocabulary of the schedule-space explorer.
+//
+// A controlled run (sim/simulator.h controlled mode) is a sequence of
+// scheduler picks. This header names the pieces the explorer reasons
+// about:
+//   * ChannelId / EventId — a stable identity for "the k-th event of
+//     channel c", invariant across replays of the same prefix;
+//   * the independence relation partial-order reduction leans on: two
+//     events commute iff they execute at different sites;
+//   * ScheduleTrace — the recorded run (every step's label, ready set and
+//     chosen index), serializable so counterexample replays can be
+//     compared byte-for-byte.
+
+#ifndef SWEEPMV_VERIFY_SCHEDULE_H_
+#define SWEEPMV_VERIFY_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace sweepmv {
+
+// One FIFO channel of the controlled simulator: a directed network link,
+// one site's transaction stream, or the shared internal channel.
+struct ChannelId {
+  EventKind kind = EventKind::kInternal;
+  int from = -1;
+  int to = -1;
+
+  friend bool operator==(const ChannelId& a, const ChannelId& b) {
+    return a.kind == b.kind && a.from == b.from && a.to == b.to;
+  }
+};
+
+ChannelId ChannelOf(const EventLabel& label);
+
+// The site whose state an event mutates: the destination site for
+// deliveries, the executing site for transactions, -2 ("everywhere") for
+// internal events.
+int AffectedSite(const EventLabel& label);
+
+// The k-th event (0-based, in channel order) of one channel — stable
+// across re-executions of the same schedule prefix, which is what lets
+// sleep sets transfer between branches.
+struct EventId {
+  ChannelId channel;
+  int64_t index = 0;
+
+  friend bool operator==(const EventId& a, const EventId& b) {
+    return a.channel == b.channel && a.index == b.index;
+  }
+};
+
+// Two events commute iff they execute at different sites: a delivery only
+// mutates its destination (any messages its handler emits are *appended*
+// to outgoing channels, which both orders do identically), a transaction
+// only mutates its source. Internal events are conservatively dependent
+// on everything.
+bool Independent(const EventLabel& a, const EventLabel& b);
+
+// One executed step of a controlled run.
+struct TraceStep {
+  EventLabel label;                // the event that ran
+  SimTime when = 0;                // its virtual timestamp
+  size_t chosen = 0;               // index picked within the ready set
+  std::vector<EventLabel> ready;   // the ready set the scheduler saw
+};
+
+struct ScheduleTrace {
+  std::vector<TraceStep> steps;
+
+  // Canonical serialization: one line per step with the ready set and the
+  // pick. Two runs of the same schedule must serialize identically — the
+  // byte-identical-replay regression test diffs these strings.
+  std::string ToString() const;
+
+  // The choice vector that reproduces this run (one entry per step).
+  std::vector<size_t> Choices() const;
+};
+
+std::string LabelToString(const EventLabel& label);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_VERIFY_SCHEDULE_H_

@@ -1,0 +1,169 @@
+// Regression tests for the schedule-space explorer (src/verify/): the
+// paper's consistency guarantees hold on *every* FIFO-respecting
+// interleaving of the worked example, naive (compensation-off) ECA does
+// not, the counterexample replays byte-identically, and sleep-set POR
+// actually reduces the enumeration.
+
+#include <gtest/gtest.h>
+
+#include "verify/explorer.h"
+#include "verify/scenarios.h"
+
+namespace sweepmv {
+namespace {
+
+ExplorerConfig ExhaustiveConfig(ControlledScenario scenario,
+                                ConsistencyLevel required,
+                                bool sleep_sets = true) {
+  ExplorerConfig config{std::move(scenario), required, sleep_sets,
+                        /*max_schedules=*/200'000,
+                        /*max_steps_per_run=*/10'000,
+                        /*stop_at_first_violation=*/false,
+                        /*minimize=*/false};
+  return config;
+}
+
+TEST(ExplorerTest, SweepCompleteOnEveryInterleaving) {
+  ExploreResult result = ExploreExhaustive(ExhaustiveConfig(
+      PaperExampleScenario(Algorithm::kSweep), ConsistencyLevel::kComplete));
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.violations, 0);
+  EXPECT_EQ(result.worst, ConsistencyLevel::kComplete);
+  // The worked example has genuinely concurrent interference to explore.
+  EXPECT_GT(result.schedules, 10);
+  EXPECT_GT(result.decision_points, 0);
+}
+
+TEST(ExplorerTest, NestedSweepKeepsItsPromiseOnEveryInterleaving) {
+  ExploreResult result = ExploreExhaustive(
+      ExhaustiveConfig(PaperExampleScenario(Algorithm::kNestedSweep),
+                       PromisedConsistency(Algorithm::kNestedSweep)));
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.violations, 0);
+  EXPECT_GE(result.worst, ConsistencyLevel::kStrong);
+}
+
+TEST(ExplorerTest, PartialOrderReductionPrunesAtLeast2x) {
+  ExploreResult por = ExploreExhaustive(ExhaustiveConfig(
+      PaperExampleScenario(Algorithm::kSweep), ConsistencyLevel::kComplete,
+      /*sleep_sets=*/true));
+  ExploreResult naive = ExploreExhaustive(ExhaustiveConfig(
+      PaperExampleScenario(Algorithm::kSweep), ConsistencyLevel::kComplete,
+      /*sleep_sets=*/false));
+  ASSERT_TRUE(por.exhausted);
+  ASSERT_TRUE(naive.exhausted);
+  EXPECT_GE(naive.schedules, 2 * por.schedules);
+  EXPECT_GT(por.sleep_pruned, 0);
+  EXPECT_EQ(naive.sleep_pruned, 0);
+  // Cross-validation: pruning must not change the verdict.
+  EXPECT_EQ(por.worst, naive.worst);
+  EXPECT_EQ(por.violations, naive.violations);
+}
+
+TEST(ExplorerTest, CompensatingEcaConsistentOnEveryInterleaving) {
+  ExploreResult result = ExploreExhaustive(
+      ExhaustiveConfig(EcaAnomalyScenario(/*compensation=*/true),
+                       PromisedConsistency(Algorithm::kEca)));
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.violations, 0);
+}
+
+TEST(ExplorerTest, FindsAndMinimizesEcaAnomalyCounterexample) {
+  ExplorerConfig config{EcaAnomalyScenario(/*compensation=*/false),
+                        ConsistencyLevel::kConvergent,
+                        /*sleep_sets=*/true,
+                        /*max_schedules=*/200'000,
+                        /*max_steps_per_run=*/10'000,
+                        /*stop_at_first_violation=*/true,
+                        /*minimize=*/true};
+  ExploreResult result = ExploreExhaustive(config);
+  EXPECT_GT(result.violations, 0);
+  ASSERT_TRUE(result.counterexample.has_value());
+  const Counterexample& cx = *result.counterexample;
+  // The minimized schedule still violates convergence: the naive answer
+  // double-counts the racing insert.
+  EXPECT_EQ(cx.report.level, ConsistencyLevel::kInconsistent);
+  EXPECT_FALSE(cx.trace.steps.empty());
+  // Minimal means minimal: no trailing default picks survive (the empty
+  // vector — "the default schedule already races" — is legal).
+  if (!cx.choices.empty()) EXPECT_NE(cx.choices.back(), 0u);
+  // The minimized vector reproduces the violation on its own.
+  ControlledOutcome replay = RunWithChoices(config.scenario, cx.choices,
+                                            /*max_steps=*/10'000);
+  EXPECT_LT(replay.report.level, ConsistencyLevel::kConvergent);
+}
+
+TEST(ExplorerTest, EcaAnomalyIsScheduleDependent) {
+  // The race only fires on *some* interleavings: schedules that finish
+  // the first update's query before the second source transaction runs
+  // are clean even without compensation. The explorer's search is what
+  // separates the two — a fixed-clock run could land on either side.
+  ExplorerConfig config =
+      ExhaustiveConfig(EcaAnomalyScenario(/*compensation=*/false),
+                       ConsistencyLevel::kConvergent);
+  ExploreResult result = ExploreExhaustive(config);
+  ASSERT_TRUE(result.exhausted);
+  EXPECT_GT(result.violations, 0);
+  EXPECT_LT(result.violations, result.schedules);
+  EXPECT_EQ(result.worst, ConsistencyLevel::kInconsistent);
+}
+
+TEST(ExplorerTest, CounterexampleReplaysByteIdentically) {
+  ExplorerConfig config{EcaAnomalyScenario(/*compensation=*/false),
+                        ConsistencyLevel::kConvergent,
+                        /*sleep_sets=*/true,
+                        /*max_schedules=*/200'000,
+                        /*max_steps_per_run=*/10'000,
+                        /*stop_at_first_violation=*/true,
+                        /*minimize=*/true};
+  ExploreResult result = ExploreExhaustive(config);
+  ASSERT_TRUE(result.counterexample.has_value());
+  const Counterexample& cx = *result.counterexample;
+
+  ControlledOutcome first =
+      RunWithChoices(config.scenario, cx.choices, 10'000);
+  ControlledOutcome second =
+      RunWithChoices(config.scenario, cx.choices, 10'000);
+  EXPECT_EQ(first.Fingerprint(), second.Fingerprint());
+  EXPECT_EQ(first.trace.ToString(), cx.trace.ToString());
+  EXPECT_EQ(first.report.level, cx.report.level);
+  EXPECT_LT(first.report.level, ConsistencyLevel::kConvergent);
+}
+
+TEST(ExplorerTest, RandomWalksFindTheEcaAnomaly) {
+  ExplorerConfig config{EcaAnomalyScenario(/*compensation=*/false),
+                        ConsistencyLevel::kConvergent,
+                        /*sleep_sets=*/true,
+                        /*max_schedules=*/200'000,
+                        /*max_steps_per_run=*/10'000,
+                        /*stop_at_first_violation=*/true,
+                        /*minimize=*/true};
+  ExploreResult result = ExploreRandom(config, /*walks=*/500, /*seed=*/7);
+  EXPECT_GT(result.violations, 0);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_LT(result.counterexample->report.level,
+            ConsistencyLevel::kConvergent);
+}
+
+TEST(ExplorerTest, RandomWalksAreSeedDeterministic) {
+  ExplorerConfig config = ExhaustiveConfig(
+      PaperExampleScenario(Algorithm::kSweep), ConsistencyLevel::kComplete);
+  ExploreResult a = ExploreRandom(config, /*walks=*/20, /*seed=*/99);
+  ExploreResult b = ExploreRandom(config, /*walks=*/20, /*seed=*/99);
+  EXPECT_EQ(a.schedules, b.schedules);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.decision_points, b.decision_points);
+  EXPECT_EQ(a.worst, b.worst);
+}
+
+TEST(ExplorerTest, StrobeFamilySurvivesExhaustiveExploration) {
+  for (Algorithm a : {Algorithm::kStrobe, Algorithm::kCStrobe}) {
+    ExploreResult result = ExploreExhaustive(ExhaustiveConfig(
+        PaperExampleScenario(a), PromisedConsistency(a)));
+    EXPECT_TRUE(result.exhausted) << AlgorithmName(a);
+    EXPECT_EQ(result.violations, 0) << AlgorithmName(a);
+  }
+}
+
+}  // namespace
+}  // namespace sweepmv

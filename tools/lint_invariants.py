@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Protocol-invariant lint for the sweepmv source tree.
+
+Clang-tidy catches language-level bugs; this lint catches *protocol*-level
+ones — patterns that compile fine but break the invariants the
+consistency proofs (and the schedule-space explorer in src/verify/)
+depend on. It is deliberately regex-based and conservative: zero
+dependencies, runs as a tier-1 ctest, and every suppression is an inline
+annotation that must carry a rationale.
+
+Rules
+-----
+view-mutation
+    The materialized view may only change through the warehouse's
+    delta-application API (InstallViewDelta / InstallAbsoluteView in
+    core/warehouse.cc), which snapshots the install log the consistency
+    checker replays against. Any other mention of the `view_` member in
+    src/core is a bypass: an install the checker never sees.
+
+direct-schedule
+    Protocol code (src/core, src/source) must not schedule simulator
+    events directly: message events must flow through sim/network.cc so
+    they carry an EventLabel and respect per-link FIFO in controlled
+    mode. A directly scheduled event is invisible to the schedule-space
+    explorer's channel model. (Timers that deliberately bypass the
+    network — e.g. the query re-issue timer — must be annotated.)
+
+unordered-arrival
+    Channel::UnorderedArrival hands out arrival times that violate the
+    per-link FIFO clamp (NextArrival's monotone guarantee). Everything
+    downstream — the warehouse's watermark dedup, controlled-mode seq
+    ordering, the explorer's independence relation — assumes FIFO per
+    link, so any use outside sim/channel.* must be annotated with why
+    reordering is intended there.
+
+Suppressing
+-----------
+Append an annotation with a rationale on the offending line (or the line
+above):
+
+    network_->simulator()->Schedule(  // lint:allow direct-schedule <why>
+
+A bare `lint:allow <rule>` with no rationale text still fails.
+
+Usage:  python3 tools/lint_invariants.py [--root REPO_ROOT] [--list-rules]
+Exit status: 0 clean, 1 violations, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# One rule = (name, file predicate, line regex, exempt-path suffixes, help).
+RULES = [
+    {
+        "name": "view-mutation",
+        "dirs": ("src/core",),
+        "exempt": ("src/core/warehouse.cc", "src/core/warehouse.h"),
+        "pattern": re.compile(r"\bview_(?![A-Za-z0-9_])"),
+        "why": (
+            "the materialized view must change only through "
+            "InstallViewDelta/InstallAbsoluteView so the install log the "
+            "consistency checker replays stays complete"
+        ),
+    },
+    {
+        "name": "direct-schedule",
+        "dirs": ("src/core", "src/source"),
+        "exempt": (),
+        "pattern": re.compile(
+            r"(?:simulator\(\)|sim_)\s*(?:->|\.)\s*Schedule(?:At)?\s*\("
+        ),
+        "why": (
+            "protocol events must go through sim/network.cc so they carry "
+            "an EventLabel and stay FIFO per link under the schedule-space "
+            "explorer"
+        ),
+    },
+    {
+        "name": "unordered-arrival",
+        "dirs": ("src",),
+        "exempt": ("src/sim/channel.cc", "src/sim/channel.h"),
+        "pattern": re.compile(r"\bUnorderedArrival\s*\("),
+        "why": (
+            "UnorderedArrival breaks the per-link FIFO clamp that the "
+            "watermark dedup and controlled-mode ordering assume"
+        ),
+    },
+]
+
+ALLOW = re.compile(r"lint:allow\s+(?P<rule>[\w-]+)(?P<rationale>.*)")
+
+
+def allowed(rule_name: str, lines: list[str], i: int) -> tuple[bool, str]:
+    """Checks line i and the contiguous comment block above it for a
+    `lint:allow <rule>` annotation. Returns (suppressed, error); an
+    annotation without a rationale is itself an error."""
+    candidates = [lines[i]]
+    j = i - 1
+    while j >= 0 and lines[j].strip().startswith("//"):
+        candidates.append(lines[j])
+        j -= 1
+    for text in candidates:
+        m = ALLOW.search(text)
+        if m and m.group("rule") == rule_name:
+            if len(m.group("rationale").strip()) < 8:
+                return False, "lint:allow needs a rationale (>= 8 chars)"
+            return True, ""
+    return False, ""
+
+
+def lint_file(path: Path, rel: str, failures: list[str]) -> None:
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except (OSError, UnicodeDecodeError) as err:
+        failures.append(f"{rel}: unreadable: {err}")
+        return
+    for rule in RULES:
+        if not any(rel.startswith(d + "/") for d in rule["dirs"]):
+            continue
+        if rel in rule["exempt"]:
+            continue
+        for i, line in enumerate(lines):
+            code = line.split("//", 1)[0] if "lint:allow" not in line else line
+            if not rule["pattern"].search(code):
+                continue
+            ok, err = allowed(rule["name"], lines, i)
+            if ok:
+                continue
+            detail = err if err else rule["why"]
+            failures.append(
+                f"{rel}:{i + 1}: [{rule['name']}] {line.strip()}\n"
+                f"    -> {detail}"
+            )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rules and exit"
+    )
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule['name']}: {rule['why']}")
+        return 0
+
+    root = Path(args.root).resolve()
+    src = root / "src"
+    if not src.is_dir():
+        print(f"error: {src} is not a directory", file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".cc", ".h"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        lint_file(path, rel, failures)
+
+    if failures:
+        print(f"lint_invariants: {len(failures)} violation(s)\n")
+        for failure in failures:
+            print(failure)
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
