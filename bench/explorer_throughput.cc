@@ -2,19 +2,35 @@
 //
 // Exhaustively enumerates every FIFO-respecting interleaving of the
 // paper's Section 5.2 worked example — with sleep-set partial-order
-// reduction and naively — plus a batch of seeded random walks, and
-// reports schedules/second and the POR pruning factor machine-readably.
+// reduction and naively — under three execution engines:
+//
+//   replay    stateless baseline: every schedule re-executes its whole
+//             choice prefix from a fresh system (share_prefixes=false)
+//   shared    prefix-sharing DFS: one live system, snapshot/restore at
+//             decision points, ~1 execution per schedule
+//   shared xN shared engine with the subtree frontier split across N
+//             work-stealing threads
+//
+// plus a batch of seeded random walks. Reports wall clock, the
+// replay-redundancy factor (executions / schedules — how many times the
+// average event was re-executed), and the POR pruning factor
+// machine-readably. The bench aborts if any two engines disagree on
+// schedule counts or verdicts: the speedup rows are only meaningful
+// because every engine answers the identical question.
 //
 //   $ ./explorer_throughput [--algo=SWEEP] [--budget=500000]
 //                           [--walks=500] [--out=BENCH_explorer.json]
 //
-// The acceptance bar (ISSUE 3): POR prunes >= 2x schedules vs. naive
-// enumeration on this scenario, zero violations for SWEEP.
+// Acceptance bars: POR prunes >= 2x schedules vs. naive enumeration
+// (ISSUE 3); replay redundancy <= 1.5 on the POR config and >= 5x
+// wall-clock speedup on the naive config vs. the replay baseline
+// (ISSUE 4); zero violations for SWEEP throughout.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/str.h"
 #include "common/table.h"
@@ -32,6 +48,9 @@ int64_t NowMs() {
 }
 
 struct Timed {
+  std::string mode;
+  bool sleep_sets = true;
+  int threads = 1;
   ExploreResult result;
   int64_t wall_ms = 0;
   double SchedulesPerSec() const {
@@ -39,20 +58,61 @@ struct Timed {
                              static_cast<double>(wall_ms)
                        : 0.0;
   }
+  double Redundancy() const {
+    return result.schedules > 0
+               ? static_cast<double>(result.executions) /
+                     static_cast<double>(result.schedules)
+               : 0.0;
+  }
 };
 
 Timed RunExhaustive(const ControlledScenario& scenario,
                     ConsistencyLevel required, bool sleep_sets,
-                    int64_t budget) {
+                    int64_t budget, bool share_prefixes, int threads,
+                    std::string mode) {
   ExplorerConfig config{scenario, required, sleep_sets, budget,
                         /*max_steps_per_run=*/10'000,
                         /*stop_at_first_violation=*/false,
                         /*minimize=*/false};
+  config.share_prefixes = share_prefixes;
+  config.threads = threads;
   Timed timed;
+  timed.mode = std::move(mode);
+  timed.sleep_sets = sleep_sets;
+  timed.threads = threads;
   int64_t start = NowMs();
   timed.result = ExploreExhaustive(config);
   timed.wall_ms = NowMs() - start;
   return timed;
+}
+
+// All engines must agree on everything schedule-determined before any
+// speedup row is worth printing.
+void RequireSameVerdicts(const Timed& baseline, const Timed& other) {
+  if (baseline.result.schedules == other.result.schedules &&
+      baseline.result.violations == other.result.violations &&
+      baseline.result.exhausted == other.result.exhausted &&
+      baseline.result.worst == other.result.worst) {
+    return;
+  }
+  std::fprintf(stderr,
+               "engine disagreement: %s (%lld schedules, %lld violations) "
+               "vs %s (%lld schedules, %lld violations)\n",
+               baseline.mode.c_str(),
+               static_cast<long long>(baseline.result.schedules),
+               static_cast<long long>(baseline.result.violations),
+               other.mode.c_str(),
+               static_cast<long long>(other.result.schedules),
+               static_cast<long long>(other.result.violations));
+  std::exit(1);
+}
+
+double Speedup(const Timed& baseline, const Timed& fast) {
+  // Sub-millisecond runs clamp to 1ms so ratios stay finite (and
+  // conservative: the real speedup is at least what we report).
+  double base = static_cast<double>(baseline.wall_ms > 0 ? baseline.wall_ms : 1);
+  double ms = static_cast<double>(fast.wall_ms > 0 ? fast.wall_ms : 1);
+  return base / ms;
 }
 
 Algorithm ParseAlgo(const std::string& name) {
@@ -61,6 +121,20 @@ Algorithm ParseAlgo(const std::string& name) {
   }
   std::fprintf(stderr, "unknown algorithm: %s\n", name.c_str());
   std::exit(2);
+}
+
+std::string RowJson(const Timed& t) {
+  return StrFormat(
+      "{\"schedules\": %lld, \"executions\": %lld, "
+      "\"replay_redundancy\": %.2f, \"threads\": %d, \"exhausted\": %s, "
+      "\"violations\": %lld, \"sleep_pruned\": %lld, \"wall_ms\": %lld, "
+      "\"schedules_per_sec\": %.1f}",
+      static_cast<long long>(t.result.schedules),
+      static_cast<long long>(t.result.executions), t.Redundancy(),
+      t.threads, t.result.exhausted ? "true" : "false",
+      static_cast<long long>(t.result.violations),
+      static_cast<long long>(t.result.sleep_pruned),
+      static_cast<long long>(t.wall_ms), t.SchedulesPerSec());
 }
 
 }  // namespace
@@ -93,10 +167,32 @@ int main(int argc, char** argv) {
       "(required: %s).\n\n",
       AlgorithmName(algo), ConsistencyLevelName(required));
 
-  Timed por = RunExhaustive(scenario, required, /*sleep_sets=*/true,
-                            budget);
-  Timed naive = RunExhaustive(scenario, required, /*sleep_sets=*/false,
-                              budget);
+  auto run = [&](bool sleep_sets, bool share, int threads,
+                 std::string mode) {
+    return RunExhaustive(scenario, required, sleep_sets, budget, share,
+                         threads, std::move(mode));
+  };
+
+  // Stateless replay baselines (the pre-prefix-sharing engine).
+  Timed por_replay = run(true, false, 1, "POR replay");
+  Timed naive_replay = run(false, false, 1, "naive replay");
+
+  // Prefix-sharing engine, sequential then parallel.
+  Timed por = run(true, true, 1, "POR shared");
+  Timed naive = run(false, true, 1, "naive shared");
+  std::vector<Timed> parallel;
+  for (int threads : {2, 4, 8}) {
+    parallel.push_back(run(true, true, threads,
+                           StrFormat("POR shared x%d", threads)));
+    parallel.push_back(run(false, true, threads,
+                           StrFormat("naive shared x%d", threads)));
+  }
+
+  RequireSameVerdicts(por_replay, por);
+  RequireSameVerdicts(naive_replay, naive);
+  for (const Timed& t : parallel) {
+    RequireSameVerdicts(t.sleep_sets ? por : naive, t);
+  }
 
   ExplorerConfig random_config{scenario, required, /*sleep_sets=*/true,
                                budget, /*max_steps_per_run=*/10'000,
@@ -107,22 +203,29 @@ int main(int argc, char** argv) {
       ExploreRandom(random_config, walks, /*seed=*/12345);
   int64_t random_ms = NowMs() - random_start;
 
-  TablePrinter table({"mode", "schedules", "exhausted", "violations",
-                      "wall ms", "schedules/s"});
-  auto add = [&](const char* mode, const ExploreResult& r, int64_t ms) {
-    double per_sec = ms > 0 ? 1000.0 * static_cast<double>(r.schedules) /
-                                  static_cast<double>(ms)
-                            : 0.0;
-    table.AddRow({mode,
-                  StrFormat("%lld", static_cast<long long>(r.schedules)),
-                  r.exhausted ? "yes" : "no",
-                  StrFormat("%lld", static_cast<long long>(r.violations)),
-                  StrFormat("%lld", static_cast<long long>(ms)),
-                  StrFormat("%.0f", per_sec)});
+  TablePrinter table({"mode", "threads", "schedules", "executions",
+                      "redundancy", "violations", "wall ms",
+                      "schedules/s"});
+  auto add = [&](const Timed& t) {
+    table.AddRow({t.mode, StrFormat("%d", t.threads),
+                  StrFormat("%lld", static_cast<long long>(t.result.schedules)),
+                  StrFormat("%lld", static_cast<long long>(t.result.executions)),
+                  StrFormat("%.2f", t.Redundancy()),
+                  StrFormat("%lld", static_cast<long long>(t.result.violations)),
+                  StrFormat("%lld", static_cast<long long>(t.wall_ms)),
+                  StrFormat("%.0f", t.SchedulesPerSec())});
   };
-  add("sleep-set POR", por.result, por.wall_ms);
-  add("naive", naive.result, naive.wall_ms);
-  add("random walks", random, random_ms);
+  add(por_replay);
+  add(naive_replay);
+  add(por);
+  add(naive);
+  for (const Timed& t : parallel) add(t);
+  table.AddRow({"random walks", "1",
+                StrFormat("%lld", static_cast<long long>(random.schedules)),
+                StrFormat("%lld", static_cast<long long>(random.executions)),
+                "-",
+                StrFormat("%lld", static_cast<long long>(random.violations)),
+                StrFormat("%lld", static_cast<long long>(random_ms)), "-"});
   std::printf("%s\n", table.Render().c_str());
 
   double reduction =
@@ -130,37 +233,51 @@ int main(int argc, char** argv) {
           ? static_cast<double>(naive.result.schedules) /
                 static_cast<double>(por.result.schedules)
           : 0.0;
+  const Timed& naive_8t = parallel.back();
+  double sharing_speedup = Speedup(naive_replay, naive);
+  double parallel_speedup = Speedup(naive_replay, naive_8t);
   std::printf("POR reduction: %.2fx (%lld pruned branches)\n", reduction,
               static_cast<long long>(por.result.sleep_pruned));
+  std::printf(
+      "prefix sharing: naive redundancy %.2f -> %.2f, %.1fx faster "
+      "sequential, %.1fx at 8 threads\n",
+      naive_replay.Redundancy(), naive.Redundancy(), sharing_speedup,
+      parallel_speedup);
+
+  std::string parallel_json;
+  for (size_t i = 0; i < parallel.size(); ++i) {
+    const Timed& t = parallel[i];
+    parallel_json += StrFormat(
+        "    {\"config\": \"%s\", \"threads\": %d, \"schedules\": %lld, "
+        "\"executions\": %lld, \"wall_ms\": %lld, "
+        "\"schedules_per_sec\": %.1f}%s\n",
+        t.sleep_sets ? "por" : "naive", t.threads, static_cast<long long>(t.result.schedules),
+        static_cast<long long>(t.result.executions),
+        static_cast<long long>(t.wall_ms), t.SchedulesPerSec(),
+        i + 1 < parallel.size() ? "," : "");
+  }
 
   std::string json = StrFormat(
       "{\n"
       "  \"bench\": \"explorer_throughput\",\n"
       "  \"algorithm\": \"%s\",\n"
       "  \"required_level\": \"%s\",\n"
-      "  \"por\": {\"schedules\": %lld, \"executions\": %lld, "
-      "\"exhausted\": %s, \"violations\": %lld, \"sleep_pruned\": %lld, "
-      "\"wall_ms\": %lld, \"schedules_per_sec\": %.1f},\n"
-      "  \"naive\": {\"schedules\": %lld, \"executions\": %lld, "
-      "\"exhausted\": %s, \"violations\": %lld, \"wall_ms\": %lld, "
-      "\"schedules_per_sec\": %.1f},\n"
+      "  \"por\": %s,\n"
+      "  \"naive\": %s,\n"
+      "  \"por_replay\": %s,\n"
+      "  \"naive_replay\": %s,\n"
+      "  \"parallel\": [\n%s  ],\n"
       "  \"reduction_x\": %.2f,\n"
+      "  \"prefix_sharing_speedup_x\": %.2f,\n"
+      "  \"parallel_speedup_x\": %.2f,\n"
       "  \"random\": {\"walks\": %lld, \"violations\": %lld, "
       "\"wall_ms\": %lld}\n"
       "}\n",
       AlgorithmName(algo), ConsistencyLevelName(required),
-      static_cast<long long>(por.result.schedules),
-      static_cast<long long>(por.result.executions),
-      por.result.exhausted ? "true" : "false",
-      static_cast<long long>(por.result.violations),
-      static_cast<long long>(por.result.sleep_pruned),
-      static_cast<long long>(por.wall_ms), por.SchedulesPerSec(),
-      static_cast<long long>(naive.result.schedules),
-      static_cast<long long>(naive.result.executions),
-      naive.result.exhausted ? "true" : "false",
-      static_cast<long long>(naive.result.violations),
-      static_cast<long long>(naive.wall_ms), naive.SchedulesPerSec(),
-      reduction, static_cast<long long>(random.schedules),
+      RowJson(por).c_str(), RowJson(naive).c_str(),
+      RowJson(por_replay).c_str(), RowJson(naive_replay).c_str(),
+      parallel_json.c_str(), reduction, sharing_speedup, parallel_speedup,
+      static_cast<long long>(random.schedules),
       static_cast<long long>(random.violations),
       static_cast<long long>(random_ms));
 

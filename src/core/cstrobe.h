@@ -96,6 +96,19 @@ class CStrobeWarehouse : public Warehouse {
   void HandleInterference(const Update& update);
   void FinalizeActive();
 
+  // Snapshot/restore: everything mutable below.
+  struct Saved {
+    Relation internal_view;
+    Relation root_delta;
+    std::optional<ActiveUpdate> active;
+    std::vector<std::pair<int, Tuple>> observed_deletes;
+    std::set<Signature> spawned;
+    int64_t compensating_queries = 0;
+    int64_t max_tasks_per_update = 0;
+  };
+  std::shared_ptr<const AlgState> SaveAlgState() const override;
+  void RestoreAlgState(const AlgState& state) override;
+
   Relation internal_view_;  // full-span, selection applied, set semantics
   Relation root_delta_;     // insert part of the update being processed
   std::optional<ActiveUpdate> active_;

@@ -83,6 +83,19 @@ class EcaWarehouse : public Warehouse {
   void MaybeStartNext();
   void TryInstall();
 
+  // Snapshot/restore: everything mutable below (compensation_ is config).
+  struct Saved {
+    std::optional<ActiveQuery> active;
+    std::map<int64_t, std::vector<OffsetTerm>> offsets;
+    Relation pending_delta;
+    std::vector<int64_t> pending_ids;
+    int64_t max_query_terms = 0;
+    int64_t total_query_terms = 0;
+    int64_t batch_installs = 0;
+  };
+  std::shared_ptr<const AlgState> SaveAlgState() const override;
+  void RestoreAlgState(const AlgState& state) override;
+
   bool compensation_ = true;
   std::optional<ActiveQuery> active_;
   // Contamination records per queued update id.

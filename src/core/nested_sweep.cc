@@ -157,4 +157,26 @@ void NestedSweepWarehouse::CompleteTopFrame() {
   Advance();
 }
 
+std::shared_ptr<const Warehouse::AlgState>
+NestedSweepWarehouse::SaveAlgState() const {
+  Saved s;
+  s.stack = stack_;
+  s.batch_ids = batch_ids_;
+  s.compensations = compensations_;
+  s.nested_calls = nested_calls_;
+  s.forced_deferrals = forced_deferrals_;
+  s.max_depth_seen = max_depth_seen_;
+  return std::make_shared<TypedAlgState<Saved>>(std::move(s));
+}
+
+void NestedSweepWarehouse::RestoreAlgState(const AlgState& state) {
+  const Saved& s = AlgStateAs<Saved>(state);
+  stack_ = s.stack;
+  batch_ids_ = s.batch_ids;
+  compensations_ = s.compensations;
+  nested_calls_ = s.nested_calls;
+  forced_deferrals_ = s.forced_deferrals;
+  max_depth_seen_ = s.max_depth_seen;
+}
+
 }  // namespace sweepmv

@@ -75,6 +75,18 @@ class NestedSweepWarehouse : public Warehouse {
   // Completes the top frame: merge into the parent, or install at root.
   void CompleteTopFrame();
 
+  // Snapshot/restore: everything mutable below (options_ is immutable).
+  struct Saved {
+    std::vector<Frame> stack;
+    std::vector<int64_t> batch_ids;
+    int64_t compensations = 0;
+    int64_t nested_calls = 0;
+    int64_t forced_deferrals = 0;
+    int max_depth_seen = 0;
+  };
+  std::shared_ptr<const AlgState> SaveAlgState() const override;
+  void RestoreAlgState(const AlgState& state) override;
+
   std::vector<Frame> stack_;
   // Ids of every update folded into the current composite ΔV.
   std::vector<int64_t> batch_ids_;

@@ -122,4 +122,18 @@ void ParallelSweepWarehouse::MaybeFinish() {
   MaybeStartNext();
 }
 
+std::shared_ptr<const Warehouse::AlgState>
+ParallelSweepWarehouse::SaveAlgState() const {
+  Saved s;
+  s.active = active_;
+  s.compensations = compensations_;
+  return std::make_shared<TypedAlgState<Saved>>(std::move(s));
+}
+
+void ParallelSweepWarehouse::RestoreAlgState(const AlgState& state) {
+  const Saved& s = AlgStateAs<Saved>(state);
+  active_ = s.active;
+  compensations_ = s.compensations;
+}
+
 }  // namespace sweepmv

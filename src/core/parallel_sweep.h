@@ -61,6 +61,14 @@ class ParallelSweepWarehouse : public Warehouse {
   void AdvanceSide(Side& side);
   void MaybeFinish();
 
+  // Snapshot/restore: everything mutable above.
+  struct Saved {
+    std::optional<ActiveSweep> active;
+    int64_t compensations = 0;
+  };
+  std::shared_ptr<const AlgState> SaveAlgState() const override;
+  void RestoreAlgState(const AlgState& state) override;
+
   std::optional<ActiveSweep> active_;
   int64_t compensations_ = 0;
 };

@@ -116,4 +116,24 @@ void PipelinedSweepWarehouse::TryInstallInOrder() {
   }
 }
 
+std::shared_ptr<const Warehouse::AlgState>
+PipelinedSweepWarehouse::SaveAlgState() const {
+  Saved s;
+  s.received = received_;
+  s.started = started_;
+  s.inflight = inflight_;
+  s.compensations = compensations_;
+  s.max_observed_inflight = max_observed_inflight_;
+  return std::make_shared<TypedAlgState<Saved>>(std::move(s));
+}
+
+void PipelinedSweepWarehouse::RestoreAlgState(const AlgState& state) {
+  const Saved& s = AlgStateAs<Saved>(state);
+  received_ = s.received;
+  started_ = s.started;
+  inflight_ = s.inflight;
+  compensations_ = s.compensations;
+  max_observed_inflight_ = s.max_observed_inflight;
+}
+
 }  // namespace sweepmv

@@ -76,6 +76,17 @@ class PipelinedSweepWarehouse : public Warehouse {
   Relation InterferingDelta(int rel, size_t after) const;
   void TryInstallInOrder();
 
+  // Snapshot/restore: everything mutable below (options_ is immutable).
+  struct Saved {
+    std::vector<Update> received;
+    size_t started = 0;
+    std::deque<Sweep> inflight;
+    int64_t compensations = 0;
+    int max_observed_inflight = 0;
+  };
+  std::shared_ptr<const AlgState> SaveAlgState() const override;
+  void RestoreAlgState(const AlgState& state) override;
+
   PipelineOptions options_;
   // Every update ever received, in arrival order (the receive log the
   // interference rule consults).

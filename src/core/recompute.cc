@@ -58,4 +58,18 @@ void RecomputeWarehouse::HandleSnapshotAnswer(SnapshotAnswer answer) {
   MaybeStartNext();
 }
 
+std::shared_ptr<const Warehouse::AlgState>
+RecomputeWarehouse::SaveAlgState() const {
+  Saved s;
+  s.active = active_;
+  s.recomputations = recomputations_;
+  return std::make_shared<TypedAlgState<Saved>>(std::move(s));
+}
+
+void RecomputeWarehouse::RestoreAlgState(const AlgState& state) {
+  const Saved& s = AlgStateAs<Saved>(state);
+  active_ = s.active;
+  recomputations_ = s.recomputations;
+}
+
 }  // namespace sweepmv

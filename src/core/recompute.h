@@ -45,6 +45,14 @@ class RecomputeWarehouse : public Warehouse {
 
   void MaybeStartNext();
 
+  // Snapshot/restore: everything mutable above.
+  struct Saved {
+    std::optional<ActiveRecompute> active;
+    int64_t recomputations = 0;
+  };
+  std::shared_ptr<const AlgState> SaveAlgState() const override;
+  void RestoreAlgState(const AlgState& state) override;
+
   std::optional<ActiveRecompute> active_;
   int64_t recomputations_ = 0;
 };

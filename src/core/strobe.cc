@@ -166,4 +166,22 @@ void StrobeWarehouse::TryInstall() {
   SWEEP_LOG(Debug) << "Strobe installed a quiescent batch";
 }
 
+std::shared_ptr<const Warehouse::AlgState> StrobeWarehouse::SaveAlgState()
+    const {
+  Saved s;
+  s.internal_view = internal_view_;
+  s.pending = pending_;
+  s.action_list = action_list_;
+  s.batch_installs = batch_installs_;
+  return std::make_shared<TypedAlgState<Saved>>(std::move(s));
+}
+
+void StrobeWarehouse::RestoreAlgState(const AlgState& state) {
+  const Saved& s = AlgStateAs<Saved>(state);
+  internal_view_ = s.internal_view;
+  pending_ = s.pending;
+  action_list_ = s.action_list;
+  batch_installs_ = s.batch_installs;
+}
+
 }  // namespace sweepmv

@@ -74,6 +74,16 @@ class StrobeWarehouse : public Warehouse {
   void FinalizeQuery(size_t index);
   void TryInstall();
 
+  // Snapshot/restore: everything mutable above.
+  struct Saved {
+    Relation internal_view;
+    std::vector<PendingQuery> pending;
+    std::vector<Action> action_list;
+    int64_t batch_installs = 0;
+  };
+  std::shared_ptr<const AlgState> SaveAlgState() const override;
+  void RestoreAlgState(const AlgState& state) override;
+
   // Full-span, selection-applied, set-semantics view (keys preserved).
   Relation internal_view_;
   std::vector<PendingQuery> pending_;

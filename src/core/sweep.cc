@@ -99,4 +99,18 @@ void SweepWarehouse::Finish() {
   MaybeStartNext();
 }
 
+std::shared_ptr<const Warehouse::AlgState> SweepWarehouse::SaveAlgState()
+    const {
+  Saved s;
+  s.active = active_;
+  s.compensations = compensations_;
+  return std::make_shared<TypedAlgState<Saved>>(std::move(s));
+}
+
+void SweepWarehouse::RestoreAlgState(const AlgState& state) {
+  const Saved& s = AlgStateAs<Saved>(state);
+  active_ = s.active;
+  compensations_ = s.compensations;
+}
+
 }  // namespace sweepmv

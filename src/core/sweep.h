@@ -79,6 +79,14 @@ class SweepWarehouse : public Warehouse {
   void Advance();
   void Finish();
 
+  // Snapshot/restore: everything mutable above (options are immutable).
+  struct Saved {
+    std::optional<ActiveSweep> active;
+    int64_t compensations = 0;
+  };
+  std::shared_ptr<const AlgState> SaveAlgState() const override;
+  void RestoreAlgState(const AlgState& state) override;
+
   std::optional<ActiveSweep> active_;
   bool local_compensation_ = true;
   int64_t compensations_ = 0;

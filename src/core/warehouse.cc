@@ -123,6 +123,54 @@ bool Warehouse::ResolveSnapshotPart(int64_t query_id, int relation) {
   return true;
 }
 
+Warehouse::SavedState Warehouse::SaveState() const {
+  SavedState state;
+  state.view = view_;
+  state.queue = queue_;
+  state.arrival_log = arrival_log_;
+  state.installs = installs_;
+  state.updates_incorporated = updates_incorporated_;
+  state.queries_sent = queries_sent_;
+  state.next_query_id = next_query_id_;
+  state.update_watermarks = update_watermarks_;
+  state.seen_update_ids = seen_update_ids_;
+  state.pending_queries = pending_queries_;
+  state.duplicate_updates_ignored = duplicate_updates_ignored_;
+  state.stale_answers_ignored = stale_answers_ignored_;
+  state.queries_reissued = queries_reissued_;
+  state.alg = SaveAlgState();
+  return state;
+}
+
+void Warehouse::RestoreState(const SavedState& state) {
+  view_ = state.view;
+  queue_ = state.queue;
+  arrival_log_ = state.arrival_log;
+  installs_ = state.installs;
+  updates_incorporated_ = state.updates_incorporated;
+  queries_sent_ = state.queries_sent;
+  next_query_id_ = state.next_query_id;
+  update_watermarks_ = state.update_watermarks;
+  seen_update_ids_ = state.seen_update_ids;
+  pending_queries_ = state.pending_queries;
+  duplicate_updates_ignored_ = state.duplicate_updates_ignored;
+  stale_answers_ignored_ = state.stale_answers_ignored;
+  queries_reissued_ = state.queries_reissued;
+  SWEEP_CHECK(state.alg != nullptr);
+  RestoreAlgState(*state.alg);
+}
+
+std::shared_ptr<const Warehouse::AlgState> Warehouse::SaveAlgState() const {
+  SWEEP_CHECK_MSG(false, "this warehouse does not implement snapshot/"
+                         "restore (SaveAlgState)");
+  return nullptr;
+}
+
+void Warehouse::RestoreAlgState(const AlgState&) {
+  SWEEP_CHECK_MSG(false, "this warehouse does not implement snapshot/"
+                         "restore (RestoreAlgState)");
+}
+
 void Warehouse::ArmQueryTimer(int64_t query_id, SimTime delay) {
   // lint:allow direct-schedule local timer, not a protocol message: fires
   // at this site only, sends nothing itself, so it needs no EventLabel

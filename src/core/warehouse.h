@@ -31,6 +31,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include <memory>
+
+#include "common/check.h"
 #include "relational/partial_delta.h"
 #include "relational/relation.h"
 #include "relational/view_def.h"
@@ -149,7 +152,86 @@ class Warehouse : public Site {
   // chaos tests assert.
   size_t dedup_state_size() const { return seen_update_ids_.size(); }
 
+  // --- Snapshot/restore (schedule-space explorer) -----------------------
+  //
+  // SaveState copies the algorithm-independent state (view, queues, logs,
+  // dedup and query bookkeeping) and delegates the algorithm-specific
+  // half to the Save/RestoreAlgState virtuals each maintenance algorithm
+  // implements. Restoring rewinds the warehouse to the save point;
+  // combined with the simulator/network/source snapshots this lets the
+  // explorer backtrack to a decision point without replaying the prefix.
+
+ private:
+  // Bookkeeping for idempotent query re-issue: remembers the request and
+  // its target site until the answer arrives. The request copy is only
+  // kept when timeouts are enabled. Snapshot requests to a multi-relation
+  // site are answered by several SnapshotAnswers sharing the query id
+  // (one per hosted relation); such a query stays pending until every
+  // expected relation has answered, and `relations_seen` detects
+  // re-delivered parts when a re-issue races the original answers.
+  // (Defined here, ahead of the private section, so SavedState below can
+  // hold a map of them.)
+  struct PendingQuery {
+    Message request;
+    int target_site = -1;
+    int attempts = 1;
+    int expected_answers = 1;
+    std::unordered_set<int> relations_seen;
+  };
+
+ public:
+  // Type-erased algorithm-specific half of a warehouse snapshot.
+  struct AlgState {
+    virtual ~AlgState() = default;
+  };
+
+  class SavedState {
+   public:
+    SavedState() = default;
+
+   private:
+    friend class Warehouse;
+    Relation view;
+    std::deque<Update> queue;
+    std::vector<std::pair<int64_t, SimTime>> arrival_log;
+    std::vector<InstallRecord> installs;
+    int64_t updates_incorporated = 0;
+    int64_t queries_sent = 0;
+    int64_t next_query_id = 0;
+    std::vector<int64_t> update_watermarks;
+    std::unordered_set<int64_t> seen_update_ids;
+    std::map<int64_t, PendingQuery> pending_queries;
+    int64_t duplicate_updates_ignored = 0;
+    int64_t stale_answers_ignored = 0;
+    int64_t queries_reissued = 0;
+    std::shared_ptr<const AlgState> alg;
+  };
+  SavedState SaveState() const;
+  void RestoreState(const SavedState& state);
+
  protected:
+  // Algorithm-specific snapshot hooks. Every maintenance algorithm in
+  // src/core overrides both; the defaults fail loudly so a new algorithm
+  // cannot silently explore with half-restored state. (Restores receive
+  // only AlgState objects their own SaveAlgState produced.)
+  virtual std::shared_ptr<const AlgState> SaveAlgState() const;
+  virtual void RestoreAlgState(const AlgState& state);
+
+  // Convenience holder for a subclass's saved members.
+  template <typename T>
+  struct TypedAlgState : AlgState {
+    explicit TypedAlgState(T d) : data(std::move(d)) {}
+    T data;
+  };
+  // Downcast helper for RestoreAlgState implementations.
+  template <typename T>
+  static const T& AlgStateAs(const AlgState& state) {
+    const auto* typed = dynamic_cast<const TypedAlgState<T>*>(&state);
+    SWEEP_CHECK_MSG(typed != nullptr,
+                    "algorithm snapshot type mismatch on restore");
+    return typed->data;
+  }
+
   // Invoked after an update was appended to the queue.
   virtual void HandleUpdateArrival() = 0;
   virtual void HandleQueryAnswer(QueryAnswer answer);
@@ -190,20 +272,6 @@ class Warehouse : public Site {
  private:
   void RecordInstall(std::vector<int64_t> update_ids);
 
-  // Bookkeeping for idempotent query re-issue: remembers the request and
-  // its target site until the answer arrives. The request copy is only
-  // kept when timeouts are enabled. Snapshot requests to a multi-relation
-  // site are answered by several SnapshotAnswers sharing the query id
-  // (one per hosted relation); such a query stays pending until every
-  // expected relation has answered, and `relations_seen` detects
-  // re-delivered parts when a re-issue races the original answers.
-  struct PendingQuery {
-    Message request;
-    int target_site = -1;
-    int attempts = 1;
-    int expected_answers = 1;
-    std::unordered_set<int> relations_seen;
-  };
   void RegisterQuery(int64_t query_id, int target_site,
                      const Message& request, int expected_answers = 1);
   // Removes the entry; false if the id is not outstanding (stale answer).

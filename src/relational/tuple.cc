@@ -31,9 +31,9 @@ Tuple Tuple::Project(const std::vector<int>& positions) const {
   return Tuple(std::move(out));
 }
 
-size_t Tuple::Hash() const {
+size_t Tuple::ComputeHash(const std::vector<Value>& values) {
   size_t h = 0xcbf29ce484222325ULL;
-  for (const Value& v : values_) {
+  for (const Value& v : values) {
     size_t vh = v.Hash();
     h ^= vh + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   }

@@ -16,8 +16,10 @@ namespace sweepmv {
 class Tuple {
  public:
   Tuple() = default;
-  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
-  Tuple(std::initializer_list<Value> values) : values_(values) {}
+  explicit Tuple(std::vector<Value> values)
+      : values_(std::move(values)), hash_(ComputeHash(values_)) {}
+  Tuple(std::initializer_list<Value> values)
+      : values_(values), hash_(ComputeHash(values_)) {}
 
   size_t arity() const { return values_.size(); }
   const Value& at(size_t i) const;
@@ -30,17 +32,26 @@ class Tuple {
   // duplicates allowed).
   Tuple Project(const std::vector<int>& positions) const;
 
-  bool operator==(const Tuple& other) const { return values_ == other.values_; }
-  bool operator!=(const Tuple& other) const { return values_ != other.values_; }
+  bool operator==(const Tuple& other) const {
+    return hash_ == other.hash_ && values_ == other.values_;
+  }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
   bool operator<(const Tuple& other) const { return values_ < other.values_; }
 
-  size_t Hash() const;
+  // O(1): tuples are immutable, so the hash is computed once at
+  // construction. Hash-keyed containers (Relation's count map, join
+  // tables, index buckets) and snapshot copies never rehash the values.
+  size_t Hash() const { return hash_; }
 
   // "(1, 3, \"x\")"
   std::string ToDisplayString() const;
 
  private:
+  static size_t ComputeHash(const std::vector<Value>& values);
+
   std::vector<Value> values_;
+  // Hash of the empty tuple: ComputeHash's FNV offset basis.
+  size_t hash_ = 0xcbf29ce484222325ULL;
 };
 
 // Convenience builder for all-integer tuples (the dominant case in tests

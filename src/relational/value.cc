@@ -1,12 +1,56 @@
 #include "relational/value.h"
 
 #include <functional>
+#include <mutex>
 #include <ostream>
+#include <unordered_map>
 
 #include "common/check.h"
 #include "common/str.h"
 
 namespace sweepmv {
+
+namespace {
+
+// Intern pool: text -> weak reference to its canonical buffer. Weak
+// entries keep the pool bounded by the set of *live* strings; expired
+// entries are swept periodically instead of per-release so Value
+// destruction stays allocation- and lock-free.
+struct InternPool {
+  std::mutex mu;
+  std::unordered_map<std::string, std::weak_ptr<const InternedString>> map;
+  size_t inserts_since_sweep = 0;
+};
+
+InternPool& Pool() {
+  static InternPool* pool = new InternPool();  // leaked: outlives all Values
+  return *pool;
+}
+
+}  // namespace
+
+std::shared_ptr<const InternedString> InternString(std::string text) {
+  InternPool& pool = Pool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  auto it = pool.map.find(text);
+  if (it != pool.map.end()) {
+    if (std::shared_ptr<const InternedString> live = it->second.lock()) {
+      return live;
+    }
+  }
+  auto interned = std::make_shared<InternedString>();
+  interned->hash = std::hash<std::string>{}(text);
+  interned->text = std::move(text);
+  pool.map[interned->text] = interned;
+  if (++pool.inserts_since_sweep >= 1024) {
+    pool.inserts_since_sweep = 0;
+    for (auto sweep = pool.map.begin(); sweep != pool.map.end();) {
+      sweep = sweep->second.expired() ? pool.map.erase(sweep)
+                                      : std::next(sweep);
+    }
+  }
+  return interned;
+}
 
 const char* ValueTypeName(ValueType type) {
   switch (type) {
@@ -32,7 +76,41 @@ double Value::AsDouble() const {
 
 const std::string& Value::AsString() const {
   SWEEP_CHECK_MSG(type() == ValueType::kString, "Value is not a string");
-  return std::get<std::string>(data_);
+  return std::get<std::shared_ptr<const InternedString>>(data_)->text;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (data_.index() != other.data_.index()) return false;
+  switch (type()) {
+    case ValueType::kInt:
+      return std::get<int64_t>(data_) == std::get<int64_t>(other.data_);
+    case ValueType::kDouble:
+      return std::get<double>(data_) == std::get<double>(other.data_);
+    case ValueType::kString:
+      // Interning is canonical: one live buffer per distinct text.
+      return std::get<std::shared_ptr<const InternedString>>(data_) ==
+             std::get<std::shared_ptr<const InternedString>>(other.data_);
+  }
+  return false;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (data_.index() != other.data_.index()) {
+    return data_.index() < other.data_.index();
+  }
+  switch (type()) {
+    case ValueType::kInt:
+      return std::get<int64_t>(data_) < std::get<int64_t>(other.data_);
+    case ValueType::kDouble:
+      return std::get<double>(data_) < std::get<double>(other.data_);
+    case ValueType::kString: {
+      const auto& a = std::get<std::shared_ptr<const InternedString>>(data_);
+      const auto& b =
+          std::get<std::shared_ptr<const InternedString>>(other.data_);
+      return a != b && a->text < b->text;
+    }
+  }
+  return false;
 }
 
 size_t Value::Hash() const {
@@ -46,7 +124,7 @@ size_t Value::Hash() const {
       h = std::hash<double>{}(std::get<double>(data_));
       break;
     case ValueType::kString:
-      h = std::hash<std::string>{}(std::get<std::string>(data_));
+      h = std::get<std::shared_ptr<const InternedString>>(data_)->hash;
       break;
   }
   // Boost-style hash combine to mix the type tag in.
@@ -60,7 +138,7 @@ std::string Value::ToDisplayString() const {
     case ValueType::kDouble:
       return StrFormat("%g", std::get<double>(data_));
     case ValueType::kString:
-      return "\"" + std::get<std::string>(data_) + "\"";
+      return "\"" + AsString() + "\"";
   }
   return "?";
 }

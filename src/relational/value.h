@@ -4,12 +4,20 @@
 // integer, double, string) cover everything the experiments and examples
 // need. Values are ordered and hashable so they can serve as join keys and
 // live in hash-based bag relations.
+//
+// String payloads are interned: every Value holding the same text shares
+// one immutable, refcounted buffer with a precomputed hash. Copying a
+// string Value is a pointer copy, equality is a pointer compare (the
+// intern pool guarantees one live buffer per distinct text), and Hash()
+// never rescans the bytes — which is what keeps snapshot copies and join
+// probes in the schedule-space explorer O(1) per string cell.
 
 #ifndef SWEEPMV_RELATIONAL_VALUE_H_
 #define SWEEPMV_RELATIONAL_VALUE_H_
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <variant>
 
@@ -24,6 +32,19 @@ enum class ValueType : uint8_t {
 // Returns a human-readable name ("int", "double", "string").
 const char* ValueTypeName(ValueType type);
 
+// One interned string payload: the text plus its hash, computed once.
+// Instances are only created by the intern pool (value.cc) and are
+// immutable afterwards, so sharing them across threads is safe.
+struct InternedString {
+  std::string text;
+  size_t hash = 0;
+};
+
+// Returns the canonical shared buffer for `text`. At most one live
+// InternedString exists per distinct text; repeated payloads (hot join
+// keys, categorical columns) collapse to refcount bumps.
+std::shared_ptr<const InternedString> InternString(std::string text);
+
 // Immutable scalar cell. Comparison across different types is defined (by
 // type tag first) so Values can key ordered containers, but predicates only
 // ever compare same-typed values (schemas are type-checked).
@@ -33,8 +54,8 @@ class Value {
   explicit Value(int64_t v) : data_(v) {}
   explicit Value(int v) : data_(static_cast<int64_t>(v)) {}
   explicit Value(double v) : data_(v) {}
-  explicit Value(std::string v) : data_(std::move(v)) {}
-  explicit Value(const char* v) : data_(std::string(v)) {}
+  explicit Value(std::string v) : data_(InternString(std::move(v))) {}
+  explicit Value(const char* v) : data_(InternString(std::string(v))) {}
 
   ValueType type() const { return static_cast<ValueType>(data_.index()); }
 
@@ -43,9 +64,9 @@ class Value {
   const std::string& AsString() const;
 
   // Total order: type tag first, then value. Equality requires same type.
-  bool operator==(const Value& other) const { return data_ == other.data_; }
-  bool operator!=(const Value& other) const { return data_ != other.data_; }
-  bool operator<(const Value& other) const { return data_ < other.data_; }
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const;
 
   size_t Hash() const;
 
@@ -53,7 +74,7 @@ class Value {
   std::string ToDisplayString() const;
 
  private:
-  std::variant<int64_t, double, std::string> data_;
+  std::variant<int64_t, double, std::shared_ptr<const InternedString>> data_;
 };
 
 std::ostream& operator<<(std::ostream& os, const Value& v);

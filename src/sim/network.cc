@@ -161,7 +161,15 @@ void Network::SendDirect(LinkState& link, int from, int to, Message msg) {
       ++stats_.reliability.crash_drops;
       return;
     }
-    dest->OnMessage(from, std::move(*boxed));
+    // Controlled mode: the explorer may snapshot this event and execute
+    // the closure once per explored branch, so the shared payload must
+    // stay intact — deliver a copy. Time-ordered mode runs each event
+    // exactly once and keeps the move.
+    if (sim_->controlled()) {
+      dest->OnMessage(from, *boxed);
+    } else {
+      dest->OnMessage(from, std::move(*boxed));
+    }
   });
 }
 
@@ -322,6 +330,38 @@ void Network::OnRetransmitTimer(int from, int to, int64_t gen) {
   sim_->Schedule(link.sender.rto(), [this, from, to, gen]() {
     OnRetransmitTimer(from, to, gen);
   });
+}
+
+Network::SavedState Network::SaveState() const {
+  SWEEP_CHECK_MSG(!default_faults_.has_value(),
+                  "network snapshots require pristine links");
+  SavedState state;
+  state.stats = stats_;
+  state.rng = rng_;
+  state.fault_root = fault_root_;
+  for (const auto& [key, link] : links_) {
+    SWEEP_CHECK_MSG(!link.faults.has_value() && !link.session_configured,
+                    "network snapshots require pristine links");
+    state.channels.emplace(key, link.channel);
+  }
+  return state;
+}
+
+void Network::RestoreState(const SavedState& state) {
+  stats_ = state.stats;
+  rng_ = state.rng;
+  fault_root_ = state.fault_root;
+  for (auto it = links_.begin(); it != links_.end();) {
+    auto saved = state.channels.find(it->first);
+    if (saved == state.channels.end()) {
+      // Link created after the save point; drop it so a replayed first
+      // send re-forks the same per-link RNG from the restored roots.
+      it = links_.erase(it);
+    } else {
+      it->second.channel = saved->second;
+      ++it;
+    }
+  }
 }
 
 void Network::SetLinkLatency(int from, int to, LatencyModel latency) {

@@ -149,6 +149,29 @@ class Network {
 
   Simulator* simulator() { return sim_; }
 
+  // --- Snapshot/restore (pristine links only) ---------------------------
+  //
+  // Copies the traffic stats, the latency/fault RNG roots, and every
+  // link's channel state (FIFO clamp, message counter, jitter RNG).
+  // Only legal while no link carries a fault model or live session state
+  // — which is exactly the schedule-space explorer's regime (controlled
+  // runs are pristine by construction). Restoring erases links that were
+  // created after the save point, so replayed sends re-derive identical
+  // channel RNGs and arrival times.
+  class SavedState {
+   public:
+    SavedState() = default;
+
+   private:
+    friend class Network;
+    NetworkStats stats;
+    Rng rng{0};
+    Rng fault_root{0};
+    std::map<std::pair<int, int>, Channel> channels;
+  };
+  SavedState SaveState() const;
+  void RestoreState(const SavedState& state);
+
  private:
   // Everything the network tracks for one directed link.
   struct LinkState {

@@ -62,6 +62,22 @@ void Simulator::SetScheduler(Scheduler* scheduler) {
   scheduler_ = scheduler;
 }
 
+Simulator::SavedState Simulator::SaveState() const {
+  SWEEP_CHECK_MSG(controlled(), "SaveState is controlled-mode only");
+  SavedState state;
+  state.now = now_;
+  state.next_seq = next_seq_;
+  state.pending = pending_;
+  return state;
+}
+
+void Simulator::RestoreState(const SavedState& state) {
+  SWEEP_CHECK_MSG(controlled(), "RestoreState is controlled-mode only");
+  now_ = state.now;
+  next_seq_ = state.next_seq;
+  pending_ = state.pending;
+}
+
 std::vector<size_t> Simulator::ReadyIndices() const {
   // Head per channel: deliveries in send (seq) order — the network hands
   // them to us in per-link send order, so seq order *is* FIFO order —

@@ -69,6 +69,20 @@ class Scheduler {
 };
 
 class Simulator {
+  // Declared before the public section so SavedState can hold events.
+  struct Event {
+    SimTime when;
+    int64_t seq;
+    EventLabel label;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
  public:
   Simulator() = default;
 
@@ -115,20 +129,28 @@ class Simulator {
     return controlled() ? pending_.size() : queue_.size();
   }
 
- private:
-  struct Event {
-    SimTime when;
-    int64_t seq;
-    EventLabel label;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  // --- Snapshot/restore (controlled mode only) --------------------------
+  //
+  // SaveState copies the clock, the sequence counter, and every pending
+  // event (std::function closures are copied; the site/network objects
+  // they point into must be restored alongside — see
+  // ControlledSystem::SaveState). RestoreState rewinds the simulator to
+  // the save point; the schedule-space explorer uses the pair to back-
+  // track to a decision point without replaying the whole prefix.
+  class SavedState {
+   public:
+    SavedState() = default;
 
+   private:
+    friend class Simulator;
+    SimTime now = 0;
+    int64_t next_seq = 0;
+    std::vector<Event> pending;
+  };
+  SavedState SaveState() const;
+  void RestoreState(const SavedState& state);
+
+ private:
   // Controlled mode: picks the ready set's indices into `pending_`
   // (parallel to the candidate list Ready() builds).
   std::vector<size_t> ReadyIndices() const;

@@ -123,6 +123,26 @@ StorageStats DataSource::storage_stats() const {
   return stats;
 }
 
+DataSource::SavedState DataSource::SaveState() const {
+  SavedState state;
+  state.relation = store_.relation();
+  state.query_stats = query_stats_;
+  state.log = log_;
+  state.queries_answered = queries_answered_;
+  state.crashed = crashed_;
+  state.updates_replayed = updates_replayed_;
+  return state;
+}
+
+void DataSource::RestoreState(const SavedState& state) {
+  store_.RestoreRelation(state.relation);
+  query_stats_ = state.query_stats;
+  log_ = state.log;
+  queries_answered_ = state.queries_answered;
+  crashed_ = state.crashed;
+  updates_replayed_ = state.updates_replayed;
+}
+
 int64_t DataSource::ApplyInsert(Tuple t) {
   return ApplyTransaction({UpdateOp::Insert(std::move(t))});
 }

@@ -32,6 +32,11 @@ class UpdateIdGenerator {
  public:
   int64_t Next() { return next_++; }
 
+  // Snapshot support: the counter is part of the schedule-determined
+  // system state the explorer rewinds.
+  int64_t SaveState() const { return next_; }
+  void RestoreState(int64_t next) { next_ = next; }
+
  private:
   int64_t next_ = 0;
 };
@@ -102,6 +107,26 @@ class DataSource : public SourceSite {
 
   // Index maintenance + query-path counters for this site.
   StorageStats storage_stats() const override;
+
+  // --- Snapshot/restore (schedule-space explorer) -----------------------
+  // Copies the durable and volatile site state; restoring rewinds the
+  // source to the save point (indexes are rebuilt from the restored
+  // relation — they are a pure cache).
+  class SavedState {
+   public:
+    SavedState() = default;
+
+   private:
+    friend class DataSource;
+    Relation relation;
+    StorageStats query_stats;
+    StateLog log;
+    int64_t queries_answered = 0;
+    bool crashed = false;
+    int64_t updates_replayed = 0;
+  };
+  SavedState SaveState() const;
+  void RestoreState(const SavedState& state);
 
  private:
   int site_id_;

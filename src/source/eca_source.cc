@@ -103,4 +103,18 @@ const StateLog& EcaSource::log(int relation_index) const {
   return logs_[static_cast<size_t>(relation_index)];
 }
 
+EcaSource::SavedState EcaSource::SaveState() const {
+  SavedState state;
+  state.relations = relations_;
+  state.logs = logs_;
+  state.queries_answered = queries_answered_;
+  return state;
+}
+
+void EcaSource::RestoreState(const SavedState& state) {
+  relations_ = state.relations;
+  logs_ = state.logs;
+  queries_answered_ = state.queries_answered;
+}
+
 }  // namespace sweepmv

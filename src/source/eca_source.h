@@ -53,6 +53,20 @@ class EcaSource : public SourceSite {
   const StateLog& log(int relation_index) const;
   int64_t queries_answered() const { return queries_answered_; }
 
+  // --- Snapshot/restore (schedule-space explorer) -----------------------
+  class SavedState {
+   public:
+    SavedState() = default;
+
+   private:
+    friend class EcaSource;
+    std::vector<Relation> relations;
+    std::vector<StateLog> logs;
+    int64_t queries_answered = 0;
+  };
+  SavedState SaveState() const;
+  void RestoreState(const SavedState& state);
+
  private:
   // Evaluates one signed term: positions fixed by the term use its deltas,
   // the rest use this site's current base relations. Result spans the full

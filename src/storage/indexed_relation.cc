@@ -65,6 +65,11 @@ void IndexedRelation::RebuildIndexes() {
   }
 }
 
+void IndexedRelation::RestoreRelation(Relation snapshot) {
+  rel_ = std::move(snapshot);
+  for (const auto& index : indexes_) index->RebuildFrom(rel_);
+}
+
 StorageStats IndexedRelation::stats() const {
   StorageStats stats;
   stats.index_builds = index_builds_;

@@ -70,6 +70,13 @@ class IndexedRelation {
   // and rebuilds every index from the current relation contents.
   void RebuildIndexes();
 
+  // Snapshot support (schedule-space explorer): replaces the relation
+  // with `snapshot` and rebuilds the declared indexes from it. Unlike
+  // crash recovery, the rebuild does not count toward index_builds() —
+  // restoring must leave every schedule-determined counter exactly as a
+  // from-scratch replay of the same prefix would.
+  void RestoreRelation(Relation snapshot);
+
   // Build counters (probe counters live with the query path; see
   // storage/indexed_ops.h).
   int64_t index_builds() const { return index_builds_; }

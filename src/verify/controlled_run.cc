@@ -108,6 +108,38 @@ std::vector<const StateLog*> ControlledSystem::SourceLogs() const {
   return logs;
 }
 
+ControlledSystem::SavedState ControlledSystem::SaveState() const {
+  SavedState state;
+  state.sim = sim_.SaveState();
+  state.network = network_.SaveState();
+  state.next_update_id = ids_.SaveState();
+  state.sources.reserve(sources_.size());
+  for (const auto& source : sources_) {
+    state.sources.push_back(source->SaveState());
+  }
+  if (eca_source_ != nullptr) {
+    state.eca_source = std::make_unique<EcaSource::SavedState>(
+        eca_source_->SaveState());
+  }
+  state.warehouse = warehouse_->SaveState();
+  return state;
+}
+
+void ControlledSystem::RestoreState(const SavedState& state) {
+  sim_.RestoreState(state.sim);
+  network_.RestoreState(state.network);
+  ids_.RestoreState(state.next_update_id);
+  SWEEP_CHECK(state.sources.size() == sources_.size());
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    sources_[i]->RestoreState(state.sources[i]);
+  }
+  if (eca_source_ != nullptr) {
+    SWEEP_CHECK(state.eca_source != nullptr);
+    eca_source_->RestoreState(*state.eca_source);
+  }
+  warehouse_->RestoreState(state.warehouse);
+}
+
 ConsistencyReport ControlledSystem::Check() const {
   return CheckConsistency(view_, SourceLogs(), *warehouse_);
 }

@@ -114,6 +114,32 @@ class ControlledSystem {
   const ViewDef& view_def() const { return view_; }
   std::vector<const StateLog*> SourceLogs() const;
 
+  // --- Snapshot/restore (prefix-sharing exploration) --------------------
+  //
+  // Captures every piece of mutable state in the closed system: the
+  // simulator's pending-event set and clock, the network's channels and
+  // RNG forks, the update-id generator, each source, and the warehouse
+  // (including its algorithm-specific half). Restoring rewinds *this*
+  // system to the save point in place — the wired sites and their
+  // closures stay valid because they only capture pointers to objects
+  // this system owns. The explorer uses this to backtrack to a decision
+  // point without re-constructing the system and replaying the prefix.
+  class SavedState {
+   public:
+    SavedState() = default;
+
+   private:
+    friend class ControlledSystem;
+    Simulator::SavedState sim;
+    Network::SavedState network;
+    int64_t next_update_id = 0;
+    std::vector<DataSource::SavedState> sources;
+    std::unique_ptr<EcaSource::SavedState> eca_source;
+    Warehouse::SavedState warehouse;
+  };
+  SavedState SaveState() const;
+  void RestoreState(const SavedState& state);
+
  private:
   ViewDef view_;
   std::vector<Relation> bases_;

@@ -1,12 +1,15 @@
 #include "verify/explorer.h"
 
 #include <algorithm>
+#include <list>
 #include <map>
+#include <optional>
 #include <tuple>
 #include <utility>
 
 #include "common/check.h"
 #include "common/str.h"
+#include "verify/pool.h"
 
 namespace sweepmv {
 
@@ -27,8 +30,35 @@ bool Contains(const std::vector<EventId>& set, const EventId& id) {
   return std::find(set.begin(), set.end(), id) != set.end();
 }
 
-struct Dfs {
+// The independence relation only needs each event's affected site, which
+// its channel determines; reconstruct a label from the id.
+EventLabel LabelOfChannelHead(const EventId& id) {
+  EventLabel label;
+  label.kind = id.channel.kind;
+  label.from = id.channel.from;
+  label.to = id.channel.to;
+  return label;
+}
+
+struct ChannelLess {
+  bool operator()(const ChannelId& a, const ChannelId& b) const {
+    return std::tie(a.kind, a.from, a.to) < std::tie(b.kind, b.from, b.to);
+  }
+};
+// Events executed so far per channel — the incremental engine's O(1)
+// replacement for scanning the prefix trace (IdOf) at every node.
+using ExecutedCounts = std::map<ChannelId, int64_t, ChannelLess>;
+
+// Classification logic shared by both engines and the parallel frontier:
+// counts a complete schedule, tracks the worst level, and captures the
+// first violation. With `defer_minimize` (parallel subtree tasks) the
+// counterexample keeps only the raw choice vector; minimization and the
+// final replay happen once, after the DFS-ordered merge picks the
+// globally first violation — which is exactly the one the sequential
+// search would minimize, keeping the output thread-count-invariant.
+struct SearchCore {
   const ExplorerConfig& config;
+  bool defer_minimize = false;
   ExploreResult result;
   bool stop = false;
 
@@ -39,32 +69,49 @@ struct Dfs {
     if (outcome.report.level >= config.required) return;
     ++result.violations;
     if (!result.counterexample.has_value()) {
-      std::vector<size_t> minimized = choices;
-      if (config.minimize) {
-        minimized = MinimizeViolation(config.scenario, config.required,
-                                      std::move(minimized),
-                                      config.max_steps_per_run,
-                                      &result.executions);
-      }
-      ControlledOutcome final_run = RunWithChoices(
-          config.scenario, minimized, config.max_steps_per_run);
-      ++result.executions;
       Counterexample cx;
-      cx.choices = std::move(minimized);
-      cx.trace = final_run.trace;
-      cx.report = final_run.report;
+      if (defer_minimize) {
+        cx.choices = choices;
+        cx.report = outcome.report;
+      } else {
+        std::vector<size_t> minimized = choices;
+        if (config.minimize) {
+          minimized = MinimizeViolation(config.scenario, config.required,
+                                        std::move(minimized),
+                                        config.max_steps_per_run,
+                                        &result.executions);
+        }
+        ControlledOutcome final_run = RunWithChoices(
+            config.scenario, minimized, config.max_steps_per_run);
+        ++result.executions;
+        cx.choices = std::move(minimized);
+        cx.trace = final_run.trace;
+        cx.report = final_run.report;
+      }
       result.counterexample = std::move(cx);
     }
     if (config.stop_at_first_violation) stop = true;
   }
+};
+
+// ---------------------------------------------------------------------
+// Stateless engine (share_prefixes = false): every DFS node constructs a
+// fresh system and replays its prefix — the original engine, kept as the
+// baseline the throughput bench measures prefix sharing against.
+// ---------------------------------------------------------------------
+
+struct ReplayDfs {
+  SearchCore core;
 
   // Visits the node reached by `prefix`; `sleep` holds events provably
   // redundant to explore here (their interleavings are covered by
   // already-explored sibling branches).
   void Visit(std::vector<size_t>& prefix, std::vector<EventId> sleep) {
-    if (stop) return;
+    const ExplorerConfig& config = core.config;
+    ExploreResult& result = core.result;
+    if (core.stop) return;
     if (result.schedules >= config.max_schedules) {
-      stop = true;
+      core.stop = true;
       result.exhausted = false;
       return;
     }
@@ -88,7 +135,7 @@ struct Dfs {
         outcome.report.level = ConsistencyLevel::kInconsistent;
         outcome.report.detail = "run drained with the warehouse busy";
       }
-      Classify(outcome, prefix);
+      core.Classify(outcome, prefix);
       return;
     }
     if (static_cast<int64_t>(prefix.size()) >= config.max_steps_per_run) {
@@ -96,7 +143,7 @@ struct Dfs {
       outcome.steps = ran;
       outcome.report.level = ConsistencyLevel::kInconsistent;
       outcome.report.detail = "schedule exceeded the step budget";
-      Classify(outcome, prefix);
+      core.Classify(outcome, prefix);
       return;
     }
 
@@ -137,22 +184,371 @@ struct Dfs {
       prefix.push_back(i);
       Visit(prefix, std::move(child_sleep));
       prefix.pop_back();
-      if (stop) return;
+      if (core.stop) return;
       done.push_back(ids[i]);
     }
     if (!any_explorable) ++result.sleep_blocked;
   }
+};
 
-  // The independence relation only needs each event's affected site,
-  // which its channel determines; reconstruct a label from the id.
-  static EventLabel LabelOfChannelHead(const EventId& id) {
-    EventLabel label;
-    label.kind = id.channel.kind;
-    label.from = id.channel.from;
-    label.to = id.channel.to;
-    return label;
+// ---------------------------------------------------------------------
+// Prefix-sharing engine (share_prefixes = true): ONE live system; the
+// DFS steps it forward one event at a time and backtracks by restoring a
+// snapshot taken at the parent decision point, so each complete schedule
+// costs about one execution instead of one per tree node.
+// ---------------------------------------------------------------------
+
+// Replays a fixed task prefix, then forwards whatever choice the DFS set
+// last. Unlike ReplayScheduler it records no trace — the incremental
+// engine tracks choices (path) and channel counts (ExecutedCounts)
+// itself, which keeps the per-step cost O(1). During the prefix replay
+// it does tally per-channel counts, so a subtree task can seed its
+// EventId indices to the absolute values its inherited sleep set (built
+// from the root during frontier expansion) is expressed in.
+class SteppingScheduler : public Scheduler {
+ public:
+  explicit SteppingScheduler(std::vector<size_t> prefix)
+      : prefix_(std::move(prefix)) {}
+
+  size_t Pick(const std::vector<Candidate>& ready) override {
+    SWEEP_CHECK(!ready.empty());
+    bool replaying = cursor_ < prefix_.size();
+    size_t choice = replaying ? prefix_[cursor_++] : next_;
+    if (choice >= ready.size()) choice = ready.size() - 1;
+    if (replaying) ++replay_counts_[ChannelOf(ready[choice].label)];
+    return choice;
+  }
+
+  void SetNext(size_t choice) { next_ = choice; }
+
+  // Per-channel event counts of the replayed prefix.
+  const ExecutedCounts& replay_counts() const { return replay_counts_; }
+
+ private:
+  std::vector<size_t> prefix_;
+  size_t cursor_ = 0;
+  size_t next_ = 0;
+  ExecutedCounts replay_counts_;
+};
+
+struct IncrementalDfs {
+  SearchCore core;
+  std::optional<SteppingScheduler> scheduler;
+  std::optional<ControlledSystem> system;
+  ExecutedCounts executed;
+  std::vector<size_t> path;  // root-to-current choice vector
+
+  // Everything Visit must rewind to re-enter a decision point: the
+  // system's full state, the channel counts, nothing else (path is
+  // maintained push/pop-wise by the DFS itself).
+  struct Snapshot {
+    ControlledSystem::SavedState sys;
+    ExecutedCounts executed;
+  };
+
+  // Builds the system, replays `prefix` (the subtree task's root), then
+  // explores the subtree under it.
+  void RunFromPrefix(const std::vector<size_t>& prefix,
+                     std::vector<EventId> sleep) {
+    core.result.exhausted = true;
+    scheduler.emplace(prefix);
+    system.emplace(core.config.scenario, &*scheduler);
+    if (!prefix.empty()) ++core.result.executions;
+    int64_t ran = system->Run(static_cast<int64_t>(prefix.size()));
+    SWEEP_CHECK_MSG(ran == static_cast<int64_t>(prefix.size()),
+                    "schedule prefix drained early");
+    path = prefix;
+    executed = scheduler->replay_counts();
+    Visit(std::move(sleep));
+  }
+
+  void Visit(std::vector<EventId> sleep) {
+    const ExplorerConfig& config = core.config;
+    ExploreResult& result = core.result;
+    if (core.stop) return;
+    if (result.schedules >= config.max_schedules) {
+      core.stop = true;
+      result.exhausted = false;
+      return;
+    }
+
+    std::vector<Scheduler::Candidate> ready = system->Ready();
+    if (ready.empty()) {
+      ControlledOutcome outcome;
+      outcome.steps = static_cast<int64_t>(path.size());
+      outcome.completed = system->WarehouseIdle();
+      if (outcome.completed) {
+        outcome.report = system->Check();
+      } else {
+        outcome.report.level = ConsistencyLevel::kInconsistent;
+        outcome.report.detail = "run drained with the warehouse busy";
+      }
+      ++result.executions;
+      core.Classify(outcome, path);
+      return;
+    }
+    if (static_cast<int64_t>(path.size()) >= config.max_steps_per_run) {
+      ControlledOutcome outcome;
+      outcome.steps = static_cast<int64_t>(path.size());
+      outcome.report.level = ConsistencyLevel::kInconsistent;
+      outcome.report.detail = "schedule exceeded the step budget";
+      ++result.executions;
+      core.Classify(outcome, path);
+      return;
+    }
+
+    result.max_ready =
+        std::max(result.max_ready, static_cast<int64_t>(ready.size()));
+    if (ready.size() > 1) ++result.decision_points;
+
+    std::vector<EventId> ids;
+    ids.reserve(ready.size());
+    std::vector<size_t> explorable;
+    for (size_t i = 0; i < ready.size(); ++i) {
+      EventId id;
+      id.channel = ChannelOf(ready[i].label);
+      auto it = executed.find(id.channel);
+      id.index = it == executed.end() ? 0 : it->second;
+      ids.push_back(id);
+      if (config.sleep_sets && Contains(sleep, id)) {
+        ++result.sleep_pruned;
+        continue;
+      }
+      explorable.push_back(i);
+    }
+    if (explorable.empty()) {
+      ++result.sleep_blocked;
+      return;
+    }
+
+    // Only branching nodes pay for a snapshot; chains just step forward.
+    std::optional<Snapshot> snap;
+    if (explorable.size() > 1) {
+      snap.emplace(Snapshot{system->SaveState(), executed});
+    }
+
+    std::vector<EventId> done;
+    bool first = true;
+    for (size_t i : explorable) {
+      if (!first) {
+        system->RestoreState(snap->sys);
+        executed = snap->executed;
+      }
+      first = false;
+      std::vector<EventId> child_sleep;
+      if (config.sleep_sets) {
+        for (const EventId& z : sleep) {
+          if (Independent(LabelOfChannelHead(z), ready[i].label)) {
+            child_sleep.push_back(z);
+          }
+        }
+        for (const EventId& z : done) {
+          if (Independent(LabelOfChannelHead(z), ready[i].label)) {
+            child_sleep.push_back(z);
+          }
+        }
+      }
+      scheduler->SetNext(i);
+      int64_t ran = system->Run(1);
+      SWEEP_CHECK_MSG(ran == 1, "ready event failed to execute");
+      ++executed[ids[i].channel];
+      path.push_back(i);
+      Visit(std::move(child_sleep));
+      path.pop_back();
+      if (core.stop) return;
+      done.push_back(ids[i]);
+    }
   }
 };
+
+// ---------------------------------------------------------------------
+// Parallel exploration: split the DFS frontier into subtree tasks, run
+// them on the work-stealing pool, merge in DFS task order.
+// ---------------------------------------------------------------------
+
+// One leaf of the frontier split: either a schedule already classified
+// during expansion (terminal), or a pending subtree task for the pool.
+struct FrontierSlot {
+  std::vector<size_t> prefix;
+  std::vector<EventId> sleep;
+  bool runnable = false;
+  ExploreResult partial;
+};
+
+// Expands the frontier breadth-first (shallowest slot first) until at
+// least `target` runnable subtree tasks exist, mirroring the DFS's
+// sleep-set bookkeeping exactly so the union of the subtrees is the same
+// node set the sequential search visits. Runs single-threaded; its
+// per-node replays are charged to `expand_stats.executions`.
+void SplitFrontier(const ExplorerConfig& config, size_t target,
+                   std::list<FrontierSlot>& slots,
+                   ExploreResult& expand_stats) {
+  slots.push_back(FrontierSlot{{}, {}, true, ExploreResult{}});
+  for (;;) {
+    size_t runnable = 0;
+    auto expand_it = slots.end();
+    for (auto it = slots.begin(); it != slots.end(); ++it) {
+      if (!it->runnable) continue;
+      ++runnable;
+      if (expand_it == slots.end() ||
+          it->prefix.size() < expand_it->prefix.size()) {
+        expand_it = it;
+      }
+    }
+    if (runnable >= target || expand_it == slots.end()) return;
+
+    FrontierSlot slot = std::move(*expand_it);
+    ReplayScheduler scheduler(slot.prefix);
+    ControlledSystem system(config.scenario, &scheduler);
+    ++expand_stats.executions;
+    int64_t ran = system.Run(static_cast<int64_t>(slot.prefix.size()));
+    SWEEP_CHECK_MSG(ran == static_cast<int64_t>(slot.prefix.size()),
+                    "schedule prefix drained early");
+
+    std::vector<Scheduler::Candidate> ready = system.Ready();
+    bool over_budget =
+        !ready.empty() &&
+        static_cast<int64_t>(slot.prefix.size()) >= config.max_steps_per_run;
+    if (ready.empty() || over_budget) {
+      // The expanded node is itself a complete schedule; classify it in
+      // place so the slot keeps its DFS position in the merge order.
+      ControlledOutcome outcome;
+      outcome.steps = ran;
+      if (over_budget) {
+        outcome.report.level = ConsistencyLevel::kInconsistent;
+        outcome.report.detail = "schedule exceeded the step budget";
+      } else {
+        outcome.completed = system.WarehouseIdle();
+        if (outcome.completed) {
+          outcome.report = system.Check();
+        } else {
+          outcome.report.level = ConsistencyLevel::kInconsistent;
+          outcome.report.detail = "run drained with the warehouse busy";
+        }
+      }
+      SearchCore terminal{config, /*defer_minimize=*/true, ExploreResult{},
+                          false};
+      terminal.result.exhausted = true;
+      ++terminal.result.executions;
+      terminal.Classify(outcome, slot.prefix);
+      slot.runnable = false;
+      slot.partial = std::move(terminal.result);
+      *expand_it = std::move(slot);
+      continue;
+    }
+
+    expand_stats.max_ready = std::max(
+        expand_stats.max_ready, static_cast<int64_t>(ready.size()));
+    if (ready.size() > 1) ++expand_stats.decision_points;
+
+    std::vector<EventId> ids;
+    ids.reserve(ready.size());
+    for (const Scheduler::Candidate& c : ready) {
+      ids.push_back(IdOf(c.label, scheduler.trace()));
+    }
+
+    std::list<FrontierSlot> children;
+    std::vector<EventId> done;
+    for (size_t i = 0; i < ready.size(); ++i) {
+      if (config.sleep_sets && Contains(slot.sleep, ids[i])) {
+        ++expand_stats.sleep_pruned;
+        continue;
+      }
+      std::vector<EventId> child_sleep;
+      if (config.sleep_sets) {
+        for (const EventId& z : slot.sleep) {
+          if (Independent(LabelOfChannelHead(z), ready[i].label)) {
+            child_sleep.push_back(z);
+          }
+        }
+        for (const EventId& z : done) {
+          if (Independent(LabelOfChannelHead(z), ready[i].label)) {
+            child_sleep.push_back(z);
+          }
+        }
+      }
+      std::vector<size_t> child_prefix = slot.prefix;
+      child_prefix.push_back(i);
+      children.push_back(FrontierSlot{std::move(child_prefix),
+                                      std::move(child_sleep), true,
+                                      ExploreResult{}});
+      done.push_back(ids[i]);
+    }
+    if (children.empty()) {
+      ++expand_stats.sleep_blocked;
+      slots.erase(expand_it);
+      continue;
+    }
+    slots.splice(expand_it, std::move(children));
+    slots.erase(expand_it);
+  }
+}
+
+ExploreResult ExploreParallel(const ExplorerConfig& config) {
+  ExploreResult expand_stats;
+  expand_stats.exhausted = true;
+  std::list<FrontierSlot> slots;
+  // Enough tasks per worker that stealing can balance uneven subtrees.
+  size_t target = static_cast<size_t>(config.threads) * 8;
+  SplitFrontier(config, target, slots, expand_stats);
+
+  std::vector<FrontierSlot*> tasks;
+  for (FrontierSlot& slot : slots) {
+    if (slot.runnable) tasks.push_back(&slot);
+  }
+
+  WorkStealingPool pool(config.threads);
+  pool.Run(static_cast<int64_t>(tasks.size()), [&](int64_t t) {
+    FrontierSlot* slot = tasks[static_cast<size_t>(t)];
+    IncrementalDfs dfs{
+        SearchCore{config, /*defer_minimize=*/true, ExploreResult{}, false},
+        std::nullopt,
+        std::nullopt,
+        {},
+        {}};
+    dfs.RunFromPrefix(slot->prefix, slot->sleep);
+    slot->partial = std::move(dfs.core.result);
+  });
+
+  // Merge in DFS (slot) order: sums and min/max are order-independent;
+  // the counterexample is order-sensitive and takes the first slot's —
+  // the same violation the sequential DFS reaches first.
+  ExploreResult merged = std::move(expand_stats);
+  for (FrontierSlot& slot : slots) {
+    const ExploreResult& r = slot.partial;
+    merged.schedules += r.schedules;
+    merged.executions += r.executions;
+    merged.sleep_pruned += r.sleep_pruned;
+    merged.sleep_blocked += r.sleep_blocked;
+    merged.decision_points += r.decision_points;
+    merged.violations += r.violations;
+    merged.max_ready = std::max(merged.max_ready, r.max_ready);
+    merged.worst = std::min(merged.worst, r.worst);
+    merged.exhausted = merged.exhausted && r.exhausted;
+    if (!merged.counterexample.has_value() &&
+        r.counterexample.has_value()) {
+      merged.counterexample = r.counterexample;
+    }
+  }
+
+  // Deferred counterexample finalization: minimize the globally first
+  // violation and replay it once for the trace and report.
+  if (merged.counterexample.has_value()) {
+    Counterexample& cx = *merged.counterexample;
+    if (config.minimize) {
+      cx.choices = MinimizeViolation(config.scenario, config.required,
+                                     std::move(cx.choices),
+                                     config.max_steps_per_run,
+                                     &merged.executions);
+    }
+    ControlledOutcome final_run = RunWithChoices(
+        config.scenario, cx.choices, config.max_steps_per_run);
+    ++merged.executions;
+    cx.trace = final_run.trace;
+    cx.report = final_run.report;
+  }
+  return merged;
+}
 
 }  // namespace
 
@@ -166,19 +562,36 @@ std::string Counterexample::Summary() const {
 }
 
 ExploreResult ExploreExhaustive(const ExplorerConfig& config) {
-  Dfs dfs{config, ExploreResult{}, false};
-  dfs.result.exhausted = true;
-  std::vector<size_t> prefix;
-  dfs.Visit(prefix, {});
-  if (dfs.stop && dfs.result.schedules >= config.max_schedules) {
-    dfs.result.exhausted = false;
+  SWEEP_CHECK_MSG(config.threads >= 1, "threads must be positive");
+  SWEEP_CHECK_MSG(config.share_prefixes || config.threads == 1,
+                  "parallel exploration requires prefix sharing");
+  ExploreResult result;
+  if (config.threads > 1) {
+    result = ExploreParallel(config);
+  } else if (config.share_prefixes) {
+    IncrementalDfs dfs{
+        SearchCore{config, /*defer_minimize=*/false, ExploreResult{},
+                   false},
+        std::nullopt,
+        std::nullopt,
+        {},
+        {}};
+    dfs.RunFromPrefix({}, {});
+    result = std::move(dfs.core.result);
+  } else {
+    ReplayDfs dfs{SearchCore{config, /*defer_minimize=*/false,
+                             ExploreResult{}, false}};
+    dfs.core.result.exhausted = true;
+    std::vector<size_t> prefix;
+    dfs.Visit(prefix, {});
+    result = std::move(dfs.core.result);
   }
-  if (dfs.stop && dfs.result.violations > 0 &&
-      config.stop_at_first_violation) {
+  if (result.schedules >= config.max_schedules) result.exhausted = false;
+  if (result.violations > 0 && config.stop_at_first_violation) {
     // Stopped early by design; the space was not necessarily covered.
-    dfs.result.exhausted = false;
+    result.exhausted = false;
   }
-  return dfs.result;
+  return result;
 }
 
 ExploreResult ExploreRandom(const ExplorerConfig& config, int64_t walks,

@@ -8,13 +8,24 @@
 //   * ExploreExhaustive — depth-first enumeration of every
 //     FIFO-respecting interleaving, optionally pruned by sleep sets
 //     (partial-order reduction over the "different affected site" =>
-//     independent relation of verify/schedule.h). Each enumerated
-//     schedule is executed from scratch — stateless model checking — and
-//     classified against the paper's consistency lattice by
-//     consistency/checker. Sound for trace properties: commuting
-//     independent events changes no site-local history, so every
-//     Mazurkiewicz trace class is classified by its explored
-//     representative.
+//     independent relation of verify/schedule.h), classified against the
+//     paper's consistency lattice by consistency/checker. Sound for trace
+//     properties: commuting independent events changes no site-local
+//     history, so every Mazurkiewicz trace class is classified by its
+//     explored representative.
+//
+//     Two execution engines share the enumeration logic. The default
+//     prefix-sharing engine keeps ONE live system and backtracks by
+//     snapshot/restore (ControlledSystem::SaveState), so each complete
+//     schedule costs roughly one execution — docs/verification.md,
+//     "Scaling exploration". share_prefixes=false selects the original
+//     stateless engine (every DFS node re-constructs the system and
+//     replays its prefix), kept as the honest baseline the throughput
+//     bench measures the speedup against. threads>1 splits the DFS
+//     frontier into subtree tasks executed on a work-stealing pool
+//     (verify/pool.h); results merge in DFS task order, so schedule
+//     counts, verdicts, pruning stats and the minimized counterexample
+//     are byte-identical for every thread count and steal order.
 //
 //   * ExploreRandom — seeded uniform random walks for scenarios whose
 //     schedule space is too large to enumerate.
@@ -52,9 +63,21 @@ struct ExplorerConfig {
   // (runaway schedule).
   int64_t max_steps_per_run = 100'000;
   // Stop at (and minimize) the first violation instead of counting all.
+  // With threads > 1 the stop is per subtree task, not global: every task
+  // still runs to completion (counts stay deterministic), each stopping
+  // at its own first violation.
   bool stop_at_first_violation = true;
   // Greedily minimize the first violating schedule.
   bool minimize = true;
+  // Prefix-sharing engine (exhaustive mode): backtrack by state
+  // snapshot/restore instead of re-constructing the system and replaying
+  // the prefix at every DFS node. False selects the stateless baseline
+  // engine; same schedules, verdicts and pruning stats either way.
+  bool share_prefixes = true;
+  // Worker threads for exhaustive exploration (requires share_prefixes).
+  // The frontier is split into subtree tasks ahead of time and merged in
+  // DFS order, so every thread count produces identical results.
+  int threads = 1;
 };
 
 struct Counterexample {
@@ -70,8 +93,12 @@ struct Counterexample {
 struct ExploreResult {
   // Complete schedules executed and classified.
   int64_t schedules = 0;
-  // Total controlled executions, including interior-node replays and
-  // minimization probes (the throughput bench's denominator).
+  // Controlled executions charged: one per complete schedule, plus every
+  // fresh construct-and-replay (each interior DFS node in the stateless
+  // engine, each frontier expansion in parallel mode) and every
+  // minimization probe. executions / schedules is the replay-redundancy
+  // factor the throughput bench reports — ~1 with prefix sharing, ~the
+  // mean tree depth without.
   int64_t executions = 0;
   // Branches skipped because their event was in the sleep set, and
   // executions abandoned with every ready event sleeping. Zero with

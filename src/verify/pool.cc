@@ -1,0 +1,86 @@
+#include "verify/pool.h"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sweepmv {
+
+namespace {
+
+// One worker's task queue. A plain mutex per deque keeps the protocol
+// obviously correct (owner and thieves serialize on it); the explorer's
+// tasks are whole subtree explorations, so queue operations are a
+// vanishing fraction of the work and a lock-free Chase-Lev deque would
+// buy nothing measurable here.
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<int64_t> tasks;
+};
+
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(int threads)
+    : threads_(threads < 1 ? 1 : threads) {}
+
+void WorkStealingPool::Run(int64_t num_tasks,
+                           const std::function<void(int64_t)>& body) {
+  if (num_tasks <= 0) return;
+  if (threads_ == 1 || num_tasks == 1) {
+    for (int64_t t = 0; t < num_tasks; ++t) body(t);
+    return;
+  }
+
+  std::vector<WorkerQueue> queues(static_cast<size_t>(threads_));
+  for (int64_t t = 0; t < num_tasks; ++t) {
+    queues[static_cast<size_t>(t % threads_)].tasks.push_back(t);
+  }
+  std::atomic<int64_t> remaining{num_tasks};
+
+  auto worker = [&](int self) {
+    while (remaining.load(std::memory_order_acquire) > 0) {
+      int64_t task = -1;
+      {
+        WorkerQueue& own = queues[static_cast<size_t>(self)];
+        std::lock_guard<std::mutex> lock(own.mu);
+        if (!own.tasks.empty()) {
+          task = own.tasks.front();
+          own.tasks.pop_front();
+        }
+      }
+      if (task < 0) {
+        // Steal from the back of the nearest non-empty victim.
+        for (int v = 1; v < threads_ && task < 0; ++v) {
+          WorkerQueue& victim =
+              queues[static_cast<size_t>((self + v) % threads_)];
+          std::lock_guard<std::mutex> lock(victim.mu);
+          if (!victim.tasks.empty()) {
+            task = victim.tasks.back();
+            victim.tasks.pop_back();
+          }
+        }
+      }
+      if (task < 0) {
+        // Everything claimed but not yet finished; spin politely until
+        // the stragglers drain (their completion drops `remaining`).
+        std::this_thread::yield();
+        continue;
+      }
+      body(task);
+      remaining.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  };
+
+  std::vector<std::thread> extra;
+  extra.reserve(static_cast<size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) extra.emplace_back(worker, i);
+  worker(0);
+  for (std::thread& t : extra) t.join();
+  SWEEP_CHECK(remaining.load() == 0);
+}
+
+}  // namespace sweepmv

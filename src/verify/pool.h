@@ -1,0 +1,43 @@
+// Work-stealing worker pool for the schedule-space explorer.
+//
+// Executes a fixed, pre-split set of independent tasks on N threads.
+// Tasks are dealt round-robin into per-worker deques; a worker pops its
+// own deque from the front (preserving the deal order, which follows the
+// explorer's DFS order — deeper, cheaper subtrees first) and steals from
+// the *back* of a victim's deque when its own runs dry, so thieves take
+// the work their victim would reach last.
+//
+// Determinism contract: the pool never influences *what* is computed,
+// only *when*. Each task writes exclusively to its own result slot, so
+// any aggregation done in fixed task order after Run() returns is
+// byte-identical regardless of thread count or steal interleaving — the
+// property tests/explorer_determinism_test.cc pins down.
+
+#ifndef SWEEPMV_VERIFY_POOL_H_
+#define SWEEPMV_VERIFY_POOL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace sweepmv {
+
+class WorkStealingPool {
+ public:
+  // `threads` <= 1 degenerates to inline sequential execution.
+  explicit WorkStealingPool(int threads);
+
+  // Runs body(0) .. body(num_tasks - 1), each exactly once, distributed
+  // over the pool (the calling thread participates as worker 0). Returns
+  // when every task has finished. `body` must confine its writes to
+  // task-local state; it is invoked concurrently from multiple threads.
+  void Run(int64_t num_tasks, const std::function<void(int64_t)>& body);
+
+  int threads() const { return threads_; }
+
+ private:
+  int threads_;
+};
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_VERIFY_POOL_H_

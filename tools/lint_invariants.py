@@ -33,6 +33,17 @@ unordered-arrival
     link, so any use outside sim/channel.* must be annotated with why
     reordering is intended there.
 
+raw-thread
+    The simulator is single-threaded by design: all concurrency in the
+    modeled system is *simulated* (interleaved deterministically by the
+    event loop), which is what makes runs replayable and the explorer's
+    schedule enumeration sound. Real threads (std::thread / std::jthread
+    / std::async) are allowed only in src/verify/ — the work-stealing
+    pool that parallelizes exploration *across* independent
+    ControlledSystems, never inside one. A thread anywhere else
+    introduces nondeterminism the replay log cannot capture; if one is
+    truly needed, annotate it with why determinism is preserved.
+
 Suppressing
 -----------
 Append an annotation with a rationale on the offending line (or the line
@@ -53,7 +64,9 @@ import re
 import sys
 from pathlib import Path
 
-# One rule = (name, file predicate, line regex, exempt-path suffixes, help).
+# One rule = (name, file predicate, line regex, exempt paths, help).
+# Exempt entries ending in "/" are directory prefixes; others match one
+# file exactly.
 RULES = [
     {
         "name": "view-mutation",
@@ -89,6 +102,18 @@ RULES = [
             "watermark dedup and controlled-mode ordering assume"
         ),
     },
+    {
+        "name": "raw-thread",
+        "dirs": ("src",),
+        "exempt": ("src/verify/",),
+        "pattern": re.compile(r"\bstd::(thread|jthread|async)\b"),
+        "why": (
+            "the simulator is single-threaded by design; real threads "
+            "belong only in src/verify/'s work-stealing pool, which "
+            "parallelizes across independent ControlledSystems without "
+            "breaking replay determinism"
+        ),
+    },
 ]
 
 ALLOW = re.compile(r"lint:allow\s+(?P<rule>[\w-]+)(?P<rationale>.*)")
@@ -121,7 +146,10 @@ def lint_file(path: Path, rel: str, failures: list[str]) -> None:
     for rule in RULES:
         if not any(rel.startswith(d + "/") for d in rule["dirs"]):
             continue
-        if rel in rule["exempt"]:
+        if any(
+            rel.startswith(e) if e.endswith("/") else rel == e
+            for e in rule["exempt"]
+        ):
             continue
         for i, line in enumerate(lines):
             code = line.split("//", 1)[0] if "lint:allow" not in line else line
