@@ -1,0 +1,38 @@
+// Snapshot-exemption annotation for sweeplint (tools/sweeplint/).
+//
+// The schedule-space explorer's prefix-sharing rests on Save*/Restore*
+// capturing *every* mutable member of every snapshotted class; a member
+// that is silently left out corrupts verdicts after the first backtrack.
+// sweeplint machine-checks that invariant: each non-static data member of
+// a class exposing SaveState/RestoreState (or SaveAlgState/RestoreAlgState)
+// must either be captured by both sides or carry this macro with a
+// rationale of at least 8 characters.
+//
+//   SWEEP_SNAPSHOT_EXEMPT("immutable topology, fixed at construction")
+//   const std::vector<int>& source_sites_;
+//
+// Use it only for members that genuinely need no capture: immutable
+// configuration, wiring to other snapshotted components (each of which
+// owns its own state), or observers that outlive the exploration. A
+// member that mutates during a controlled run must be captured — the
+// rationale is reviewed by humans, not by the tool, so say why restoring
+// without it is sound, not just what the member is.
+//
+// Under clang the macro expands to a [[clang::annotate]] attribute so the
+// libclang frontend sees the exemption in the AST after preprocessing;
+// under other compilers it expands to nothing and sweeplint's bundled
+// micro frontend reads the macro spelling from the source instead. The
+// two frontends agree on the model by construction (see
+// tools/sweeplint/model.py).
+
+#ifndef SWEEPMV_COMMON_SNAPSHOT_H_
+#define SWEEPMV_COMMON_SNAPSHOT_H_
+
+#if defined(__clang__)
+#define SWEEP_SNAPSHOT_EXEMPT(why) \
+  [[clang::annotate("sweeplint:snapshot-exempt:" why)]]
+#else
+#define SWEEP_SNAPSHOT_EXEMPT(why)
+#endif
+
+#endif  // SWEEPMV_COMMON_SNAPSHOT_H_

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "core/warehouse.h"
 
 namespace sweepmv {
@@ -96,6 +97,8 @@ class EcaWarehouse : public Warehouse {
   std::shared_ptr<const AlgState> SaveAlgState() const override;
   void RestoreAlgState(const AlgState& state) override;
 
+  SWEEP_SNAPSHOT_EXEMPT(
+      "compensation on/off is an experiment knob, fixed at construction")
   bool compensation_ = true;
   std::optional<ActiveQuery> active_;
   // Contamination records per queued update id.

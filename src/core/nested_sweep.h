@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "core/warehouse.h"
 
 namespace sweepmv {
@@ -90,6 +91,7 @@ class NestedSweepWarehouse : public Warehouse {
   std::vector<Frame> stack_;
   // Ids of every update folded into the current composite ΔV.
   std::vector<int64_t> batch_ids_;
+  SWEEP_SNAPSHOT_EXEMPT("tuning knobs, fixed at construction")
   NestedOptions options_;
   int64_t compensations_ = 0;
   int64_t nested_calls_ = 0;

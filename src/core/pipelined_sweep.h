@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "core/warehouse.h"
 
 namespace sweepmv {
@@ -87,6 +88,7 @@ class PipelinedSweepWarehouse : public Warehouse {
   std::shared_ptr<const AlgState> SaveAlgState() const override;
   void RestoreAlgState(const AlgState& state) override;
 
+  SWEEP_SNAPSHOT_EXEMPT("tuning knobs, fixed at construction")
   PipelineOptions options_;
   // Every update ever received, in arrival order (the receive log the
   // interference rule consults).

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "core/warehouse.h"
 
 namespace sweepmv {
@@ -88,6 +89,8 @@ class SweepWarehouse : public Warehouse {
   void RestoreAlgState(const AlgState& state) override;
 
   std::optional<ActiveSweep> active_;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "compensation on/off is an experiment knob, fixed at construction")
   bool local_compensation_ = true;
   int64_t compensations_ = 0;
 };

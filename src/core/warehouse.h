@@ -34,6 +34,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/snapshot.h"
 #include "relational/partial_delta.h"
 #include "relational/relation.h"
 #include "relational/view_def.h"
@@ -281,10 +282,17 @@ class Warehouse : public Site {
   bool ResolveSnapshotPart(int64_t query_id, int relation);
   void ArmQueryTimer(int64_t query_id, SimTime delay);
 
+  SWEEP_SNAPSHOT_EXEMPT("site identity, fixed at construction")
   int site_id_;
+  SWEEP_SNAPSHOT_EXEMPT("view definition is immutable configuration")
   ViewDef view_def_;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "wiring to the network, which snapshots its own channel state")
   Network* network_;
+  SWEEP_SNAPSHOT_EXEMPT("topology (which sites host base relations), fixed "
+                        "at construction")
   std::vector<int> source_sites_;
+  SWEEP_SNAPSHOT_EXEMPT("tuning knobs, fixed at construction")
   Options options_;
 
   Relation view_;
@@ -307,6 +315,10 @@ class Warehouse : public Site {
   int64_t duplicate_updates_ignored_ = 0;
   int64_t stale_answers_ignored_ = 0;
   int64_t queries_reissued_ = 0;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "observer hook owned by the harness; consumers that accumulate "
+      "state from it (e.g. MaintainedAggregate) are outside the explored "
+      "system by design")
   InstallObserver observer_;
 };
 

@@ -302,6 +302,9 @@ void Network::ArmRetransmitTimer(LinkState& link, int from, int to) {
   if (link.timer_armed) return;
   link.timer_armed = true;
   int64_t gen = ++link.timer_gen;
+  // sweeplint:allow unlabeled-event session-internal retransmit timer, not
+  // a protocol message; controlled runs configure sessions off, so the
+  // explorer never sees this event
   sim_->Schedule(link.sender.rto(), [this, from, to, gen]() {
     OnRetransmitTimer(from, to, gen);
   });
@@ -327,6 +330,8 @@ void Network::OnRetransmitTimer(int from, int to, int64_t gen) {
     ++stats_.reliability.retransmissions;
     TransmitDatagram(link, from, to, r.seq, r.payload);
   }
+  // sweeplint:allow unlabeled-event re-arm of the session retransmit
+  // timer; same harness-internal event as in ArmRetransmitTimer above
   sim_->Schedule(link.sender.rto(), [this, from, to, gen]() {
     OnRetransmitTimer(from, to, gen);
   });

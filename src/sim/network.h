@@ -31,6 +31,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "common/snapshot.h"
 #include "sim/channel.h"
 #include "sim/fault_model.h"
 #include "sim/latency.h"
@@ -216,19 +217,40 @@ class Network {
   void ArmRetransmitTimer(LinkState& link, int from, int to);
   void OnRetransmitTimer(int from, int to, int64_t gen);
 
+  SWEEP_SNAPSHOT_EXEMPT(
+      "wiring to the simulator, which snapshots its own clock and queue")
   Simulator* sim_;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "latency configuration, fixed once topology is wired; controlled "
+      "runs never mutate it")
   LatencyModel default_latency_;
   Rng rng_;
   // Independent root so attaching fault models never perturbs the latency
   // streams of existing runs.
   Rng fault_root_;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "SaveState CHECKs no default fault model is armed; controlled "
+      "exploration predates any SetDefaultFaults call")
   std::optional<FaultModel> default_faults_;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "session-layer on/off switch, configuration fixed before the run")
   bool reliability_ = true;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "session-layer tuning knobs, configuration fixed before the run")
   SessionOptions session_options_;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "site registry is topology, not state; every registered site "
+      "snapshots itself through ControlledSystem")
   std::map<int, Site*> sites_;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "crash injection is fault machinery the controlled harness never "
+      "drives — the same pristine-links precondition SaveState CHECKs")
   std::set<int> crashed_;
   std::map<std::pair<int, int>, LinkState> links_;
   NetworkStats stats_;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "observer hook owned by the harness; outlives and never depends on "
+      "the explored prefix")
   Tap tap_;
 };
 

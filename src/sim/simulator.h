@@ -24,6 +24,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "sim/time.h"
 
 namespace sweepmv {
@@ -158,9 +159,15 @@ class Simulator {
 
   SimTime now_ = 0;
   int64_t next_seq_ = 0;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "free-run-mode queue, always empty under a scheduler; SaveState "
+      "CHECKs controlled mode, where every event lives in pending_")
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   // Controlled-mode store (unsorted; the ready-set computation orders it).
   std::vector<Event> pending_;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "wiring, not state: the explorer that drives save/restore owns the "
+      "scheduler and keeps it installed across backtracks")
   Scheduler* scheduler_ = nullptr;
 };
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "relational/relation.h"
 #include "relational/view_def.h"
 #include "sim/network.h"
@@ -129,13 +130,24 @@ class DataSource : public SourceSite {
   void RestoreState(const SavedState& state);
 
  private:
+  SWEEP_SNAPSHOT_EXEMPT("site identity, fixed at construction")
   int site_id_;
+  SWEEP_SNAPSHOT_EXEMPT("which base relation this site hosts — topology, "
+                        "fixed at construction")
   int relation_index_;
   IndexedRelation store_;
+  SWEEP_SNAPSHOT_EXEMPT("view definition is immutable configuration, "
+                        "owned by the harness")
   const ViewDef* view_;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "wiring to the network, which snapshots its own channel state")
   Network* network_;
+  SWEEP_SNAPSHOT_EXEMPT("topology, fixed at construction")
   std::vector<int> warehouse_sites_;
+  SWEEP_SNAPSHOT_EXEMPT("shared id generator, snapshotted once by "
+                        "ControlledSystem rather than per site")
   UpdateIdGenerator* ids_;
+  SWEEP_SNAPSHOT_EXEMPT("storage tuning knobs, fixed at construction")
   SourceStorageOptions storage_options_;
   StorageStats query_stats_;
   StateLog log_;

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "relational/relation.h"
 #include "relational/view_def.h"
 #include "sim/network.h"
@@ -73,11 +74,20 @@ class EcaSource : public SourceSite {
   // joined schema (selection/projection are the warehouse's job).
   Relation EvaluateTerm(const EcaTerm& term) const;
 
+  SWEEP_SNAPSHOT_EXEMPT("site identity, fixed at construction")
   int site_id_;
   std::vector<Relation> relations_;
+  SWEEP_SNAPSHOT_EXEMPT("view definition is immutable configuration, "
+                        "owned by the harness")
   const ViewDef* view_;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "wiring to the network, which snapshots its own channel state")
   Network* network_;
+  SWEEP_SNAPSHOT_EXEMPT("destination site id — topology, fixed at "
+                        "construction")
   int warehouse_site_;
+  SWEEP_SNAPSHOT_EXEMPT("shared id generator, snapshotted once by "
+                        "ControlledSystem rather than per site")
   UpdateIdGenerator* ids_;
   std::vector<StateLog> logs_;
   int64_t queries_answered_ = 0;

@@ -36,7 +36,7 @@ size_t ReplayScheduler::Pick(const std::vector<Candidate>& ready) {
 
 size_t RandomScheduler::Pick(const std::vector<Candidate>& ready) {
   SWEEP_CHECK(!ready.empty());
-  size_t choice = static_cast<size_t>(
+  const size_t choice = static_cast<size_t>(
       rng_.Uniform(0, static_cast<int64_t>(ready.size()) - 1));
   trace_.steps.push_back(RecordStep(ready, choice));
   return choice;
@@ -80,10 +80,10 @@ ControlledSystem::ControlledSystem(const ControlledScenario& scenario,
   // events share a channel).
   for (const ControlledTxn& txn : scenario.txns) {
     SWEEP_CHECK(txn.relation >= 0 && txn.relation < n);
-    int site = eca_source_ != nullptr ? 1 : txn.relation + 1;
-    EventLabel label{EventKind::kTxn, -1, site, "txn"};
-    int rel = txn.relation;
-    auto ops = txn.ops;
+    const int site = eca_source_ != nullptr ? 1 : txn.relation + 1;
+    const EventLabel label{EventKind::kTxn, -1, site, "txn"};
+    const int rel = txn.relation;
+    const auto ops = txn.ops;
     sim_.ScheduleAt(0, label, [this, rel, ops]() {
       if (eca_source_ != nullptr) {
         eca_source_->ApplyTransaction(rel, ops);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/snapshot.h"
 #include "consistency/checker.h"
 #include "core/factory.h"
 #include "core/warehouse.h"
@@ -141,7 +142,11 @@ class ControlledSystem {
   void RestoreState(const SavedState& state);
 
  private:
+  SWEEP_SNAPSHOT_EXEMPT("scenario's view definition, immutable for the "
+                        "lifetime of the system")
   ViewDef view_;
+  SWEEP_SNAPSHOT_EXEMPT("initial base relations of the scenario; sources "
+                        "snapshot their own live stores")
   std::vector<Relation> bases_;
   Simulator sim_;
   Network network_;

@@ -81,7 +81,7 @@ struct SearchCore {
                                         config.max_steps_per_run,
                                         &result.executions);
         }
-        ControlledOutcome final_run = RunWithChoices(
+        const ControlledOutcome final_run = RunWithChoices(
             config.scenario, minimized, config.max_steps_per_run);
         ++result.executions;
         cx.choices = std::move(minimized);
@@ -119,11 +119,11 @@ struct ReplayDfs {
     ReplayScheduler scheduler(prefix);
     ControlledSystem system(config.scenario, &scheduler);
     ++result.executions;
-    int64_t ran = system.Run(static_cast<int64_t>(prefix.size()));
+    const int64_t ran = system.Run(static_cast<int64_t>(prefix.size()));
     SWEEP_CHECK_MSG(ran == static_cast<int64_t>(prefix.size()),
                     "schedule prefix drained early");
 
-    std::vector<Scheduler::Candidate> ready = system.Ready();
+    const std::vector<Scheduler::Candidate> ready = system.Ready();
     if (ready.empty()) {
       // Terminal: this execution is one complete schedule.
       ControlledOutcome outcome;
@@ -212,7 +212,7 @@ class SteppingScheduler : public Scheduler {
 
   size_t Pick(const std::vector<Candidate>& ready) override {
     SWEEP_CHECK(!ready.empty());
-    bool replaying = cursor_ < prefix_.size();
+    const bool replaying = cursor_ < prefix_.size();
     size_t choice = replaying ? prefix_[cursor_++] : next_;
     if (choice >= ready.size()) choice = ready.size() - 1;
     if (replaying) ++replay_counts_[ChannelOf(ready[choice].label)];
@@ -254,7 +254,7 @@ struct IncrementalDfs {
     scheduler.emplace(prefix);
     system.emplace(core.config.scenario, &*scheduler);
     if (!prefix.empty()) ++core.result.executions;
-    int64_t ran = system->Run(static_cast<int64_t>(prefix.size()));
+    const int64_t ran = system->Run(static_cast<int64_t>(prefix.size()));
     SWEEP_CHECK_MSG(ran == static_cast<int64_t>(prefix.size()),
                     "schedule prefix drained early");
     path = prefix;
@@ -272,7 +272,7 @@ struct IncrementalDfs {
       return;
     }
 
-    std::vector<Scheduler::Candidate> ready = system->Ready();
+    const std::vector<Scheduler::Candidate> ready = system->Ready();
     if (ready.empty()) {
       ControlledOutcome outcome;
       outcome.steps = static_cast<int64_t>(path.size());
@@ -307,7 +307,7 @@ struct IncrementalDfs {
     for (size_t i = 0; i < ready.size(); ++i) {
       EventId id;
       id.channel = ChannelOf(ready[i].label);
-      auto it = executed.find(id.channel);
+      const auto it = executed.find(id.channel);
       id.index = it == executed.end() ? 0 : it->second;
       ids.push_back(id);
       if (config.sleep_sets && Contains(sleep, id)) {
@@ -349,7 +349,7 @@ struct IncrementalDfs {
         }
       }
       scheduler->SetNext(i);
-      int64_t ran = system->Run(1);
+      const int64_t ran = system->Run(1);
       SWEEP_CHECK_MSG(ran == 1, "ready event failed to execute");
       ++executed[ids[i].channel];
       path.push_back(i);
@@ -401,12 +401,12 @@ void SplitFrontier(const ExplorerConfig& config, size_t target,
     ReplayScheduler scheduler(slot.prefix);
     ControlledSystem system(config.scenario, &scheduler);
     ++expand_stats.executions;
-    int64_t ran = system.Run(static_cast<int64_t>(slot.prefix.size()));
+    const int64_t ran = system.Run(static_cast<int64_t>(slot.prefix.size()));
     SWEEP_CHECK_MSG(ran == static_cast<int64_t>(slot.prefix.size()),
                     "schedule prefix drained early");
 
-    std::vector<Scheduler::Candidate> ready = system.Ready();
-    bool over_budget =
+    const std::vector<Scheduler::Candidate> ready = system.Ready();
+    const bool over_budget =
         !ready.empty() &&
         static_cast<int64_t>(slot.prefix.size()) >= config.max_steps_per_run;
     if (ready.empty() || over_budget) {
@@ -489,7 +489,7 @@ ExploreResult ExploreParallel(const ExplorerConfig& config) {
   expand_stats.exhausted = true;
   std::list<FrontierSlot> slots;
   // Enough tasks per worker that stealing can balance uneven subtrees.
-  size_t target = static_cast<size_t>(config.threads) * 8;
+  const size_t target = static_cast<size_t>(config.threads) * 8;
   SplitFrontier(config, target, slots, expand_stats);
 
   std::vector<FrontierSlot*> tasks;
@@ -541,7 +541,7 @@ ExploreResult ExploreParallel(const ExplorerConfig& config) {
                                      config.max_steps_per_run,
                                      &merged.executions);
     }
-    ControlledOutcome final_run = RunWithChoices(
+    const ControlledOutcome final_run = RunWithChoices(
         config.scenario, cx.choices, config.max_steps_per_run);
     ++merged.executions;
     cx.trace = final_run.trace;
@@ -603,7 +603,7 @@ ExploreResult ExploreRandom(const ExplorerConfig& config, int64_t walks,
     RandomScheduler scheduler(root.Next());
     ControlledSystem system(config.scenario, &scheduler);
     ++result.executions;
-    int64_t ran = system.Run(config.max_steps_per_run);
+    const int64_t ran = system.Run(config.max_steps_per_run);
     ControlledOutcome outcome;
     outcome.steps = ran;
     outcome.completed = system.Drained() && system.WarehouseIdle();
@@ -632,7 +632,7 @@ ExploreResult ExploreRandom(const ExplorerConfig& config, int64_t walks,
                                     config.max_steps_per_run,
                                     &result.executions);
       }
-      ControlledOutcome final_run =
+      const ControlledOutcome final_run =
           RunWithChoices(config.scenario, choices, config.max_steps_per_run);
       ++result.executions;
       Counterexample cx;
@@ -651,13 +651,13 @@ std::vector<size_t> MinimizeViolation(const ControlledScenario& scenario,
                                       std::vector<size_t> choices,
                                       int64_t max_steps_per_run,
                                       int64_t* executions) {
-  auto violates = [&](const std::vector<size_t>& candidate) {
+  const auto violates = [&](const std::vector<size_t>& candidate) {
     if (executions != nullptr) ++(*executions);
     ControlledOutcome outcome =
         RunWithChoices(scenario, candidate, max_steps_per_run);
     return outcome.report.level < required;
   };
-  auto trim = [](std::vector<size_t>& v) {
+  const auto trim = [](std::vector<size_t>& v) {
     while (!v.empty() && v.back() == 0) v.pop_back();
   };
 
@@ -669,7 +669,7 @@ std::vector<size_t> MinimizeViolation(const ControlledScenario& scenario,
   // monotone in the prefix length, so scan from the front and take the
   // first prefix that still violates (the full vector always does).
   for (size_t k = 0; k < choices.size(); ++k) {
-    std::vector<size_t> candidate(
+    const std::vector<size_t> candidate(
         choices.begin(), choices.begin() + static_cast<ptrdiff_t>(k));
     if (violates(candidate)) {
       choices.resize(k);

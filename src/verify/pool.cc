@@ -41,7 +41,7 @@ void WorkStealingPool::Run(int64_t num_tasks,
   }
   std::atomic<int64_t> remaining{num_tasks};
 
-  auto worker = [&](int self) {
+  const auto worker = [&](int self) {
     while (remaining.load(std::memory_order_acquire) > 0) {
       int64_t task = -1;
       {

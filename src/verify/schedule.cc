@@ -28,8 +28,8 @@ int AffectedSite(const EventLabel& label) {
 }
 
 bool Independent(const EventLabel& a, const EventLabel& b) {
-  int sa = AffectedSite(a);
-  int sb = AffectedSite(b);
+  const int sa = AffectedSite(a);
+  const int sb = AffectedSite(b);
   if (sa == -2 || sb == -2) return false;
   return sa != sb;
 }

@@ -1,0 +1,561 @@
+"""The three sweeplint checks, over the frontend-neutral model.
+
+snapshot-completeness
+    Every class exposing a SaveState/RestoreState (or SaveAlgState/
+    RestoreAlgState) pair must account for every non-static data member:
+    captured — its identifier appears in BOTH the save and the restore
+    body — or annotated SWEEP_SNAPSHOT_EXEMPT("why") with a rationale.
+    A member captured on one side only, an exemption on a member that is
+    in fact captured, and an unpaired save/restore are each their own
+    diagnostic. This is the machine-checked form of the invariant the
+    prefix-sharing explorer (PR 4) rests on: a restore that silently
+    forgets a member corrupts every verdict downstream of the backtrack.
+
+unordered-iteration
+    A range-for over a std::unordered_map/unordered_set whose loop feeds
+    an order-sensitive sink — it executes inside a serialization/
+    snapshot/comparison function, or its body calls into traces, install
+    logs or hashes — is order-nondeterministic across libstdc++
+    versions and would poison trace goldens and the planned state
+    fingerprints. Iterate a sorted copy, or suppress with
+    `// sweeplint:allow unordered-iteration <why>`.
+
+unlabeled-event
+    Simulator::Schedule/ScheduleAt calls in src/sim/ and src/verify/
+    must use the EventLabel overload (3 arguments): an unlabeled event
+    lands on the shared kInternal channel, where the schedule-space
+    explorer conservatively treats it as dependent on everything —
+    correct but wasteful — and traces lose the channel attribution.
+    Deliberate harness machinery (e.g. timers) is suppressed with
+    `// sweeplint:allow unlabeled-event <why>`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from model import (
+    MIN_RATIONALE_LEN,
+    ClassInfo,
+    Diagnostic,
+    Method,
+    Model,
+    find_allow,
+    sort_diagnostics,
+)
+
+Token = Tuple[str, int]
+
+CHECK_SNAPSHOT = "snapshot-completeness"
+CHECK_UNORDERED = "unordered-iteration"
+CHECK_EVENT_LABEL = "unlabeled-event"
+
+ALL_CHECKS = (CHECK_SNAPSHOT, CHECK_UNORDERED, CHECK_EVENT_LABEL)
+
+# Default directory scopes (relative-path prefixes) per check; fixture
+# runs pass scope_all=True instead.
+UNORDERED_SCOPE = ("src/",)
+EVENT_LABEL_SCOPE = ("src/sim/", "src/verify/")
+
+# Functions whose output is order-sensitive by role: serialization,
+# snapshots, comparisons, fingerprints.
+SINK_FUNCTIONS = frozenset(
+    {
+        "SaveState",
+        "RestoreState",
+        "SaveAlgState",
+        "RestoreAlgState",
+        "Fingerprint",
+        "ToString",
+        "ToDisplayString",
+        "Serialize",
+        "Hash",
+        "operator==",
+        "operator<",
+        "operator<<",
+    }
+)
+
+# Identifiers inside a loop body that mark the loop as feeding traces,
+# install logs, or hashes.
+SINK_IDENTIFIERS = frozenset(
+    {
+        "Trace",
+        "TraceEvent",
+        "trace_",
+        "Fingerprint",
+        "ToDisplayString",
+        "ToString",
+        "Serialize",
+        "RecordInstall",
+        "InstallViewDelta",
+        "InstallAbsoluteView",
+        "Hash",
+        "HashCombine",
+        "hash_combine",
+    }
+)
+
+_UNORDERED_MARKERS = ("unordered_map", "unordered_set")
+
+
+def _is_ident(tok: str) -> bool:
+    return bool(tok) and (tok[0].isalpha() or tok[0] == "_")
+
+
+def _unordered(type_text: str) -> bool:
+    return any(m in type_text for m in _UNORDERED_MARKERS)
+
+
+def run_checks(
+    model: Model,
+    checks: Sequence[str] = ALL_CHECKS,
+    scope_all: bool = False,
+) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    if CHECK_SNAPSHOT in checks:
+        diags.extend(check_snapshot_completeness(model))
+    if CHECK_UNORDERED in checks:
+        scope = None if scope_all else UNORDERED_SCOPE
+        diags.extend(check_unordered_iteration(model, scope))
+    if CHECK_EVENT_LABEL in checks:
+        scope = None if scope_all else EVENT_LABEL_SCOPE
+        diags.extend(check_event_label(model, scope))
+    return sort_diagnostics(diags)
+
+
+# --- snapshot-completeness --------------------------------------------------
+
+
+def check_snapshot_completeness(model: Model) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for name in sorted(model.classes):
+        cls = model.classes[name]
+        pairs = cls.snapshot_pairs()
+        if not pairs:
+            continue
+        complete_pairs: List[Tuple[Method, Method, str, str]] = []
+        for save_name, restore_name in pairs:
+            save = cls.methods.get(save_name)
+            restore = cls.methods.get(restore_name)
+            if save is not None and restore is not None:
+                complete_pairs.append((save, restore, save_name, restore_name))
+                continue
+            have, missing = (
+                (save_name, restore_name) if save is not None else
+                (restore_name, save_name)
+            )
+            anchor = save if save is not None else restore
+            if anchor is None:
+                # Both sides only declared (e.g. an interface); the
+                # implementing classes are checked instead.
+                continue
+            diags.append(
+                Diagnostic(
+                    file=anchor.file,
+                    line=anchor.line,
+                    check=CHECK_SNAPSHOT,
+                    message=(
+                        f"class {cls.name} defines {have} but no matching "
+                        f"{missing}; snapshot support must implement both "
+                        "sides"
+                    ),
+                )
+            )
+        for field_name in sorted(cls.fields):
+            field = cls.fields[field_name]
+            if field.is_static:
+                continue
+            if field.exempt_annotated:
+                rationale = field.exempt_rationale or ""
+                if len(rationale.strip()) < MIN_RATIONALE_LEN:
+                    diags.append(
+                        Diagnostic(
+                            file=field.file,
+                            line=field.line,
+                            check=CHECK_SNAPSHOT,
+                            message=(
+                                f"class {cls.name}: member '{field.name}' is "
+                                "annotated SWEEP_SNAPSHOT_EXEMPT without a "
+                                "rationale (>= "
+                                f"{MIN_RATIONALE_LEN} chars) explaining why "
+                                "it is safe to skip"
+                            ),
+                        )
+                    )
+            if not complete_pairs:
+                continue
+            in_save = any(
+                field.name in save.identifier_set()
+                for save, _, _, _ in complete_pairs
+            )
+            in_restore = any(
+                field.name in restore.identifier_set()
+                for _, restore, _, _ in complete_pairs
+            )
+            captured = any(
+                field.name in save.identifier_set()
+                and field.name in restore.identifier_set()
+                for save, restore, _, _ in complete_pairs
+            )
+            pair_label = "/".join(complete_pairs[0][2:4])
+            if field.exempt_annotated:
+                if captured:
+                    diags.append(
+                        Diagnostic(
+                            file=field.file,
+                            line=field.line,
+                            check=CHECK_SNAPSHOT,
+                            message=(
+                                f"class {cls.name}: member '{field.name}' is "
+                                "annotated SWEEP_SNAPSHOT_EXEMPT but is "
+                                f"captured by {pair_label}; remove the stale "
+                                "exemption"
+                            ),
+                        )
+                    )
+                continue
+            if captured:
+                continue
+            if in_save and not in_restore:
+                diags.append(
+                    Diagnostic(
+                        file=field.file,
+                        line=field.line,
+                        check=CHECK_SNAPSHOT,
+                        message=(
+                            f"class {cls.name}: member '{field.name}' is "
+                            f"saved but never restored by {pair_label}; a "
+                            "backtracked exploration would resume with a "
+                            "stale value"
+                        ),
+                    )
+                )
+            else:
+                diags.append(
+                    Diagnostic(
+                        file=field.file,
+                        line=field.line,
+                        check=CHECK_SNAPSHOT,
+                        message=(
+                            f"class {cls.name}: member '{field.name}' is not "
+                            f"captured by {pair_label}; capture it or "
+                            "annotate it SWEEP_SNAPSHOT_EXEMPT(\"why\") if "
+                            "it is deliberately outside the snapshot"
+                        ),
+                    )
+                )
+    return diags
+
+
+# --- shared body machinery --------------------------------------------------
+
+
+def _match_paren(tokens: List[Token], open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(tokens)):
+        t = tokens[i][0]
+        if t in ("(", "[", "{"):
+            depth += 1
+        elif t in (")", "]", "}"):
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(tokens)
+
+
+def _split_top_level_args(tokens: List[Token]) -> List[List[Token]]:
+    """Splits the token slice between a call's parens on top-level commas."""
+    args: List[List[Token]] = []
+    cur: List[Token] = []
+    depth = 0
+    for tok in tokens:
+        t = tok[0]
+        if t in ("(", "[", "{"):
+            depth += 1
+        elif t in (")", "]", "}"):
+            depth -= 1
+        elif t == "," and depth == 0:
+            args.append(cur)
+            cur = []
+            continue
+        cur.append(tok)
+    if cur:
+        args.append(cur)
+    return args
+
+
+def _suppressed(
+    model: Model,
+    body: Method,
+    line: int,
+    check: str,
+    diags: List[Diagnostic],
+    message_if_bare: str,
+) -> bool:
+    """True if a well-formed suppression covers (file, line). A matching
+    annotation with a missing/short rationale still suppresses nothing
+    and adds its own diagnostic."""
+    hit = find_allow(model, body.file, line, check)
+    if hit is None:
+        return False
+    rationale, ann_line = hit
+    if len(rationale.strip()) >= MIN_RATIONALE_LEN:
+        return True
+    diags.append(
+        Diagnostic(
+            file=body.file,
+            line=ann_line,
+            check=check,
+            message=message_if_bare,
+        )
+    )
+    return True
+
+
+def _in_scope(path: str, scope: Optional[Tuple[str, ...]]) -> bool:
+    return scope is None or any(path.startswith(p) for p in scope)
+
+
+# --- unordered-iteration ----------------------------------------------------
+
+
+class _TypeTables:
+    """Member/return-type lookup: the enclosing class wins, then a global
+    first-writer-wins table over sorted class names (deterministic)."""
+
+    def __init__(self, model: Model) -> None:
+        self.members: Dict[str, Dict[str, str]] = {}
+        self.returns: Dict[str, Dict[str, str]] = {}
+        self.global_members: Dict[str, str] = {}
+        self.global_returns: Dict[str, str] = {}
+        for name in sorted(model.classes):
+            cls = model.classes[name]
+            self.members[name] = {
+                f.name: f.type_text for f in cls.fields.values()
+            }
+            self.returns[name] = dict(cls.declared_methods)
+            for f in cls.fields.values():
+                self.global_members.setdefault(f.name, f.type_text)
+            for mname, ret in sorted(cls.declared_methods.items()):
+                self.global_returns.setdefault(mname, ret)
+
+    def member_type(self, class_name: str, name: str) -> str:
+        own = self.members.get(class_name, {})
+        if name in own:
+            return own[name]
+        return self.global_members.get(name, "")
+
+    def return_type(self, class_name: str, name: str) -> str:
+        own = self.returns.get(class_name, {})
+        if name in own:
+            return own[name]
+        return self.global_returns.get(name, "")
+
+
+def _find_local_unordered(tokens: List[Token]) -> Dict[str, str]:
+    """Local variables declared with an unordered container type."""
+    locals_: Dict[str, str] = {}
+    for i, (t, _) in enumerate(tokens):
+        if not any(m in t for m in _UNORDERED_MARKERS):
+            continue
+        # Skip the template argument list, then take the next identifier.
+        j = i + 1
+        if j < len(tokens) and tokens[j][0] == "<":
+            angle = 0
+            while j < len(tokens):
+                if tokens[j][0] == "<":
+                    angle += 1
+                elif tokens[j][0] == ">":
+                    angle -= 1
+                    if angle == 0:
+                        j += 1
+                        break
+                j += 1
+        if j < len(tokens) and _is_ident(tokens[j][0]):
+            locals_[tokens[j][0]] = t
+    return locals_
+
+
+def _resolve_range_type(
+    expr: List[Token],
+    body: Method,
+    locals_: Dict[str, str],
+    tables: _TypeTables,
+) -> str:
+    text = " ".join(t for t, _ in expr)
+    if any(m in text for m in _UNORDERED_MARKERS):
+        return text
+    if not expr:
+        return ""
+    if expr[-1][0] == ")":
+        # Trailing call: resolve the callee's declared return type.
+        depth = 0
+        for i in range(len(expr) - 1, -1, -1):
+            t = expr[i][0]
+            if t == ")":
+                depth += 1
+            elif t == "(":
+                depth -= 1
+                if depth == 0:
+                    if i > 0 and _is_ident(expr[i - 1][0]):
+                        return tables.return_type(
+                            body.class_name, expr[i - 1][0]
+                        )
+                    return ""
+        return ""
+    for t, _ in reversed(expr):
+        if _is_ident(t):
+            if t in locals_:
+                return locals_[t]
+            return tables.member_type(body.class_name, t)
+    return ""
+
+
+def check_unordered_iteration(
+    model: Model, scope: Optional[Tuple[str, ...]]
+) -> List[Diagnostic]:
+    tables = _TypeTables(model)
+    diags: List[Diagnostic] = []
+    for body in model.bodies:
+        if not _in_scope(body.file, scope):
+            continue
+        tokens = body.tokens
+        locals_ = _find_local_unordered(tokens)
+        i = 0
+        while i < len(tokens):
+            if tokens[i][0] != "for":
+                i += 1
+                continue
+            if i + 1 >= len(tokens) or tokens[i + 1][0] != "(":
+                i += 1
+                continue
+            close = _match_paren(tokens, i + 1)
+            head = tokens[i + 2 : close]
+            colon = None
+            depth = 0
+            for k, (t, _) in enumerate(head):
+                if t in ("(", "[", "{"):
+                    depth += 1
+                elif t in (")", "]", "}"):
+                    depth -= 1
+                elif t == ";" and depth == 0:
+                    colon = None
+                    break
+                elif t == ":" and depth == 0 and colon is None:
+                    colon = k
+            if colon is None:
+                i = close + 1
+                continue
+            expr = head[colon + 1 :]
+            for_line = tokens[i][1]
+            range_type = _resolve_range_type(expr, body, locals_, tables)
+            if not _unordered(range_type):
+                i = close + 1
+                continue
+            # Loop body extent.
+            loop_end = close
+            if close + 1 < len(tokens) and tokens[close + 1][0] == "{":
+                loop_end = _match_paren(tokens, close + 1)
+            else:
+                loop_end = close + 1
+                while loop_end < len(tokens) and tokens[loop_end][0] != ";":
+                    loop_end += 1
+            loop_idents = {
+                t for t, _ in tokens[close + 1 : loop_end + 1] if _is_ident(t)
+            }
+            sink = None
+            if body.name in SINK_FUNCTIONS:
+                sink = f"order-sensitive function {body.name}()"
+            else:
+                hits = sorted(loop_idents & SINK_IDENTIFIERS)
+                if hits:
+                    sink = f"order-sensitive sink '{hits[0]}'"
+            if sink is None:
+                i = close + 1
+                continue
+            expr_text = " ".join(t for t, _ in expr).replace(" :: ", "::")
+            if not _suppressed(
+                model,
+                body,
+                for_line,
+                CHECK_UNORDERED,
+                diags,
+                message_if_bare=(
+                    "sweeplint:allow unordered-iteration needs a rationale "
+                    f"(>= {MIN_RATIONALE_LEN} chars)"
+                ),
+            ):
+                diags.append(
+                    Diagnostic(
+                        file=body.file,
+                        line=for_line,
+                        check=CHECK_UNORDERED,
+                        message=(
+                            f"iteration over unordered container "
+                            f"'{expr_text}' flows into {sink}; the visit "
+                            "order is implementation-defined — iterate a "
+                            "sorted copy, or annotate the loop "
+                            "'// sweeplint:allow unordered-iteration <why>'"
+                        ),
+                    )
+                )
+            i = close + 1
+        # end while
+    return diags
+
+
+# --- unlabeled-event --------------------------------------------------------
+
+_SCHEDULE_NAMES = ("Schedule", "ScheduleAt")
+
+
+def check_event_label(
+    model: Model, scope: Optional[Tuple[str, ...]]
+) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for body in model.bodies:
+        if not _in_scope(body.file, scope):
+            continue
+        if body.class_name == "Simulator":
+            # The unlabeled overloads delegate to the labeled ones here.
+            continue
+        tokens = body.tokens
+        for i, (t, line) in enumerate(tokens):
+            if t not in _SCHEDULE_NAMES:
+                continue
+            if i + 1 >= len(tokens) or tokens[i + 1][0] != "(":
+                continue
+            close = _match_paren(tokens, i + 1)
+            args = _split_top_level_args(tokens[i + 2 : close])
+            if len(args) >= 3:
+                continue  # the labeled overload
+            if _suppressed(
+                model,
+                body,
+                line,
+                CHECK_EVENT_LABEL,
+                diags,
+                message_if_bare=(
+                    "sweeplint:allow unlabeled-event needs a rationale "
+                    f"(>= {MIN_RATIONALE_LEN} chars)"
+                ),
+            ):
+                continue
+            diags.append(
+                Diagnostic(
+                    file=body.file,
+                    line=line,
+                    check=CHECK_EVENT_LABEL,
+                    message=(
+                        f"{t}() called with {len(args)} argument(s) — the "
+                        "unlabeled overload; events without an EventLabel "
+                        "land on the shared kInternal channel, losing "
+                        "channel attribution in traces and forcing the "
+                        "explorer to treat them as dependent on everything. "
+                        "Pass an EventLabel, or annotate "
+                        "'// sweeplint:allow unlabeled-event <why>'"
+                    ),
+                )
+            )
+    return diags

@@ -1,0 +1,197 @@
+"""Frontend-neutral semantic model for sweeplint.
+
+Both frontends — the libclang one (frontend_clang.py, used in CI) and the
+bundled micro-parser (frontend_micro.py, zero dependencies, used wherever
+clang.cindex is not installed) — lower C++ translation units into the
+types below. The checks (checks.py) consume only this model, so the two
+frontends produce byte-identical diagnostics by construction: libclang
+contributes preprocessed, macro-expanded ground truth about declarations,
+while the analysis itself is frontend-independent.
+
+The model is deliberately token-oriented: a method body is a list of
+(spelling, line) tokens, and "class C captures member m_ in SaveState" is
+defined as "the identifier m_ appears in the token stream of C's
+SaveState body". That definition is what the snapshot-completeness check
+enforces and what the mutation smoke perturbs, so it is part of the
+tool's contract (documented in docs/verification.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+# Annotation vocabulary ------------------------------------------------------
+
+# Member-level exemption macro (src/common/snapshot.h). Under clang it
+# expands to [[clang::annotate("sweeplint:snapshot-exempt:<why>")]]; the
+# micro frontend reads the macro spelling itself.
+EXEMPT_MACRO = "SWEEP_SNAPSHOT_EXEMPT"
+EXEMPT_ANNOTATION_PREFIX = "sweeplint:snapshot-exempt:"
+
+# Statement-level suppression comment:  // sweeplint:allow <check> <why>
+# on the offending line or in the contiguous comment block above it.
+ALLOW_MARKER = "sweeplint:allow"
+
+# A rationale (macro argument or allow-comment tail) must carry at least
+# this many characters to count — same bar as tools/lint_invariants.py.
+MIN_RATIONALE_LEN = 8
+
+# Method-name pairs that mark a class as snapshotted. A class exposing
+# either side of a pair participates in snapshot-completeness.
+SNAPSHOT_METHOD_PAIRS = (
+    ("SaveState", "RestoreState"),
+    ("SaveAlgState", "RestoreAlgState"),
+)
+
+
+@dataclasses.dataclass
+class Field:
+    """One non-static data member."""
+
+    name: str
+    type_text: str
+    file: str
+    line: int
+    is_static: bool = False
+    # Rationale string from SWEEP_SNAPSHOT_EXEMPT, or None.
+    exempt_rationale: Optional[str] = None
+    # True when the exemption macro was present (even with a bad
+    # rationale — the checks distinguish "annotated badly" from
+    # "not annotated").
+    exempt_annotated: bool = False
+
+
+@dataclasses.dataclass
+class Method:
+    """One member-function definition (body available)."""
+
+    name: str
+    class_name: str  # empty for free functions
+    file: str
+    line: int
+    return_type: str = ""
+    # Body token stream, comments excluded: (spelling, line).
+    tokens: List[Tuple[str, int]] = dataclasses.field(default_factory=list)
+
+    def identifier_set(self) -> Set[str]:
+        return {t for t, _ in self.tokens if _is_identifier(t)}
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """One class/struct definition, merged across the TUs that saw it."""
+
+    name: str
+    file: str = ""
+    line: int = 0
+    fields: Dict[str, Field] = dataclasses.field(default_factory=dict)
+    # Declared method names (even without a body) -> return type text.
+    declared_methods: Dict[str, str] = dataclasses.field(default_factory=dict)
+    # Method definitions with bodies, keyed by method name.
+    methods: Dict[str, Method] = dataclasses.field(default_factory=dict)
+
+    def snapshot_pairs(self) -> List[Tuple[str, str]]:
+        """The (save, restore) method pairs this class exposes, if any."""
+        out = []
+        for save, restore in SNAPSHOT_METHOD_PAIRS:
+            if (
+                save in self.declared_methods
+                or restore in self.declared_methods
+                or save in self.methods
+                or restore in self.methods
+            ):
+                out.append((save, restore))
+        return out
+
+
+@dataclasses.dataclass
+class Model:
+    """Everything the checks need, for one analysis run."""
+
+    # Class name -> merged info. Class names are unqualified (unique in
+    # this codebase); frontends must agree on the spelling.
+    classes: Dict[str, ClassInfo] = dataclasses.field(default_factory=dict)
+    # Every method definition, in file order (for statement-level checks).
+    bodies: List[Method] = dataclasses.field(default_factory=list)
+    # file -> {line -> (check_name, rationale)} suppression comments.
+    allows: Dict[str, Dict[int, Tuple[str, str]]] = dataclasses.field(
+        default_factory=dict
+    )
+    # file -> set of pure-comment line numbers (so a suppression in a
+    # comment block above an offending line can be resolved).
+    comment_lines: Dict[str, Set[int]] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def merge_class(self, info: ClassInfo) -> None:
+        cur = self.classes.get(info.name)
+        if cur is None:
+            # Copy the containers: frontends may hand in cached per-file
+            # parse results (the mutation smoke re-merges them per
+            # mutation), and later merges/attachment passes mutate the
+            # stored ClassInfo.
+            self.classes[info.name] = ClassInfo(
+                name=info.name,
+                file=info.file,
+                line=info.line,
+                fields=dict(info.fields),
+                declared_methods=dict(info.declared_methods),
+                methods=dict(info.methods),
+            )
+            return
+        if info.fields and not cur.fields:
+            cur.file, cur.line = info.file, info.line
+        for name, field in info.fields.items():
+            cur.fields.setdefault(name, field)
+        cur.declared_methods.update(info.declared_methods)
+        cur.methods.update(info.methods)
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    file: str
+    line: int
+    check: str
+    message: str
+
+    def text(self) -> str:
+        return f"{self.file}:{self.line}: [{self.check}] {self.message}"
+
+    def github(self) -> str:
+        return (
+            f"::error file={self.file},line={self.line},"
+            f"title=sweeplint {self.check}::{self.message}"
+        )
+
+
+def _is_identifier(tok: str) -> bool:
+    return bool(tok) and (tok[0].isalpha() or tok[0] == "_")
+
+
+def sort_diagnostics(diags: List[Diagnostic]) -> List[Diagnostic]:
+    return sorted(diags, key=lambda d: (d.file, d.line, d.check, d.message))
+
+
+def find_allow(
+    model: Model, file: str, line: int, check: str
+) -> Optional[Tuple[str, int]]:
+    """Suppression lookup for a finding at file:line.
+
+    Honors an annotation on the line itself or anywhere in the contiguous
+    run of pure-comment lines directly above it. Returns (rationale,
+    annotation_line) when a matching annotation exists — rationale may be
+    empty/short, which the caller reports as its own error — or None.
+    """
+    per_file = model.allows.get(file, {})
+    comments = model.comment_lines.get(file, set())
+    candidates = [line]
+    probe = line - 1
+    while probe in comments:
+        candidates.append(probe)
+        probe -= 1
+    for cand in candidates:
+        entry = per_file.get(cand)
+        if entry is not None and entry[0] == check:
+            return entry[1], cand
+    return None

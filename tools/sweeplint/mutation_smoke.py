@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Mutation smoke test: prove sweeplint actually catches snapshot drift.
+
+The snapshot-completeness check is only worth its ctest slot if breaking
+a snapshot breaks the check. This script perturbs the real tree in
+memory (file overlays — nothing on disk is touched) and asserts sweeplint
+reports a diagnostic naming the mutated class and field:
+
+  drop-capture   delete the capture lines of one captured member from a
+                 Save*/Restore* body (brace-aware, so a loop that copies
+                 the member disappears whole);
+  add-member     insert a new unannotated mutable member into a
+                 snapshotted class.
+
+--all sweeps every eligible target of both modes (CI); --seed N mutates
+one pseudo-randomly chosen target per mode (the quick local smoke).
+Eligible drop-capture targets are captured, non-exempt members whose
+save/restore bodies span more than one line (deleting the only line of a
+one-line body would remove the method itself — a different, also-caught
+failure, but not the one this test pins).
+
+Exit 0 when every attempted mutation was caught, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import checks as checks_mod  # noqa: E402
+import frontend_micro  # noqa: E402
+from model import Method, Model  # noqa: E402
+
+PROBE_MEMBER = "sweeplint_mutation_probe_"
+
+
+class Target:
+    def __init__(
+        self,
+        mode: str,
+        class_name: str,
+        field: str,
+        mutations: List[Tuple[str, str]],  # (rel_path, mutated_text)
+    ) -> None:
+        self.mode = mode
+        self.class_name = class_name
+        self.field = field
+        self.mutations = mutations
+
+    def label(self) -> str:
+        return f"{self.mode}:{self.class_name}.{self.field}"
+
+
+def _body_line_range(method: Method) -> Tuple[int, int]:
+    lines = [line for _, line in method.tokens]
+    if not lines:
+        return (method.line, method.line)
+    return (min(lines), max(lines))
+
+
+def _delete_field_lines(
+    text: str, method: Method, field: str
+) -> Optional[str]:
+    """Removes every line inside `method`'s body that mentions `field`,
+    extending over the matching braces when a removed line opens a block
+    (e.g. a for-loop copying a map member). Returns the mutated file text
+    or None if nothing inside the body mentions the field."""
+    first, last = _body_line_range(method)
+    if first == last:
+        return None  # one-line body; deleting it removes the method
+    lines = text.split("\n")
+    word = re.compile(rf"(?<![A-Za-z0-9_]){re.escape(field)}(?![A-Za-z0-9_])")
+    doomed = set()
+    idx = first - 1
+    while idx <= last - 1:
+        line = lines[idx]
+        if not word.search(line):
+            idx += 1
+            continue
+        doomed.add(idx)
+        opened = line.count("{") - line.count("}")
+        while opened > 0 and idx + 1 <= last - 1:
+            idx += 1
+            doomed.add(idx)
+            opened += lines[idx].count("{") - lines[idx].count("}")
+        idx += 1
+    if not doomed:
+        return None
+    kept = [l for k, l in enumerate(lines) if k not in doomed]
+    return "\n".join(kept)
+
+
+def _insert_probe_member(
+    text: str, anchor_line: int
+) -> str:
+    """Adds an unannotated mutable member right after `anchor_line`
+    (1-based), reusing its indentation."""
+    lines = text.split("\n")
+    anchor = lines[anchor_line - 1]
+    indent = anchor[: len(anchor) - len(anchor.lstrip())]
+    lines.insert(anchor_line, f"{indent}int {PROBE_MEMBER} = 0;")
+    return "\n".join(lines)
+
+
+def discover_targets(
+    root: Path, files: Dict[str, str], model: Model
+) -> List[Target]:
+    targets: List[Target] = []
+    for class_name in sorted(model.classes):
+        cls = model.classes[class_name]
+        pairs = []
+        for save_name, restore_name in cls.snapshot_pairs():
+            save = cls.methods.get(save_name)
+            restore = cls.methods.get(restore_name)
+            if save is not None and restore is not None:
+                pairs.append((save, restore))
+        if not pairs:
+            continue
+        if not cls.file.startswith("src/"):
+            continue
+        field_anchor = None
+        for field_name in sorted(cls.fields):
+            field = cls.fields[field_name]
+            if field.is_static or field.exempt_annotated:
+                continue
+            captured_pairs = [
+                (s, r)
+                for s, r in pairs
+                if field_name in s.identifier_set()
+                and field_name in r.identifier_set()
+            ]
+            if not captured_pairs:
+                continue
+            field_anchor = field
+            mutations = []
+            for save, restore in captured_pairs:
+                for method in (save, restore):
+                    mutated = _delete_field_lines(
+                        files[method.file], method, field_name
+                    )
+                    if mutated is not None:
+                        mutations.append((method.file, mutated))
+            if mutations:
+                targets.append(
+                    Target("drop-capture", class_name, field_name, mutations)
+                )
+        if field_anchor is not None:
+            mutated = _insert_probe_member(
+                files[field_anchor.file], field_anchor.line
+            )
+            targets.append(
+                Target(
+                    "add-member",
+                    class_name,
+                    PROBE_MEMBER,
+                    [(field_anchor.file, mutated)],
+                )
+            )
+    return targets
+
+
+def run_target(
+    target: Target,
+    files: Dict[str, str],
+    parsed_cache: Dict[str, "frontend_micro.ParsedFile"],
+) -> Tuple[bool, str]:
+    """Applies each mutation of the target; all must be caught by a
+    diagnostic naming the class and the field."""
+    for rel, mutated_text in target.mutations:
+        parsed = dict(parsed_cache)
+        parsed[rel] = frontend_micro.parse_file(rel, mutated_text)
+        model = frontend_micro.model_from_parsed(
+            [parsed[p] for p in sorted(parsed)]
+        )
+        diags = checks_mod.run_checks(model, (checks_mod.CHECK_SNAPSHOT,))
+        hits = [
+            d
+            for d in diags
+            if target.class_name in d.message and target.field in d.message
+        ]
+        if not hits:
+            summary = "; ".join(d.text() for d in diags[:3]) or "no output"
+            return False, f"mutating {rel} produced no diagnostic ({summary})"
+    return True, ""
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".")
+    parser.add_argument(
+        "--all", action="store_true", help="sweep every eligible mutation"
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="pick one target per mode pseudo-randomly (ignored with --all)",
+    )
+    args = parser.parse_args()
+
+    root = Path(args.root).resolve()
+    sys.path.insert(0, str(root / "tools" / "sweeplint"))
+    import sweeplint
+
+    rel_paths = sweeplint.source_files(root)
+    files = sweeplint.load_files(root, rel_paths)
+    parsed_cache = {
+        rel: frontend_micro.parse_file(rel, files[rel]) for rel in rel_paths
+    }
+    base_model = frontend_micro.model_from_parsed(
+        [parsed_cache[p] for p in sorted(parsed_cache)]
+    )
+    base = checks_mod.run_checks(base_model, (checks_mod.CHECK_SNAPSHOT,))
+    if base:
+        print("mutation_smoke: tree is not clean before mutating:")
+        for d in base:
+            print("  " + d.text())
+        return 1
+
+    targets = discover_targets(root, files, base_model)
+    if not targets:
+        print("mutation_smoke: no eligible targets found", file=sys.stderr)
+        return 1
+
+    if args.all:
+        chosen = targets
+    else:
+        # Deterministic pseudo-random pick per mode (no RNG dependency:
+        # a seed-indexed stride over the sorted target list).
+        chosen = []
+        for mode in ("drop-capture", "add-member"):
+            pool = [t for t in targets if t.mode == mode]
+            if pool:
+                chosen.append(pool[args.seed % len(pool)])
+
+    failures = 0
+    for target in chosen:
+        ok, why = run_target(target, files, parsed_cache)
+        if ok:
+            print(f"caught {target.label()}")
+        else:
+            failures += 1
+            print(f"MISSED {target.label()}: {why}")
+    print(
+        f"mutation_smoke: {len(chosen) - failures}/{len(chosen)} mutations "
+        "caught"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

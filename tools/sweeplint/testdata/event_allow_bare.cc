@@ -1,0 +1,27 @@
+// unlabeled-event, positive: a suppression whose rationale is too short
+// to review.
+struct EventLabel {
+  int kind = 0;
+  int from = -1;
+  int to = -1;
+};
+
+using Thunk = void (*)();
+
+struct Sim {
+  void Schedule(long delay, Thunk fn) { pending_ += (fn != nullptr); }
+  void Schedule(long delay, EventLabel label, Thunk fn) {
+    pending_ += (fn != nullptr) + label.kind;
+  }
+  int pending_ = 0;
+};
+
+inline void Tick() {}
+
+struct Harness {
+  void Arm() {
+    // sweeplint:allow unlabeled-event timer
+    sim_->Schedule(5, Tick);
+  }
+  Sim* sim_ = nullptr;
+};

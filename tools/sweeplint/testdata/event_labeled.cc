@@ -1,0 +1,29 @@
+// unlabeled-event, clean: both Schedule and ScheduleAt through the
+// labeled 3-argument overloads.
+struct EventLabel {
+  int kind = 0;
+  int from = -1;
+  int to = -1;
+};
+
+using Thunk = void (*)();
+
+struct Sim {
+  void Schedule(long delay, EventLabel label, Thunk fn) {
+    pending_ += (fn != nullptr) + label.kind;
+  }
+  void ScheduleAt(long when, EventLabel label, Thunk fn) {
+    pending_ += (fn != nullptr) + label.kind;
+  }
+  int pending_ = 0;
+};
+
+inline void Tick() {}
+
+struct Harness {
+  void Arm() {
+    sim_->Schedule(5, EventLabel{1, 2, 3}, Tick);
+    sim_->ScheduleAt(9, EventLabel{1, 3, 2}, Tick);
+  }
+  Sim* sim_ = nullptr;
+};

@@ -1,0 +1,24 @@
+// unlabeled-event, positive: Schedule() through the 2-argument overload
+// (no EventLabel).
+struct EventLabel {
+  int kind = 0;
+  int from = -1;
+  int to = -1;
+};
+
+using Thunk = void (*)();
+
+struct Sim {
+  void Schedule(long delay, Thunk fn) { pending_ += (fn != nullptr); }
+  void Schedule(long delay, EventLabel label, Thunk fn) {
+    pending_ += (fn != nullptr) + label.kind;
+  }
+  int pending_ = 0;
+};
+
+inline void Tick() {}
+
+struct Harness {
+  void Arm() { sim_->Schedule(5, Tick); }
+  Sim* sim_ = nullptr;
+};

@@ -1,0 +1,24 @@
+// snapshot-completeness, positive: the exemption macro without a
+// reviewable rationale (< 8 chars) is its own diagnostic.
+#if defined(__clang__)
+#define SWEEP_SNAPSHOT_EXEMPT(why) \
+  [[clang::annotate("sweeplint:snapshot-exempt:" why)]]
+#else
+#define SWEEP_SNAPSHOT_EXEMPT(why)
+#endif
+
+struct Probe {
+  struct Saved {
+    int counted = 0;
+  };
+  Saved SaveState() const {
+    Saved s;
+    s.counted = counted_;
+    return s;
+  }
+  void RestoreState(const Saved& s) { counted_ = s.counted; }
+
+  int counted_ = 0;
+  SWEEP_SNAPSHOT_EXEMPT("knob")
+  int config_ = 0;
+};

@@ -1,0 +1,26 @@
+// snapshot-completeness, suppressed: an uncaptured member carrying the
+// exemption macro with a real rationale. The preprocessor block mirrors
+// src/common/snapshot.h — the micro frontend skips '#' lines and reads
+// the macro spelling; clang expands it to the annotate attribute.
+#if defined(__clang__)
+#define SWEEP_SNAPSHOT_EXEMPT(why) \
+  [[clang::annotate("sweeplint:snapshot-exempt:" why)]]
+#else
+#define SWEEP_SNAPSHOT_EXEMPT(why)
+#endif
+
+struct Probe {
+  struct Saved {
+    int counted = 0;
+  };
+  Saved SaveState() const {
+    Saved s;
+    s.counted = counted_;
+    return s;
+  }
+  void RestoreState(const Saved& s) { counted_ = s.counted; }
+
+  int counted_ = 0;
+  SWEEP_SNAPSHOT_EXEMPT("immutable configuration knob")
+  int config_ = 0;
+};

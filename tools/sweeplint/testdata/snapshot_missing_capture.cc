@@ -1,0 +1,16 @@
+// snapshot-completeness, positive: a member absent from both the save
+// and the restore body.
+struct Probe {
+  struct Saved {
+    int counted = 0;
+  };
+  Saved SaveState() const {
+    Saved s;
+    s.counted = counted_;
+    return s;
+  }
+  void RestoreState(const Saved& s) { counted_ = s.counted; }
+
+  int counted_ = 0;
+  int forgotten_ = 0;
+};

@@ -1,0 +1,18 @@
+// snapshot-completeness, positive: a member the save body copies out but
+// the restore body never writes back.
+struct Probe {
+  struct Saved {
+    int counted = 0;
+    int logged = 0;
+  };
+  Saved SaveState() const {
+    Saved s;
+    s.counted = counted_;
+    s.logged = logged_;
+    return s;
+  }
+  void RestoreState(const Saved& s) { counted_ = s.counted; }
+
+  int counted_ = 0;
+  int logged_ = 0;
+};

@@ -1,0 +1,29 @@
+// snapshot-completeness, suppressed variant of snapshot_missing_restore:
+// the save body only *checks* the member (so it is not captured), and the
+// exemption documents why restoring without it is sound — the
+// Network::default_faults_ pattern.
+#if defined(__clang__)
+#define SWEEP_SNAPSHOT_EXEMPT(why) \
+  [[clang::annotate("sweeplint:snapshot-exempt:" why)]]
+#else
+#define SWEEP_SNAPSHOT_EXEMPT(why)
+#endif
+
+struct Probe {
+  struct Saved {
+    int counted = 0;
+  };
+  Saved SaveState() const {
+    if (armed_ != 0) {
+      return Saved{};
+    }
+    Saved s;
+    s.counted = counted_;
+    return s;
+  }
+  void RestoreState(const Saved& s) { counted_ = s.counted; }
+
+  int counted_ = 0;
+  SWEEP_SNAPSHOT_EXEMPT("save-time precondition checks this stays zero")
+  int armed_ = 0;
+};

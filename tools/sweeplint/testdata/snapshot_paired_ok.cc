@@ -1,0 +1,15 @@
+// snapshot-completeness, clean: both sides present, every member
+// captured — the suppressed counterpart of snapshot_unpaired.
+struct Probe {
+  struct Saved {
+    int counted = 0;
+  };
+  Saved SaveState() const {
+    Saved s;
+    s.counted = counted_;
+    return s;
+  }
+  void RestoreState(const Saved& s) { counted_ = s.counted; }
+
+  int counted_ = 0;
+};

@@ -1,0 +1,23 @@
+// snapshot-completeness, positive: an exemption on a member the
+// save/restore pair actually captures — the annotation is stale.
+#if defined(__clang__)
+#define SWEEP_SNAPSHOT_EXEMPT(why) \
+  [[clang::annotate("sweeplint:snapshot-exempt:" why)]]
+#else
+#define SWEEP_SNAPSHOT_EXEMPT(why)
+#endif
+
+struct Probe {
+  struct Saved {
+    int counted = 0;
+  };
+  Saved SaveState() const {
+    Saved s;
+    s.counted = counted_;
+    return s;
+  }
+  void RestoreState(const Saved& s) { counted_ = s.counted; }
+
+  SWEEP_SNAPSHOT_EXEMPT("left behind after counted_ became mutable state")
+  int counted_ = 0;
+};

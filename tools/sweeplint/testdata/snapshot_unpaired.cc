@@ -1,0 +1,13 @@
+// snapshot-completeness, positive: a save with no matching restore.
+struct Probe {
+  struct Saved {
+    int counted = 0;
+  };
+  Saved SaveState() const {
+    Saved s;
+    s.counted = counted_;
+    return s;
+  }
+
+  int counted_ = 0;
+};

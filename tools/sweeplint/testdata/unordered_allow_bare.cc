@@ -1,0 +1,30 @@
+// unordered-iteration, positive: a suppression without a rationale is
+// itself an error (and still suppresses the underlying finding, so the
+// fix is to write the rationale, not to delete the annotation).
+namespace std {
+template <typename K, typename V>
+struct unordered_map {
+  struct value_type {
+    K first;
+    V second;
+  };
+  const value_type* begin() const { return nullptr; }
+  const value_type* end() const { return nullptr; }
+};
+}  // namespace std
+
+struct Tracer {
+  void Trace(int value) { last_ = value; }
+  int last_ = 0;
+};
+
+struct Collector {
+  void Flush() {
+    // sweeplint:allow unordered-iteration ok
+    for (const auto& entry : pending_) {
+      tracer_.Trace(entry.second);
+    }
+  }
+  std::unordered_map<int, int> pending_;
+  Tracer tracer_;
+};

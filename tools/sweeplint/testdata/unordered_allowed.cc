@@ -1,0 +1,30 @@
+// unordered-iteration, suppressed: the annotation above the loop carries
+// a reviewable rationale.
+namespace std {
+template <typename K, typename V>
+struct unordered_map {
+  struct value_type {
+    K first;
+    V second;
+  };
+  const value_type* begin() const { return nullptr; }
+  const value_type* end() const { return nullptr; }
+};
+}  // namespace std
+
+struct Tracer {
+  void Trace(int value) { last_ = value; }
+  int last_ = 0;
+};
+
+struct Collector {
+  void Flush() {
+    // sweeplint:allow unordered-iteration the tracer buffers and sorts
+    // entries before anything order-sensitive reads them
+    for (const auto& entry : pending_) {
+      tracer_.Trace(entry.second);
+    }
+  }
+  std::unordered_map<int, int> pending_;
+  Tracer tracer_;
+};

@@ -1,0 +1,26 @@
+// unordered-iteration, positive: a range-for over an unordered member
+// inside an order-sensitive function (Fingerprint). The stub container
+// keeps the fixture self-contained — no system headers — while giving
+// both frontends the 'unordered_map' type spelling the check keys on.
+namespace std {
+template <typename K, typename V>
+struct unordered_map {
+  struct value_type {
+    K first;
+    V second;
+  };
+  const value_type* begin() const { return nullptr; }
+  const value_type* end() const { return nullptr; }
+};
+}  // namespace std
+
+struct Registry {
+  int Fingerprint() const {
+    int out = 0;
+    for (const auto& entry : table_) {
+      out += entry.second;
+    }
+    return out;
+  }
+  std::unordered_map<int, int> table_;
+};

@@ -1,0 +1,24 @@
+// unordered-iteration, clean: iterating an ordered std::map into an
+// order-sensitive function is fine — visit order is the key order.
+namespace std {
+template <typename K, typename V>
+struct map {
+  struct value_type {
+    K first;
+    V second;
+  };
+  const value_type* begin() const { return nullptr; }
+  const value_type* end() const { return nullptr; }
+};
+}  // namespace std
+
+struct Registry {
+  int Fingerprint() const {
+    int out = 0;
+    for (const auto& entry : table_) {
+      out += entry.second;
+    }
+    return out;
+  }
+  std::map<int, int> table_;
+};

@@ -1,0 +1,35 @@
+// Fixture tree for lint_invariants --self-test: one block per pinned
+// behaviour. The golden (expected.txt) locks the exact file:line output.
+
+namespace sweepmv {
+
+struct Sim {
+  void Schedule(int at);
+};
+
+class FixtureCore {
+ public:
+  // Violation: mutates the view outside warehouse.cc's install API.
+  void BadInstall() { view_ = 1; }
+
+  // Properly suppressed: a timer that deliberately bypasses the network.
+  void GoodTimer() {
+    sim_->Schedule(7);  // lint:allow direct-schedule fixture timer deliberately bypasses the network
+  }
+
+  // A suppression without a rationale is itself an error.
+  void BareTimer() {
+    sim_->Schedule(3);  // lint:allow direct-schedule why
+  }
+
+  // Stale: the code this annotation once suppressed was fixed, but the
+  // annotation stayed behind.
+  int Nothing() const { return 0; }  // lint:allow view-mutation this code was fixed but the annotation stayed
+
+ private:
+  // Also a violation: the member declaration mentions view_ directly.
+  int view_ = 0;
+  Sim* sim_ = nullptr;
+};
+
+}  // namespace sweepmv

@@ -1,0 +1,21 @@
+// Fixture: a suppression resolved from the comment block above the
+// offending line, a raw-thread violation, and an unknown rule name.
+
+#include <thread>
+
+namespace sweepmv {
+
+class FixtureSim {
+ public:
+  // Suppressions are also found in the contiguous comment block above:
+  // lint:allow unordered-arrival fixture link deliberately models reordering
+  void Reorder() { UnorderedArrival(42); }
+
+  // Violation: a real thread outside src/verify/.
+  void Spawn() { std::thread([] {}).join(); }
+
+  // Unknown rule names are flagged so a typo cannot disable a rule.
+  void Typo() {}  // lint:allow direct-shedule misspelled rule name here
+};
+
+}  // namespace sweepmv
