@@ -272,4 +272,111 @@ void CStrobeWarehouse::RestoreAlgState(const AlgState& state) {
   max_tasks_per_update_ = s.max_tasks_per_update;
 }
 
+namespace {
+
+void WriteSignature(CheckpointWriter& w,
+                    const std::map<int, Tuple>& signature) {
+  w.WriteI64(static_cast<int64_t>(signature.size()));
+  for (const auto& [rel, tuple] : signature) {
+    w.WriteI32(rel);
+    w.WriteTuple(tuple);
+  }
+}
+
+std::map<int, Tuple> ReadSignature(CheckpointReader& r) {
+  std::map<int, Tuple> signature;
+  const int64_t entries = r.ReadI64();
+  for (int64_t i = 0; i < entries; ++i) {
+    const int rel = r.ReadI32();
+    signature.emplace(rel, r.ReadTuple());
+  }
+  return signature;
+}
+
+}  // namespace
+
+void CStrobeWarehouse::SerializeAlgState(CheckpointWriter& w) const {
+  w.WriteRelation(internal_view_);
+  w.WriteRelation(root_delta_);
+  w.WriteBool(active_.has_value());
+  if (active_.has_value()) {
+    w.WriteI64(active_->update_id);
+    w.WriteI32(active_->src_rel);
+    w.WriteRelation(active_->answer);
+    w.WriteI64(static_cast<int64_t>(active_->tasks.size()));
+    for (const Task& task : active_->tasks) {
+      w.WriteI64(task.local_id);
+      w.WritePartialDelta(task.pd);
+      w.WriteI64(static_cast<int64_t>(task.fixed.size()));
+      for (const auto& [rel, relation] : task.fixed) {
+        w.WriteI32(rel);
+        w.WriteRelation(relation);
+      }
+      w.WriteBool(task.left_phase);
+      w.WriteI32(task.j);
+      w.WriteI64(task.outstanding_query);
+    }
+    w.WriteI64(static_cast<int64_t>(active_->local_removals.size()));
+    for (const auto& [rel, tuple] : active_->local_removals) {
+      w.WriteI32(rel);
+      w.WriteTuple(tuple);
+    }
+    w.WriteI64(active_->tasks_created);
+  }
+  w.WriteI64(static_cast<int64_t>(observed_deletes_.size()));
+  for (const auto& [rel, tuple] : observed_deletes_) {
+    w.WriteI32(rel);
+    w.WriteTuple(tuple);
+  }
+  w.WriteI64(static_cast<int64_t>(spawned_.size()));
+  for (const Signature& signature : spawned_) WriteSignature(w, signature);
+  w.WriteI64(compensating_queries_);
+  w.WriteI64(max_tasks_per_update_);
+}
+
+void CStrobeWarehouse::DeserializeAlgState(CheckpointReader& r) {
+  internal_view_ = r.ReadRelation();
+  root_delta_ = r.ReadRelation();
+  active_.reset();
+  if (r.ReadBool()) {
+    ActiveUpdate active;
+    active.update_id = r.ReadI64();
+    active.src_rel = r.ReadI32();
+    active.answer = r.ReadRelation();
+    const int64_t tasks = r.ReadI64();
+    for (int64_t i = 0; i < tasks; ++i) {
+      Task task;
+      task.local_id = r.ReadI64();
+      task.pd = r.ReadPartialDelta();
+      const int64_t fixed = r.ReadI64();
+      for (int64_t j = 0; j < fixed; ++j) {
+        const int rel = r.ReadI32();
+        task.fixed.emplace(rel, r.ReadRelation());
+      }
+      task.left_phase = r.ReadBool();
+      task.j = r.ReadI32();
+      task.outstanding_query = r.ReadI64();
+      active.tasks.push_back(std::move(task));
+    }
+    const int64_t removals = r.ReadI64();
+    for (int64_t i = 0; i < removals; ++i) {
+      const int rel = r.ReadI32();
+      active.local_removals.emplace_back(rel, r.ReadTuple());
+    }
+    active.tasks_created = r.ReadI64();
+    active_ = std::move(active);
+  }
+  observed_deletes_.clear();
+  const int64_t deletes = r.ReadI64();
+  for (int64_t i = 0; i < deletes; ++i) {
+    const int rel = r.ReadI32();
+    observed_deletes_.emplace_back(rel, r.ReadTuple());
+  }
+  spawned_.clear();
+  const int64_t spawned = r.ReadI64();
+  for (int64_t i = 0; i < spawned; ++i) spawned_.insert(ReadSignature(r));
+  compensating_queries_ = r.ReadI64();
+  max_tasks_per_update_ = r.ReadI64();
+}
+
 }  // namespace sweepmv

@@ -108,6 +108,8 @@ class CStrobeWarehouse : public Warehouse {
   };
   std::shared_ptr<const AlgState> SaveAlgState() const override;
   void RestoreAlgState(const AlgState& state) override;
+  void SerializeAlgState(CheckpointWriter& w) const override;
+  void DeserializeAlgState(CheckpointReader& r) override;
 
   Relation internal_view_;  // full-span, selection applied, set semantics
   Relation root_delta_;     // insert part of the update being processed

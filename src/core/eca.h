@@ -96,6 +96,8 @@ class EcaWarehouse : public Warehouse {
   };
   std::shared_ptr<const AlgState> SaveAlgState() const override;
   void RestoreAlgState(const AlgState& state) override;
+  void SerializeAlgState(CheckpointWriter& w) const override;
+  void DeserializeAlgState(CheckpointReader& r) override;
 
   SWEEP_SNAPSHOT_EXEMPT(
       "compensation on/off is an experiment knob, fixed at construction")

@@ -87,6 +87,8 @@ class NestedSweepWarehouse : public Warehouse {
   };
   std::shared_ptr<const AlgState> SaveAlgState() const override;
   void RestoreAlgState(const AlgState& state) override;
+  void SerializeAlgState(CheckpointWriter& w) const override;
+  void DeserializeAlgState(CheckpointReader& r) override;
 
   std::vector<Frame> stack_;
   // Ids of every update folded into the current composite ΔV.

@@ -68,6 +68,8 @@ class ParallelSweepWarehouse : public Warehouse {
   };
   std::shared_ptr<const AlgState> SaveAlgState() const override;
   void RestoreAlgState(const AlgState& state) override;
+  void SerializeAlgState(CheckpointWriter& w) const override;
+  void DeserializeAlgState(CheckpointReader& r) override;
 
   std::optional<ActiveSweep> active_;
   int64_t compensations_ = 0;

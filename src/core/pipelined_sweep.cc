@@ -85,6 +85,24 @@ void PipelinedSweepWarehouse::HandleQueryAnswer(QueryAnswer answer) {
   }
   SWEEP_CHECK_MSG(sweep != nullptr,
                   "answer does not match any in-flight sweep");
+  // Validate the answer's shape before adopting it: the outstanding query
+  // extends temp by exactly relation j, so any other span is an answer
+  // this sweep never asked for. (Reachable when the recovery epoch filter
+  // is off: the crash rewinds the query-id counter, and with several
+  // sweeps in flight a dead incarnation's answer for a *different* hop
+  // can arrive under a re-used id. Adopting it would emit a malformed
+  // follow-up query; rejecting it stalls this sweep instead, which the
+  // schedule explorer reports as a non-draining run.)
+  const int want_lo = sweep->left_phase ? sweep->j : sweep->temp.lo;
+  const int want_hi = sweep->left_phase ? sweep->temp.hi : sweep->j;
+  if (answer.partial.lo != want_lo || answer.partial.hi != want_hi) {
+    ++malformed_answers_rejected_;
+    SWEEP_LOG(Debug) << name() << " rejected answer #" << answer.query_id
+                     << " spanning [" << answer.partial.lo << ","
+                     << answer.partial.hi << "], expected [" << want_lo
+                     << "," << want_hi << "]";
+    return;
+  }
   sweep->outstanding_query = -1;
   sweep->dv = std::move(answer.partial);
 
@@ -124,6 +142,7 @@ PipelinedSweepWarehouse::SaveAlgState() const {
   s.inflight = inflight_;
   s.compensations = compensations_;
   s.max_observed_inflight = max_observed_inflight_;
+  s.malformed_answers_rejected = malformed_answers_rejected_;
   return std::make_shared<TypedAlgState<Saved>>(std::move(s));
 }
 
@@ -134,6 +153,57 @@ void PipelinedSweepWarehouse::RestoreAlgState(const AlgState& state) {
   inflight_ = s.inflight;
   compensations_ = s.compensations;
   max_observed_inflight_ = s.max_observed_inflight;
+  malformed_answers_rejected_ = s.malformed_answers_rejected;
+}
+
+void PipelinedSweepWarehouse::SerializeAlgState(CheckpointWriter& w) const {
+  w.WriteI64(static_cast<int64_t>(received_.size()));
+  for (const Update& update : received_) w.WriteUpdate(update);
+  w.WriteI64(static_cast<int64_t>(started_));
+  w.WriteI64(static_cast<int64_t>(inflight_.size()));
+  for (const Sweep& sweep : inflight_) {
+    w.WriteI64(static_cast<int64_t>(sweep.arrival_index));
+    w.WriteI64(sweep.update_id);
+    w.WriteI32(sweep.update_source);
+    w.WritePartialDelta(sweep.dv);
+    w.WritePartialDelta(sweep.temp);
+    w.WriteBool(sweep.left_phase);
+    w.WriteI32(sweep.j);
+    w.WriteI64(sweep.outstanding_query);
+    w.WriteBool(sweep.complete);
+    w.WriteRelation(sweep.final_delta);
+  }
+  w.WriteI64(compensations_);
+  w.WriteI32(max_observed_inflight_);
+  w.WriteI64(malformed_answers_rejected_);
+}
+
+void PipelinedSweepWarehouse::DeserializeAlgState(CheckpointReader& r) {
+  received_.clear();
+  const int64_t received = r.ReadI64();
+  for (int64_t i = 0; i < received; ++i) {
+    received_.push_back(r.ReadUpdate());
+  }
+  started_ = static_cast<size_t>(r.ReadI64());
+  inflight_.clear();
+  const int64_t sweeps = r.ReadI64();
+  for (int64_t i = 0; i < sweeps; ++i) {
+    Sweep sweep;
+    sweep.arrival_index = static_cast<size_t>(r.ReadI64());
+    sweep.update_id = r.ReadI64();
+    sweep.update_source = r.ReadI32();
+    sweep.dv = r.ReadPartialDelta();
+    sweep.temp = r.ReadPartialDelta();
+    sweep.left_phase = r.ReadBool();
+    sweep.j = r.ReadI32();
+    sweep.outstanding_query = r.ReadI64();
+    sweep.complete = r.ReadBool();
+    sweep.final_delta = r.ReadRelation();
+    inflight_.push_back(std::move(sweep));
+  }
+  compensations_ = r.ReadI64();
+  max_observed_inflight_ = r.ReadI32();
+  malformed_answers_rejected_ = r.ReadI64();
 }
 
 }  // namespace sweepmv

@@ -51,6 +51,9 @@ class PipelinedSweepWarehouse : public Warehouse {
 
   int64_t compensations() const { return compensations_; }
   int max_observed_inflight() const { return max_observed_inflight_; }
+  int64_t malformed_answers_rejected() const {
+    return malformed_answers_rejected_;
+  }
 
  protected:
   void HandleUpdateArrival() override;
@@ -84,9 +87,12 @@ class PipelinedSweepWarehouse : public Warehouse {
     std::deque<Sweep> inflight;
     int64_t compensations = 0;
     int max_observed_inflight = 0;
+    int64_t malformed_answers_rejected = 0;
   };
   std::shared_ptr<const AlgState> SaveAlgState() const override;
   void RestoreAlgState(const AlgState& state) override;
+  void SerializeAlgState(CheckpointWriter& w) const override;
+  void DeserializeAlgState(CheckpointReader& r) override;
 
   SWEEP_SNAPSHOT_EXEMPT("tuning knobs, fixed at construction")
   PipelineOptions options_;
@@ -97,6 +103,7 @@ class PipelinedSweepWarehouse : public Warehouse {
   std::deque<Sweep> inflight_;  // ordered by arrival index
   int64_t compensations_ = 0;
   int max_observed_inflight_ = 0;
+  int64_t malformed_answers_rejected_ = 0;
 };
 
 }  // namespace sweepmv

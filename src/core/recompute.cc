@@ -72,4 +72,36 @@ void RecomputeWarehouse::RestoreAlgState(const AlgState& state) {
   recomputations_ = s.recomputations;
 }
 
+void RecomputeWarehouse::SerializeAlgState(CheckpointWriter& w) const {
+  w.WriteBool(active_.has_value());
+  if (active_.has_value()) {
+    w.WriteI64(static_cast<int64_t>(active_->update_ids.size()));
+    for (int64_t id : active_->update_ids) w.WriteI64(id);
+    w.WriteI64(static_cast<int64_t>(active_->snapshots.size()));
+    for (const auto& [rel, snapshot] : active_->snapshots) {
+      w.WriteI32(rel);
+      w.WriteRelation(snapshot);
+    }
+  }
+  w.WriteI64(recomputations_);
+}
+
+void RecomputeWarehouse::DeserializeAlgState(CheckpointReader& r) {
+  active_.reset();
+  if (r.ReadBool()) {
+    ActiveRecompute active;
+    const int64_t ids = r.ReadI64();
+    for (int64_t i = 0; i < ids; ++i) {
+      active.update_ids.push_back(r.ReadI64());
+    }
+    const int64_t snapshots = r.ReadI64();
+    for (int64_t i = 0; i < snapshots; ++i) {
+      const int rel = r.ReadI32();
+      active.snapshots.emplace(rel, r.ReadRelation());
+    }
+    active_ = std::move(active);
+  }
+  recomputations_ = r.ReadI64();
+}
+
 }  // namespace sweepmv

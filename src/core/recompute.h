@@ -52,6 +52,8 @@ class RecomputeWarehouse : public Warehouse {
   };
   std::shared_ptr<const AlgState> SaveAlgState() const override;
   void RestoreAlgState(const AlgState& state) override;
+  void SerializeAlgState(CheckpointWriter& w) const override;
+  void DeserializeAlgState(CheckpointReader& r) override;
 
   std::optional<ActiveRecompute> active_;
   int64_t recomputations_ = 0;

@@ -83,6 +83,8 @@ class StrobeWarehouse : public Warehouse {
   };
   std::shared_ptr<const AlgState> SaveAlgState() const override;
   void RestoreAlgState(const AlgState& state) override;
+  void SerializeAlgState(CheckpointWriter& w) const override;
+  void DeserializeAlgState(CheckpointReader& r) override;
 
   // Full-span, selection-applied, set-semantics view (keys preserved).
   Relation internal_view_;

@@ -87,6 +87,8 @@ class SweepWarehouse : public Warehouse {
   };
   std::shared_ptr<const AlgState> SaveAlgState() const override;
   void RestoreAlgState(const AlgState& state) override;
+  void SerializeAlgState(CheckpointWriter& w) const override;
+  void DeserializeAlgState(CheckpointReader& r) override;
 
   std::optional<ActiveSweep> active_;
   SWEEP_SNAPSHOT_EXEMPT(

@@ -42,35 +42,44 @@ void Warehouse::InitializeView(Relation initial_view) {
 
 void Warehouse::OnMessage(int from, Message msg) {
   (void)from;
+  // Defense in depth: the network already drops deliveries to a crashed
+  // site, so nothing should reach a dead warehouse.
+  if (crashed_) return;
   if (auto* update = std::get_if<UpdateMessage>(&msg)) {
-    if (IsDuplicateUpdate(update->update)) {
-      // Redundant notification — a restarted source replaying its log, or
-      // at-least-once delivery without the session layer. The arrival
-      // order that defines consistency is the order of *first* arrivals.
-      ++duplicate_updates_ignored_;
-      SWEEP_LOG(Debug) << name() << " ignored duplicate "
-                       << update->update.ToDisplayString();
-      return;
-    }
-    arrival_log_.emplace_back(update->update.id,
-                              network_->simulator()->now());
-    SWEEP_LOG(Debug) << name() << " received "
-                     << update->update.ToDisplayString();
-    queue_.push_back(std::move(update->update));
-    HandleUpdateArrival();
+    AcceptUpdate(std::move(*update));
     return;
   }
+  // Answers carrying a dead incarnation's epoch are discarded before the
+  // pending-query bookkeeping sees them: recovery re-issued those queries
+  // with the current epoch, and resolving a re-issued query with a
+  // pre-crash answer would hand the restored algorithm state a result
+  // computed against bases it has not caught up with (the anomaly the
+  // explorer's UnfilteredRecoveryScenario demonstrates).
   if (auto* answer = std::get_if<QueryAnswer>(&msg)) {
+    if (options_.filter_stale_epochs && answer->epoch != epoch_) {
+      ++pre_epoch_answers_ignored_;
+      SWEEP_LOG(Debug) << name() << " ignored pre-epoch answer #"
+                       << answer->query_id;
+      return;
+    }
     if (!ResolveQuery(answer->query_id)) return;
     HandleQueryAnswer(std::move(*answer));
     return;
   }
   if (auto* answer = std::get_if<EcaQueryAnswer>(&msg)) {
+    if (options_.filter_stale_epochs && answer->epoch != epoch_) {
+      ++pre_epoch_answers_ignored_;
+      return;
+    }
     if (!ResolveQuery(answer->query_id)) return;
     HandleEcaAnswer(std::move(*answer));
     return;
   }
   if (auto* answer = std::get_if<SnapshotAnswer>(&msg)) {
+    if (options_.filter_stale_epochs && answer->epoch != epoch_) {
+      ++pre_epoch_answers_ignored_;
+      return;
+    }
     if (!ResolveSnapshotPart(answer->query_id, answer->relation)) return;
     HandleSnapshotAnswer(std::move(*answer));
     return;
@@ -78,16 +87,47 @@ void Warehouse::OnMessage(int from, Message msg) {
   SWEEP_CHECK_MSG(false, "warehouse received an unexpected message type");
 }
 
+void Warehouse::AcceptUpdate(UpdateMessage update) {
+  const bool durable = DurabilityOn() && !recovering_;
+  // The initial checkpoint is cut lazily, right before the first arrival
+  // mutates anything: between construction and this point the only state
+  // transitions were InitializeView/InitializeAuxiliary, so "no
+  // checkpoint yet" always means "the checkpoint would be this state".
+  if (durable && durable_checkpoint_.empty()) TakeCheckpoint();
+  if (IsDuplicateUpdate(update.update)) {
+    // Redundant notification — a restarted source replaying its log, or
+    // at-least-once delivery without the session layer. The arrival
+    // order that defines consistency is the order of *first* arrivals.
+    ++duplicate_updates_ignored_;
+    SWEEP_LOG(Debug) << name() << " ignored duplicate "
+                     << update.update.ToDisplayString();
+    return;
+  }
+  if (durable) durable_wal_.push_back(update.update);
+  arrival_log_.emplace_back(update.update.id,
+                            network_->simulator()->now());
+  SWEEP_LOG(Debug) << name() << " received "
+                   << update.update.ToDisplayString();
+  queue_.push_back(std::move(update.update));
+  HandleUpdateArrival();
+  if (durable && static_cast<int>(durable_wal_.size()) >=
+                     options_.checkpoint_every) {
+    TakeCheckpoint();
+  }
+}
+
 void Warehouse::RegisterQuery(int64_t query_id, int target_site,
                               const Message& request, int expected_answers) {
   PendingQuery pending;
   pending.target_site = target_site;
   pending.expected_answers = expected_answers;
-  if (options_.query_timeout > 0) pending.request = request;
+  // The request copy feeds timeout re-issue, recovery's re-issue of
+  // restored in-flight queries, and the checkpoint serializer (which is
+  // public API and must work regardless of the options in force).
+  pending.request = request;
   pending_queries_.emplace(query_id, std::move(pending));
-  if (options_.query_timeout > 0) {
-    ArmQueryTimer(query_id, options_.query_timeout);
-  }
+  if (max_query_attempts_ < 1) max_query_attempts_ = 1;
+  if (options_.query_timeout > 0) ArmQueryTimer(query_id);
 }
 
 bool Warehouse::ResolveQuery(int64_t query_id) {
@@ -138,6 +178,19 @@ Warehouse::SavedState Warehouse::SaveState() const {
   state.duplicate_updates_ignored = duplicate_updates_ignored_;
   state.stale_answers_ignored = stale_answers_ignored_;
   state.queries_reissued = queries_reissued_;
+  state.durable_checkpoint = durable_checkpoint_;
+  state.durable_wal = durable_wal_;
+  state.durable_epoch = durable_epoch_;
+  state.epoch = epoch_;
+  state.crashed = crashed_;
+  state.recovering = recovering_;
+  state.timer_gen = timer_gen_;
+  state.recoveries = recoveries_;
+  state.wal_replayed = wal_replayed_;
+  state.checkpoints_taken = checkpoints_taken_;
+  state.checkpoint_bytes_max = checkpoint_bytes_max_;
+  state.pre_epoch_answers_ignored = pre_epoch_answers_ignored_;
+  state.max_query_attempts = max_query_attempts_;
   state.alg = SaveAlgState();
   return state;
 }
@@ -156,6 +209,19 @@ void Warehouse::RestoreState(const SavedState& state) {
   duplicate_updates_ignored_ = state.duplicate_updates_ignored;
   stale_answers_ignored_ = state.stale_answers_ignored;
   queries_reissued_ = state.queries_reissued;
+  durable_checkpoint_ = state.durable_checkpoint;
+  durable_wal_ = state.durable_wal;
+  durable_epoch_ = state.durable_epoch;
+  epoch_ = state.epoch;
+  crashed_ = state.crashed;
+  recovering_ = state.recovering;
+  timer_gen_ = state.timer_gen;
+  recoveries_ = state.recoveries;
+  wal_replayed_ = state.wal_replayed;
+  checkpoints_taken_ = state.checkpoints_taken;
+  checkpoint_bytes_max_ = state.checkpoint_bytes_max;
+  pre_epoch_answers_ignored_ = state.pre_epoch_answers_ignored;
+  max_query_attempts_ = state.max_query_attempts;
   SWEEP_CHECK(state.alg != nullptr);
   RestoreAlgState(*state.alg);
 }
@@ -171,11 +237,260 @@ void Warehouse::RestoreAlgState(const AlgState&) {
                          "restore (RestoreAlgState)");
 }
 
-void Warehouse::ArmQueryTimer(int64_t query_id, SimTime delay) {
+void Warehouse::SerializeAlgState(CheckpointWriter&) const {
+  SWEEP_CHECK_MSG(false, "this warehouse does not implement durable "
+                         "checkpoints (SerializeAlgState)");
+}
+
+void Warehouse::DeserializeAlgState(CheckpointReader&) {
+  SWEEP_CHECK_MSG(false, "this warehouse does not implement durable "
+                         "checkpoints (DeserializeAlgState)");
+}
+
+// checkpoint-exempt: durable_checkpoint_ durable_wal_ durable_epoch_
+// epoch_ crashed_ recovering_ timer_gen_ recoveries_ wal_replayed_
+// checkpoints_taken_ checkpoint_bytes_max_ pre_epoch_answers_ignored_
+// max_query_attempts_ — the durable store and the recovery machinery's
+// instrumentation survive a crash by definition: a checkpoint captures
+// the protocol state, not the substrate it is stored in or the counters
+// that report on it.
+std::string Warehouse::SerializeCheckpoint() const {
+  CheckpointWriter w;
+  w.WriteRelation(view_);
+  w.WriteI64(static_cast<int64_t>(queue_.size()));
+  for (const Update& u : queue_) w.WriteUpdate(u);
+  w.WriteI64(static_cast<int64_t>(arrival_log_.size()));
+  for (const auto& [id, at] : arrival_log_) {
+    w.WriteI64(id);
+    w.WriteI64(at);
+  }
+  w.WriteI64(static_cast<int64_t>(installs_.size()));
+  for (const InstallRecord& record : installs_) {
+    w.WriteI64(record.time);
+    w.WriteI64(static_cast<int64_t>(record.update_ids.size()));
+    for (int64_t id : record.update_ids) w.WriteI64(id);
+    w.WriteRelation(record.view_after);
+    w.WriteBool(record.negative_counts);
+  }
+  w.WriteI64(updates_incorporated_);
+  w.WriteI64(queries_sent_);
+  w.WriteI64(next_query_id_);
+  w.WriteI64(static_cast<int64_t>(update_watermarks_.size()));
+  for (int64_t mark : update_watermarks_) w.WriteI64(mark);
+  // Sorted so identical states serialize to identical bytes.
+  std::vector<int64_t> seen(seen_update_ids_.begin(),
+                            seen_update_ids_.end());
+  std::sort(seen.begin(), seen.end());
+  w.WriteI64(static_cast<int64_t>(seen.size()));
+  for (int64_t id : seen) w.WriteI64(id);
+  w.WriteI64(static_cast<int64_t>(pending_queries_.size()));
+  for (const auto& [query_id, pending] : pending_queries_) {
+    w.WriteI64(query_id);
+    w.WriteRequest(pending.request);
+    w.WriteI32(pending.target_site);
+    w.WriteI32(pending.attempts);
+    w.WriteI32(pending.expected_answers);
+    std::vector<int32_t> parts(pending.relations_seen.begin(),
+                               pending.relations_seen.end());
+    std::sort(parts.begin(), parts.end());
+    w.WriteI64(static_cast<int64_t>(parts.size()));
+    for (int32_t rel : parts) w.WriteI32(rel);
+  }
+  w.WriteI64(duplicate_updates_ignored_);
+  w.WriteI64(stale_answers_ignored_);
+  w.WriteI64(queries_reissued_);
+  SerializeAlgState(w);
+  return w.Take();
+}
+
+void Warehouse::RestoreFromCheckpoint(const std::string& bytes) {
+  CheckpointReader r(bytes);
+  view_ = r.ReadRelation();
+  queue_.clear();
+  const int64_t queued = r.ReadI64();
+  for (int64_t i = 0; i < queued; ++i) queue_.push_back(r.ReadUpdate());
+  arrival_log_.clear();
+  const int64_t arrivals = r.ReadI64();
+  for (int64_t i = 0; i < arrivals; ++i) {
+    const int64_t id = r.ReadI64();
+    const SimTime at = r.ReadI64();
+    arrival_log_.emplace_back(id, at);
+  }
+  installs_.clear();
+  const int64_t installed = r.ReadI64();
+  for (int64_t i = 0; i < installed; ++i) {
+    InstallRecord record;
+    record.time = r.ReadI64();
+    const int64_t ids = r.ReadI64();
+    for (int64_t j = 0; j < ids; ++j) {
+      record.update_ids.push_back(r.ReadI64());
+    }
+    record.view_after = r.ReadRelation();
+    record.negative_counts = r.ReadBool();
+    installs_.push_back(std::move(record));
+  }
+  updates_incorporated_ = r.ReadI64();
+  queries_sent_ = r.ReadI64();
+  next_query_id_ = r.ReadI64();
+  update_watermarks_.clear();
+  const int64_t marks = r.ReadI64();
+  for (int64_t i = 0; i < marks; ++i) {
+    update_watermarks_.push_back(r.ReadI64());
+  }
+  seen_update_ids_.clear();
+  const int64_t seen = r.ReadI64();
+  for (int64_t i = 0; i < seen; ++i) seen_update_ids_.insert(r.ReadI64());
+  pending_queries_.clear();
+  const int64_t pending_count = r.ReadI64();
+  for (int64_t i = 0; i < pending_count; ++i) {
+    const int64_t query_id = r.ReadI64();
+    PendingQuery pending;
+    pending.request = r.ReadRequest();
+    pending.target_site = r.ReadI32();
+    pending.attempts = r.ReadI32();
+    pending.expected_answers = r.ReadI32();
+    const int64_t parts = r.ReadI64();
+    for (int64_t j = 0; j < parts; ++j) {
+      pending.relations_seen.insert(r.ReadI32());
+    }
+    pending_queries_.emplace(query_id, std::move(pending));
+  }
+  duplicate_updates_ignored_ = r.ReadI64();
+  stale_answers_ignored_ = r.ReadI64();
+  queries_reissued_ = r.ReadI64();
+  DeserializeAlgState(r);
+  SWEEP_CHECK_MSG(r.AtEnd(),
+                  "checkpoint not fully consumed on restore — the "
+                  "serializer and deserializer disagree");
+}
+
+void Warehouse::TakeCheckpoint() {
+  durable_checkpoint_ = SerializeCheckpoint();
+  durable_wal_.clear();
+  ++checkpoints_taken_;
+  const auto size = static_cast<int64_t>(durable_checkpoint_.size());
+  if (size > checkpoint_bytes_max_) checkpoint_bytes_max_ = size;
+}
+
+void Warehouse::StampEpoch(Message* request, int64_t epoch) {
+  if (auto* query = std::get_if<QueryRequest>(request)) {
+    query->epoch = epoch;
+    return;
+  }
+  if (auto* eca = std::get_if<EcaQueryRequest>(request)) {
+    eca->epoch = epoch;
+    return;
+  }
+  if (auto* snap = std::get_if<SnapshotRequest>(request)) {
+    snap->epoch = epoch;
+    return;
+  }
+  SWEEP_CHECK_MSG(false, "pending query holds a non-query request");
+}
+
+void Warehouse::Crash() {
+  SWEEP_CHECK_MSG(DurabilityOn(),
+                  "warehouse crash without a durable store (set "
+                  "Options::checkpoint_every)");
+  SWEEP_CHECK_MSG(!crashed_, "warehouse crashed while already down");
+  SWEEP_LOG(Info) << name() << " crashed";
+  crashed_ = true;
+  network_->CrashSite(site_id_);
+}
+
+void Warehouse::Restart() {
+  SWEEP_CHECK_MSG(crashed_, "warehouse restarted while up");
+  network_->RestartSite(site_id_);
+  crashed_ = false;
+  Recover();
+}
+
+void Warehouse::CrashAndRecover() {
+  SWEEP_CHECK_MSG(DurabilityOn(),
+                  "warehouse crash without a durable store (set "
+                  "Options::checkpoint_every)");
+  SWEEP_CHECK(!crashed_);
+  SWEEP_LOG(Info) << name() << " crash+recover (controlled)";
+  Recover();
+}
+
+void Warehouse::Recover() {
+  ++recoveries_;
+  // Timers armed by the dead incarnation must not fire for the new one.
+  ++timer_gen_;
+  ++durable_epoch_;
+  epoch_ = durable_epoch_;
+  if (!durable_checkpoint_.empty()) {
+    RestoreFromCheckpoint(durable_checkpoint_);
+  }
+  SWEEP_LOG(Info) << name() << " recovering under epoch " << epoch_
+                  << ": " << pending_queries_.size()
+                  << " in-flight queries, " << durable_wal_.size()
+                  << " WAL updates";
+  // Re-issue every restored in-flight query under the new epoch. Answers
+  // consumed between the checkpoint and the crash were consumed by state
+  // the restore just discarded, so the restored algorithm state is again
+  // waiting on all of them; the fresh epoch stamp separates the answers
+  // these re-issues produce from anything the dead incarnation left in
+  // flight. relations_seen restarts empty so multi-part snapshots are
+  // re-collected whole (fresher parts simply overwrite).
+  for (auto& [query_id, pending] : pending_queries_) {
+    StampEpoch(&pending.request, epoch_);
+    pending.attempts = 1;
+    pending.relations_seen.clear();
+    ++queries_reissued_;
+    network_->Send(site_id_, pending.target_site, pending.request);
+    if (options_.query_timeout > 0) ArmQueryTimer(query_id);
+  }
+  // Replay the WAL through the normal arrival path — this is the
+  // "replay logged updates instead of rebuilding the view" half of
+  // recovery. recovering_ keeps the replay from re-appending to the WAL
+  // it is draining (the entries stay put: they are still the
+  // post-checkpoint suffix afterwards).
+  recovering_ = true;
+  const std::vector<Update> wal = durable_wal_;
+  for (const Update& u : wal) {
+    ++wal_replayed_;
+    AcceptUpdate(UpdateMessage{u});
+  }
+  recovering_ = false;
+}
+
+SimTime Warehouse::BackoffDelay(int64_t query_id, int attempt) const {
+  // Capped exponential backoff: attempt n waits base * 2^(n-1), clamped
+  // at base * query_backoff_cap, plus jitter. The jitter is a hash of
+  // (query id, attempt) — splitmix64's finalizer — so it de-synchronizes
+  // re-issue bursts without introducing any state the replay/snapshot
+  // machinery would have to capture: the same query re-issued on the
+  // same attempt always waits exactly as long.
+  const SimTime base = options_.query_timeout;
+  const SimTime cap = base * options_.query_backoff_cap;
+  SimTime delay = base;
+  for (int i = 1; i < attempt && delay < cap; ++i) delay *= 2;
+  if (delay > cap) delay = cap;
+  uint64_t mix = static_cast<uint64_t>(query_id) * 0x9e3779b97f4a7c15ull +
+                 static_cast<uint64_t>(attempt);
+  mix ^= mix >> 30;
+  mix *= 0xbf58476d1ce4e5b9ull;
+  mix ^= mix >> 27;
+  mix *= 0x94d049bb133111ebull;
+  mix ^= mix >> 31;
+  const SimTime span = delay / 4 + 1;
+  return delay + static_cast<SimTime>(mix % static_cast<uint64_t>(span));
+}
+
+void Warehouse::ArmQueryTimer(int64_t query_id) {
+  auto armed = pending_queries_.find(query_id);
+  SWEEP_CHECK(armed != pending_queries_.end());
+  const SimTime delay = BackoffDelay(query_id, armed->second.attempts);
+  const int64_t gen = timer_gen_;
   // lint:allow direct-schedule local timer, not a protocol message: fires
   // at this site only, sends nothing itself, so it needs no EventLabel
   // channel and cannot perturb per-link FIFO order.
-  network_->simulator()->Schedule(delay, [this, query_id, delay]() {
+  network_->simulator()->Schedule(delay, [this, query_id, gen]() {
+    // A crashed warehouse sends nothing; a timer armed by a dead
+    // incarnation stays dead (recovery re-armed its own).
+    if (crashed_ || gen != timer_gen_) return;
     auto it = pending_queries_.find(query_id);
     if (it == pending_queries_.end()) return;  // answered meanwhile
     PendingQuery& pending = it->second;
@@ -186,11 +501,14 @@ void Warehouse::ArmQueryTimer(int64_t query_id, SimTime delay) {
       return;
     }
     ++pending.attempts;
+    if (max_query_attempts_ < pending.attempts) {
+      max_query_attempts_ = pending.attempts;
+    }
     ++queries_reissued_;
     SWEEP_LOG(Debug) << name() << " re-issuing query #" << query_id
                      << " (attempt " << pending.attempts << ")";
     network_->Send(site_id_, pending.target_site, pending.request);
-    ArmQueryTimer(query_id, delay * 2);
+    ArmQueryTimer(query_id);
   });
 }
 
@@ -214,6 +532,7 @@ int64_t Warehouse::SendSweepQuery(int target_rel, bool extend_left,
   request.query_id = id;
   request.target_rel = target_rel;
   request.extend_left = extend_left;
+  request.epoch = epoch_;
   request.partial = std::move(partial);
   RegisterQuery(id, source_site(target_rel), request);
   network_->Send(site_id_, source_site(target_rel), std::move(request));
@@ -223,7 +542,7 @@ int64_t Warehouse::SendSweepQuery(int target_rel, bool extend_left,
 int64_t Warehouse::SendEcaQuery(std::vector<EcaTerm> terms) {
   int64_t id = next_query_id_++;
   ++queries_sent_;
-  EcaQueryRequest request{id, std::move(terms)};
+  EcaQueryRequest request{id, std::move(terms), epoch_};
   RegisterQuery(id, source_site(0), request);
   network_->Send(site_id_, source_site(0), std::move(request));
   return id;
@@ -239,8 +558,9 @@ int64_t Warehouse::SendSnapshotRequest(int target_rel) {
   for (int rel = 0; rel < view_def_.num_relations(); ++rel) {
     if (source_site(rel) == target) ++expected;
   }
-  RegisterQuery(id, target, SnapshotRequest{id}, expected);
-  network_->Send(site_id_, target, SnapshotRequest{id});
+  SnapshotRequest request{id, epoch_};
+  RegisterQuery(id, target, request, expected);
+  network_->Send(site_id_, target, request);
   return id;
 }
 

@@ -35,6 +35,7 @@
 
 #include "common/check.h"
 #include "common/snapshot.h"
+#include "core/checkpoint.h"
 #include "relational/partial_delta.h"
 #include "relational/relation.h"
 #include "relational/view_def.h"
@@ -65,12 +66,30 @@ class Warehouse : public Site {
     bool log_installs = true;
     // When > 0: an outstanding query unanswered for this many ticks is
     // re-issued verbatim (same query_id — sources answer idempotently and
-    // stale/duplicate answers are discarded here), with the timeout
-    // doubling per attempt. Heals queries lost to a source crash. 0
-    // disables the timer entirely (no behavioural or event-count change).
+    // stale/duplicate answers are discarded here), under capped
+    // exponential backoff with deterministic per-(query, attempt) jitter
+    // (see Warehouse::BackoffDelay). Heals queries lost to a source
+    // crash. 0 disables the timer entirely (no behavioural or
+    // event-count change).
     SimTime query_timeout = 0;
     // Re-issue attempts per query before giving up.
     int query_retry_limit = 8;
+    // Backoff ceiling as a multiple of query_timeout: attempt n waits
+    // min(query_timeout * 2^(n-1), query_timeout * cap) plus jitter.
+    int query_backoff_cap = 16;
+    // Durability (docs/fault_model.md §6). When > 0 the warehouse keeps
+    // an in-sim durable store — a serialized checkpoint of the full
+    // protocol state plus a WAL of post-checkpoint update messages — and
+    // cuts a fresh checkpoint once the WAL holds this many updates.
+    // Crash/recovery requires it; 0 (the default) keeps the warehouse
+    // volatile with zero overhead.
+    int checkpoint_every = 0;
+    // Discard query answers stamped with a recovery epoch other than the
+    // current one. This is what makes recovery sound in the presence of
+    // in-flight pre-crash answers; the switch exists only so the
+    // explorer's negative scenario can demonstrate the anomaly
+    // (verify/scenarios.h). Never disable it otherwise.
+    bool filter_stale_epochs = true;
     // Duplicate-update detection strategy. True (the default) assumes
     // each relation's update notifications arrive in id order — which
     // holds on pristine links and on faulty links under the session
@@ -147,6 +166,51 @@ class Warehouse : public Site {
   int64_t stale_answers_ignored() const { return stale_answers_ignored_; }
   int64_t queries_reissued() const { return queries_reissued_; }
 
+  // --- Crash/recovery (docs/fault_model.md §6) --------------------------
+  //
+  // The warehouse is fail-stop like the sources: a crash loses all
+  // volatile state; recovery rebuilds it from the durable store (the last
+  // checkpoint plus the update WAL) instead of recomputing the view, then
+  // re-issues every restored in-flight query stamped with a bumped
+  // recovery epoch so answers addressed to the dead incarnation are
+  // discarded on arrival. Requires Options::checkpoint_every > 0.
+
+  // Harness-mode fail-stop: the site goes dark (network drops traffic to
+  // and from it) until Restart(). Messages sent during the downtime are
+  // healed by the session layer, so this is only sound on faulty links
+  // with reliability enabled — the harness CHECKs that wiring.
+  void Crash();
+  // Returns under a new incarnation and runs recovery.
+  void Restart();
+  // Controlled-mode atomic crash+recovery in one explorable event. The
+  // network is deliberately untouched: pre-crash messages stay in flight
+  // on their FIFO channels, which is exactly the stale-answer hazard the
+  // recovery epoch neutralizes (the explorer certifies this).
+  void CrashAndRecover();
+
+  bool crashed() const { return crashed_; }
+  int64_t epoch() const { return epoch_; }
+  // Recovery instrumentation: completed recoveries, WAL updates replayed
+  // through the normal arrival path (the recovery-beats-recompute bench
+  // metric), checkpoints cut, the largest checkpoint in bytes, answers
+  // discarded for carrying a dead incarnation's epoch, and the maximum
+  // send attempts any single query needed (1 = no re-issue ever).
+  int64_t recoveries() const { return recoveries_; }
+  int64_t wal_replayed() const { return wal_replayed_; }
+  int64_t checkpoints_taken() const { return checkpoints_taken_; }
+  int64_t checkpoint_bytes_max() const { return checkpoint_bytes_max_; }
+  int64_t pre_epoch_answers_ignored() const {
+    return pre_epoch_answers_ignored_;
+  }
+  int64_t max_query_attempts() const { return max_query_attempts_; }
+
+  // The serialized-protocol-state half of the durable store; public so
+  // tests can round-trip it. Covers exactly the SaveState member set
+  // (lint_invariants.py's checkpoint-coverage rule keeps it that way)
+  // plus the algorithm's SerializeAlgState half.
+  std::string SerializeCheckpoint() const;
+  void RestoreFromCheckpoint(const std::string& bytes);
+
   // Entries of duplicate-detection state that can still grow with the run
   // (the fallback id set; the per-relation watermarks are fixed-size and
   // not counted). Stays 0 under fifo_update_streams — the bound the
@@ -205,6 +269,19 @@ class Warehouse : public Site {
     int64_t duplicate_updates_ignored = 0;
     int64_t stale_answers_ignored = 0;
     int64_t queries_reissued = 0;
+    std::string durable_checkpoint;
+    std::vector<Update> durable_wal;
+    int64_t durable_epoch = 0;
+    int64_t epoch = 0;
+    bool crashed = false;
+    bool recovering = false;
+    int64_t timer_gen = 0;
+    int64_t recoveries = 0;
+    int64_t wal_replayed = 0;
+    int64_t checkpoints_taken = 0;
+    int64_t checkpoint_bytes_max = 0;
+    int64_t pre_epoch_answers_ignored = 0;
+    int64_t max_query_attempts = 0;
     std::shared_ptr<const AlgState> alg;
   };
   SavedState SaveState() const;
@@ -217,6 +294,14 @@ class Warehouse : public Site {
   // only AlgState objects their own SaveAlgState produced.)
   virtual std::shared_ptr<const AlgState> SaveAlgState() const;
   virtual void RestoreAlgState(const AlgState& state);
+
+  // Durable-checkpoint hooks: the byte-codec counterparts of
+  // Save/RestoreAlgState, covering the same member sets (enforced by
+  // lint_invariants.py's checkpoint-coverage rule). The defaults fail
+  // loudly so an algorithm cannot silently run with a half-durable
+  // warehouse.
+  virtual void SerializeAlgState(CheckpointWriter& w) const;
+  virtual void DeserializeAlgState(CheckpointReader& r);
 
   // Convenience holder for a subclass's saved members.
   template <typename T>
@@ -280,7 +365,27 @@ class Warehouse : public Site {
   // Consumes one relation's part of a multi-answer snapshot query; false
   // if the id is not outstanding or this relation already answered.
   bool ResolveSnapshotPart(int64_t query_id, int relation);
-  void ArmQueryTimer(int64_t query_id, SimTime delay);
+  void ArmQueryTimer(int64_t query_id);
+  // Delay before re-issue attempt `attempt` of `query_id`: capped
+  // exponential backoff plus deterministic jitter.
+  SimTime BackoffDelay(int64_t query_id, int attempt) const;
+
+  // --- Durability internals ---------------------------------------------
+  bool DurabilityOn() const { return options_.checkpoint_every > 0; }
+  // The shared arrival path: dedup, WAL append, queue, algorithm dispatch
+  // and checkpoint cadence. Both live deliveries and recovery's WAL
+  // replay flow through it (recovering_ suppresses the WAL/checkpoint
+  // steps during the replay itself).
+  void AcceptUpdate(UpdateMessage update);
+  // Serializes the full protocol state into durable_.checkpoint and
+  // truncates the WAL.
+  void TakeCheckpoint();
+  // Rebuilds volatile state from the durable store: bump the epoch,
+  // restore the last checkpoint, re-issue restored in-flight queries
+  // under the new epoch, replay the WAL.
+  void Recover();
+  // Overwrites the epoch stamp of a stored query request.
+  static void StampEpoch(Message* request, int64_t epoch);
 
   SWEEP_SNAPSHOT_EXEMPT("site identity, fixed at construction")
   int site_id_;
@@ -315,6 +420,31 @@ class Warehouse : public Site {
   int64_t duplicate_updates_ignored_ = 0;
   int64_t stale_answers_ignored_ = 0;
   int64_t queries_reissued_ = 0;
+  // The in-sim durable store: what survives a warehouse crash. The
+  // checkpoint is cut lazily before the first arrival, then re-cut every
+  // checkpoint_every WAL appends; the WAL holds the updates accepted
+  // since. durable_epoch_ lives here conceptually too (it must survive
+  // repeated crashes) but is kept as a plain member for the snapshot
+  // macro's benefit.
+  std::string durable_checkpoint_;
+  std::vector<Update> durable_wal_;
+  int64_t durable_epoch_ = 0;
+  // Current incarnation: stamped on every outgoing query, bumped by
+  // Recover(). Always equals durable_epoch_ between events.
+  int64_t epoch_ = 0;
+  // Harness-mode fail-stop flag (controlled-mode recovery never sets it).
+  bool crashed_ = false;
+  // True only inside Recover()'s WAL replay.
+  bool recovering_ = false;
+  // Bumped on recovery so query timers armed by a dead incarnation
+  // disarm themselves.
+  int64_t timer_gen_ = 0;
+  int64_t recoveries_ = 0;
+  int64_t wal_replayed_ = 0;
+  int64_t checkpoints_taken_ = 0;
+  int64_t checkpoint_bytes_max_ = 0;
+  int64_t pre_epoch_answers_ignored_ = 0;
+  int64_t max_query_attempts_ = 0;
   SWEEP_SNAPSHOT_EXEMPT(
       "observer hook owned by the harness; consumers that accumulate "
       "state from it (e.g. MaintainedAggregate) are outside the explored "

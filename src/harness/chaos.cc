@@ -48,6 +48,27 @@ FaultPlan MakeChaosPlan(const ChaosSpec& spec) {
     plan.crashes.push_back(crash);
   }
 
+  // Warehouse crash windows: drawn uniformly like source crashes, then
+  // sorted and pushed apart so consecutive windows never overlap (a down
+  // warehouse cannot crash again until it restarts).
+  if (spec.num_warehouse_crashes > 0) {
+    plan.checkpoint_every = spec.warehouse_checkpoint_every;
+    std::vector<SimTime> starts;
+    for (int i = 0; i < spec.num_warehouse_crashes; ++i) {
+      starts.push_back(rng.Uniform(spec.horizon / 4, spec.horizon - 1));
+    }
+    std::sort(starts.begin(), starts.end());
+    SimTime min_start = 0;
+    for (SimTime start : starts) {
+      start = std::max(start, min_start);
+      FaultPlan::WarehouseCrashEvent crash;
+      crash.crash_at = start;
+      crash.restart_at = start + spec.warehouse_crash_len;
+      plan.warehouse_crashes.push_back(crash);
+      min_start = crash.restart_at + 1;
+    }
+  }
+
   plan.query_timeout = spec.query_timeout;
   plan.query_retry_limit = spec.query_retry_limit;
   return plan;

@@ -38,6 +38,13 @@ struct ChaosSpec {
   SimTime crash_len = 10'000;
   int num_relations = 2;
 
+  // Warehouse crash/restart windows, placed like source crashes but
+  // disjoint from each other (the warehouse cannot crash while down).
+  // Each enables the durable store via warehouse_checkpoint_every.
+  int num_warehouse_crashes = 0;
+  SimTime warehouse_crash_len = 10'000;
+  int warehouse_checkpoint_every = 4;
+
   // The workload time span the windows and crashes are placed in.
   SimTime horizon = 100'000;
 

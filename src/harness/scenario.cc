@@ -114,6 +114,8 @@ RunResult RunExplicitScenario(const ScenarioConfig& config,
   if (plan.enabled) {
     warehouse_config.base.query_timeout = plan.query_timeout;
     warehouse_config.base.query_retry_limit = plan.query_retry_limit;
+    warehouse_config.base.query_backoff_cap = plan.query_backoff_cap;
+    warehouse_config.base.checkpoint_every = plan.checkpoint_every;
     // Raw faulty delivery (reliability off) can reorder update streams,
     // so the bounded watermark dedup is unsound there; fall back to the
     // remember-every-id set.
@@ -156,6 +158,25 @@ RunResult RunExplicitScenario(const ScenarioConfig& config,
     sim.ScheduleAt(crash.restart_at, [source]() { source->Restart(); });
   }
 
+  // Schedule warehouse crash/restarts. A down warehouse receives nothing;
+  // only the session layer's retransmission delivers the messages sent
+  // during the outage once the site is back, so reliability is mandatory.
+  for (const FaultPlan::WarehouseCrashEvent& crash :
+       plan.warehouse_crashes) {
+    SWEEP_CHECK_MSG(plan.enabled && plan.reliability,
+                    "warehouse crashes need reliability sessions: the "
+                    "pristine network drops messages to a down site with "
+                    "no retransmission");
+    SWEEP_CHECK_MSG(plan.checkpoint_every > 0,
+                    "warehouse crashes need a durable store "
+                    "(FaultPlan::checkpoint_every > 0)");
+    SWEEP_CHECK_MSG(crash.restart_at > crash.crash_at,
+                    "a warehouse crash must precede its restart");
+    Warehouse* site = warehouse.get();
+    sim.ScheduleAt(crash.crash_at, [site]() { site->Crash(); });
+    sim.ScheduleAt(crash.restart_at, [site]() { site->Restart(); });
+  }
+
   int64_t executed = sim.Run(config.max_events);
   RunResult result;
   if (plan.tolerate_failure) {
@@ -195,6 +216,12 @@ RunResult RunExplicitScenario(const ScenarioConfig& config,
   result.duplicate_updates_ignored = warehouse->duplicate_updates_ignored();
   result.stale_answers_ignored = warehouse->stale_answers_ignored();
   result.queries_reissued = warehouse->queries_reissued();
+  result.warehouse_recoveries = warehouse->recoveries();
+  result.wal_updates_replayed = warehouse->wal_replayed();
+  result.checkpoints_taken = warehouse->checkpoints_taken();
+  result.checkpoint_bytes_max = warehouse->checkpoint_bytes_max();
+  result.pre_epoch_answers_ignored = warehouse->pre_epoch_answers_ignored();
+  result.max_query_attempts = warehouse->max_query_attempts();
   result.dedup_state_entries =
       static_cast<int64_t>(warehouse->dedup_state_size());
   for (const auto& site : owned_sources) {

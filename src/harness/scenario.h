@@ -47,11 +47,27 @@ struct FaultPlan {
     SimTime restart_at = 0;  // must be > crash_at
   };
   std::vector<CrashEvent> crashes;
+  // Warehouse crash/restart schedule. Requires checkpoint_every > 0 (the
+  // durable store recovery restores from) and reliability sessions: the
+  // pristine network drops messages to a down site permanently, while the
+  // session layer retransmits them once the warehouse is back.
+  struct WarehouseCrashEvent {
+    SimTime crash_at = 0;
+    SimTime restart_at = 0;  // must be > crash_at
+  };
+  std::vector<WarehouseCrashEvent> warehouse_crashes;
+  // Durability cadence: cut a fresh checkpoint once the update WAL holds
+  // this many entries. 0 disables the durable store (and with it,
+  // warehouse crashes).
+  int checkpoint_every = 0;
   // Warehouse query re-issue (0 keeps timeouts off). With crashes in the
   // plan this should be > 0 or a sweep whose query died with the source
   // never terminates.
   SimTime query_timeout = 0;
   int query_retry_limit = 8;
+  // Re-issue delays grow exponentially from query_timeout up to
+  // query_timeout * query_backoff_cap (plus deterministic jitter).
+  int query_backoff_cap = 16;
   // Instead of CHECK-failing when the run ends with a wedged warehouse
   // (expected when reliability is off and messages are genuinely lost),
   // report it via RunResult::completed.
@@ -119,6 +135,13 @@ struct RunResult {
   int64_t stale_answers_ignored = 0;      // late/duplicate query answers
   int64_t queries_reissued = 0;           // timeout-driven re-issues
   int64_t updates_replayed = 0;           // log replays by restarted sources
+  // Warehouse crash-recovery counters (all 0 without warehouse crashes).
+  int64_t warehouse_recoveries = 0;
+  int64_t wal_updates_replayed = 0;       // WAL entries re-applied on recovery
+  int64_t checkpoints_taken = 0;
+  int64_t checkpoint_bytes_max = 0;       // largest serialized checkpoint
+  int64_t pre_epoch_answers_ignored = 0;  // stale-epoch answers discarded
+  int64_t max_query_attempts = 0;         // most sends any one query needed
   // Growable dedup-state entries left at the warehouse after the run
   // (0 under FIFO update streams — the watermark dedup is fixed-size).
   int64_t dedup_state_entries = 0;

@@ -41,11 +41,18 @@ struct QueryRequest {
   // partial.lo - 1); false: on the right (target_rel == partial.hi + 1).
   bool extend_left = false;
   PartialDelta partial;
+  // Warehouse recovery epoch (docs/fault_model.md §6): stamped on every
+  // query, echoed verbatim in the answer, so a recovered warehouse can
+  // discard answers addressed to a dead incarnation. 0 on every message
+  // while the warehouse has never crashed. Last member, like the other
+  // message structs, so pre-existing aggregate initializers stay valid.
+  int64_t epoch = 0;
 };
 
 struct QueryAnswer {
   int64_t query_id = -1;
   PartialDelta partial;
+  int64_t epoch = 0;  // echoed from the request
 };
 
 // One signed join term of an ECA query. `fixed[r]`, when present, pins
@@ -59,22 +66,26 @@ struct EcaTerm {
 struct EcaQueryRequest {
   int64_t query_id = -1;
   std::vector<EcaTerm> terms;
+  int64_t epoch = 0;  // warehouse recovery epoch (see QueryRequest)
 };
 
 struct EcaQueryAnswer {
   int64_t query_id = -1;
   // Signed sum of the evaluated terms, over the view's joined schema.
   Relation result;
+  int64_t epoch = 0;  // echoed from the request
 };
 
 struct SnapshotRequest {
   int64_t query_id = -1;
+  int64_t epoch = 0;  // warehouse recovery epoch (see QueryRequest)
 };
 
 struct SnapshotAnswer {
   int64_t query_id = -1;
   int relation = -1;
   Relation snapshot;
+  int64_t epoch = 0;  // echoed from the request
 };
 
 // SessionDatagram carries any Message by pointer, so the variant can

@@ -118,9 +118,20 @@ void Network::Send(int from, int to, Message msg) {
   }
 
   int64_t payload = PayloadTuples(msg);
-  auto& cls = stats_.by_class[static_cast<size_t>(ClassOf(msg))];
+  const MessageClass msg_class = ClassOf(msg);
+  auto& cls = stats_.by_class[static_cast<size_t>(msg_class)];
   ++cls.messages;
   cls.payload_tuples += payload;
+
+  // Controlled one-shot loss: the message was sent (counted above) but
+  // never arrives.
+  if (controlled_drops_armed_ > 0 &&
+      (msg_class == MessageClass::kQueryRequest ||
+       msg_class == MessageClass::kQueryAnswer)) {
+    --controlled_drops_armed_;
+    ++stats_.reliability.drops_injected;
+    return;
+  }
 
   LinkState& link = LinkFor(from, to);
   if (!link.faults.has_value()) {
@@ -344,6 +355,7 @@ Network::SavedState Network::SaveState() const {
   state.stats = stats_;
   state.rng = rng_;
   state.fault_root = fault_root_;
+  state.controlled_drops_armed = controlled_drops_armed_;
   for (const auto& [key, link] : links_) {
     SWEEP_CHECK_MSG(!link.faults.has_value() && !link.session_configured,
                     "network snapshots require pristine links");
@@ -356,6 +368,7 @@ void Network::RestoreState(const SavedState& state) {
   stats_ = state.stats;
   rng_ = state.rng;
   fault_root_ = state.fault_root;
+  controlled_drops_armed_ = state.controlled_drops_armed;
   for (auto it = links_.begin(); it != links_.end();) {
     auto saved = state.channels.find(it->first);
     if (saved == state.channels.end()) {

@@ -140,6 +140,18 @@ class Network {
   void RestartSite(int id);
   bool IsCrashed(int id) const { return crashed_.count(id) != 0; }
 
+  // --- Controlled fault choice points -----------------------------------
+
+  // Arms one silent drop: the next query-class message (request or
+  // answer) handed to Send is discarded instead of scheduled. This lets
+  // the schedule-space explorer make message loss an explorable choice
+  // point on pristine links, without attaching a FaultModel (which would
+  // break snapshotting). Query traffic only: the warehouse's timeout
+  // re-issue heals a lost query or answer, while a lost update
+  // notification is unrecoverable without the session layer.
+  void ArmControlledDrop() { ++controlled_drops_armed_; }
+  int64_t controlled_drops_armed() const { return controlled_drops_armed_; }
+
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }
 
@@ -168,6 +180,7 @@ class Network {
     NetworkStats stats;
     Rng rng{0};
     Rng fault_root{0};
+    int64_t controlled_drops_armed = 0;
     std::map<std::pair<int, int>, Channel> channels;
   };
   SavedState SaveState() const;
@@ -248,6 +261,8 @@ class Network {
   std::set<int> crashed_;
   std::map<std::pair<int, int>, LinkState> links_;
   NetworkStats stats_;
+  // Pending one-shot drops armed by ArmControlledDrop.
+  int64_t controlled_drops_armed_ = 0;
   SWEEP_SNAPSHOT_EXEMPT(
       "observer hook owned by the harness; outlives and never depends on "
       "the explored prefix")

@@ -173,13 +173,14 @@ void DataSource::OnMessage(int from, Message msg) {
     }
     ++queries_answered_;
     network_->Send(site_id_, from,
-                   QueryAnswer{query->query_id, std::move(result)});
+                   QueryAnswer{query->query_id, std::move(result),
+                               query->epoch});
     return;
   }
   if (auto* snap = std::get_if<SnapshotRequest>(&msg)) {
     network_->Send(site_id_, from,
                    SnapshotAnswer{snap->query_id, relation_index_,
-                                  store_.relation()});
+                                  store_.relation(), snap->epoch});
     return;
   }
   SWEEP_CHECK_MSG(false, "data source received an unexpected message type");

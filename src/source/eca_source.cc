@@ -63,14 +63,15 @@ void EcaSource::OnMessage(int from, Message msg) {
     }
     ++queries_answered_;
     network_->Send(site_id_, from,
-                   EcaQueryAnswer{query->query_id, std::move(result)});
+                   EcaQueryAnswer{query->query_id, std::move(result),
+                                  query->epoch});
     return;
   }
   if (auto* snap = std::get_if<SnapshotRequest>(&msg)) {
     for (size_t r = 0; r < relations_.size(); ++r) {
       network_->Send(site_id_, from,
                      SnapshotAnswer{snap->query_id, static_cast<int>(r),
-                                    relations_[r]});
+                                    relations_[r], snap->epoch});
     }
     return;
   }

@@ -113,14 +113,15 @@ void MultiRelationSource::OnMessage(int from, Message msg) {
     }
     ++queries_answered_;
     network_->Send(site_id_, from,
-                   QueryAnswer{query->query_id, std::move(result)});
+                   QueryAnswer{query->query_id, std::move(result),
+                               query->epoch});
     return;
   }
   if (auto* snap = std::get_if<SnapshotRequest>(&msg)) {
     for (const auto& [index, hosted] : hosted_) {
       network_->Send(site_id_, from,
                      SnapshotAnswer{snap->query_id, index,
-                                    hosted.store.relation()});
+                                    hosted.store.relation(), snap->epoch});
     }
     return;
   }

@@ -92,6 +92,20 @@ ControlledSystem::ControlledSystem(const ControlledScenario& scenario,
       }
     });
   }
+
+  // Fault choice points enter at t=0 like transactions: internal events
+  // share one channel and are dependent on everything, so the explorer
+  // tries the crash (or drop) at every position of every schedule.
+  for (int i = 0; i < scenario.warehouse_crashes; ++i) {
+    const EventLabel label{EventKind::kInternal, -1, kWarehouseSite,
+                           "warehouse-crash"};
+    sim_.ScheduleAt(0, label, [this]() { warehouse_->CrashAndRecover(); });
+  }
+  for (int i = 0; i < scenario.max_message_drops; ++i) {
+    const EventLabel label{EventKind::kInternal, -1, kWarehouseSite,
+                           "arm-drop"};
+    sim_.ScheduleAt(0, label, [this]() { network_.ArmControlledDrop(); });
+  }
 }
 
 int64_t ControlledSystem::Run(int64_t max_steps) {

@@ -46,6 +46,13 @@ struct ControlledScenario {
   std::vector<ControlledTxn> txns;
   WarehouseConfig warehouse;
   SimTime latency = 1000;
+  // Fault choice points, scheduled at t=0 as internal events so the
+  // explorer places them at every schedule position. Each crash invokes
+  // Warehouse::CrashAndRecover (requires warehouse.base.checkpoint_every
+  // > 0); each drop arms one silent query-class message loss (pair with
+  // warehouse.base.query_timeout > 0 or the run wedges).
+  int warehouse_crashes = 0;
+  int max_message_drops = 0;
 };
 
 // Records every pick; replays a choice vector, continuing with the

@@ -55,4 +55,56 @@ ControlledScenario EcaAnomalyScenario(bool compensation) {
   return scenario;
 }
 
+ControlledScenario FaultyPaperExampleScenario(Algorithm algorithm) {
+  ControlledScenario scenario = PaperExampleScenario(algorithm);
+  // Cadence 2 exercises all three recovery paths in one scenario: the
+  // checkpoint restore, a non-empty WAL replay, and in-flight query
+  // re-issue under the new epoch.
+  scenario.warehouse.base.checkpoint_every = 2;
+  scenario.warehouse_crashes = 1;
+  return scenario;
+}
+
+ControlledScenario UnfilteredRecoveryScenario() {
+  // Pipelined SWEEP is the algorithm where the epoch filter is load-
+  // bearing: query-id assignment depends on answer arrival order, so
+  // after recovery rewinds the id counter, id k can name a different
+  // sweep's hop than it did in the dead incarnation. Two updates on the
+  // same relation give the two concurrent sweeps identical span
+  // evolution, so the mix-up corrupts the view silently instead of
+  // tripping a span check. (Sequential SWEEP is immune — its id-to-query
+  // mapping is deterministic — which the filter-on certifications show.)
+  ViewDef view = PaperView();
+  std::vector<Relation> bases = PaperBases(view);
+  ControlledScenario scenario{Algorithm::kPipelinedSweep, std::move(view),
+                              std::move(bases),
+                              {
+                                  {1, {UpdateOp::Insert(IntTuple({3, 5}))}},
+                                  {1, {UpdateOp::Insert(IntTuple({3, 7}))}},
+                              },
+                              WarehouseConfig{},
+                              /*latency=*/1000};
+  // Cadence 1 keeps the durable image current with every arrival, so the
+  // only divergence between the dead and restored incarnations is which
+  // concurrent sweep claims the next query id — exactly the hazard the
+  // epoch filter closes. (A staler checkpoint would also rewind past
+  // arrivals and the collision could cross span shapes, turning the
+  // anomaly into a loud span-check failure instead of silent corruption.)
+  scenario.warehouse.base.checkpoint_every = 1;
+  scenario.warehouse.base.filter_stale_epochs = false;
+  scenario.warehouse_crashes = 1;
+  return scenario;
+}
+
+ControlledScenario LossyPaperExampleScenario(Algorithm algorithm) {
+  ControlledScenario scenario = PaperExampleScenario(algorithm);
+  // One update and a short retry budget keep the timer-augmented
+  // schedule space enumerable.
+  scenario.txns.resize(1);
+  scenario.max_message_drops = 1;
+  scenario.warehouse.base.query_timeout = 8'000;
+  scenario.warehouse.base.query_retry_limit = 2;
+  return scenario;
+}
+
 }  // namespace sweepmv

@@ -28,6 +28,30 @@ ControlledScenario PaperExampleScenario(Algorithm algorithm);
 // the update anomaly, reachable by the explorer.
 ControlledScenario EcaAnomalyScenario(bool compensation);
 
+// Figure 5's scenario hardened with crash-recovery: the warehouse keeps a
+// durable checkpoint (cut every 2 WAL entries) and one crash/recover
+// event enters the schedule as an internal choice point, so exhaustive
+// exploration certifies the algorithm's consistency promise across every
+// interleaving containing the crash — checkpoint restore, WAL replay and
+// epoch-tagged query re-issue included.
+ControlledScenario FaultyPaperExampleScenario(Algorithm algorithm);
+
+// Ablation of the recovery epoch filter, under Pipelined SWEEP with two
+// updates on one relation: the restarted warehouse accepts answers
+// produced for the dead incarnation's queries. Recovery rewinds the
+// query-id counter, and with concurrent sweeps the post-crash id
+// assignment depends on answer arrival order, so a stale in-flight
+// answer can resolve a re-issued query that belongs to the *other*
+// sweep — the explorer finds the interleaving where the view silently
+// diverges. With the filter on, the same schedule space is certified
+// clean.
+ControlledScenario UnfilteredRecoveryScenario();
+
+// One update racing one silent query-class message loss, healed by the
+// warehouse's timeout re-issue (capped exponential backoff). Exhaustive
+// exploration certifies the loss is harmless wherever it lands.
+ControlledScenario LossyPaperExampleScenario(Algorithm algorithm);
+
 }  // namespace sweepmv
 
 #endif  // SWEEPMV_VERIFY_SCENARIOS_H_

@@ -383,5 +383,53 @@ TEST(SessionEndToEndTest, CrashedDestinationDropsRestartResyncs) {
   EXPECT_GT(net.stats().reliability.crash_drops, 0);
 }
 
+TEST(SessionEndToEndTest, WarehouseRestartResyncsBothDirections) {
+  // The warehouse is receiver on source->warehouse links (updates in) and
+  // sender on warehouse->source links (queries out). A crash/restart must
+  // resync both: inbound via the base_seq rule (the fresh receiver skips
+  // sequences its dead incarnation cumulatively acked), outbound via the
+  // sender epoch bump (the source resets for the new incarnation and
+  // discards the dead one's in-flight datagrams). This is the session-
+  // layer half of warehouse crash-recovery; the durable-state half lives
+  // in recovery_test.cc.
+  Simulator sim;
+  Network net(&sim, LatencyModel::Fixed(100), 7);
+  RecorderSite warehouse(&sim);
+  RecorderSite source(&sim);
+  net.RegisterSite(0, &warehouse);
+  net.RegisterSite(1, &source);
+  net.SetDefaultFaults(FaultModel{});  // sessions active, no random faults
+
+  auto send = [&net](int from, int to, int64_t id) {
+    Update u;
+    u.id = id;
+    u.relation = 0;
+    u.delta = Relation(Schema::AllInts({"K"}));
+    u.delta.Add(IntTuple({id}), 1);
+    net.Send(from, to, UpdateMessage{std::move(u)});
+  };
+
+  sim.ScheduleAt(0, [&] { send(1, 0, 1); });      // update, pre-crash
+  sim.ScheduleAt(0, [&] { send(0, 1, 100); });    // query, pre-crash
+  sim.ScheduleAt(1'000, [&] { net.CrashSite(0); });
+  sim.ScheduleAt(1'500, [&] { send(1, 0, 2); });  // update into the void
+  sim.ScheduleAt(10'000, [&] { net.RestartSite(0); });
+  sim.ScheduleAt(10'500, [&] { send(0, 1, 101); });  // new incarnation
+  sim.Run();
+
+  // Inbound: update 1 reached the dead incarnation, update 2 reached the
+  // restarted one via retransmission + base_seq resync; exactly once each.
+  ASSERT_EQ(warehouse.ids().size(), 2u);
+  EXPECT_EQ(warehouse.ids()[0], 1);
+  EXPECT_EQ(warehouse.ids()[1], 2);
+  EXPECT_GT(warehouse.times()[1], SimTime{10'000});
+  // Outbound: the source accepted traffic from both incarnations, exactly
+  // once each — the epoch bump restarted sequencing without redelivery.
+  ASSERT_EQ(source.ids().size(), 2u);
+  EXPECT_EQ(source.ids()[0], 100);
+  EXPECT_EQ(source.ids()[1], 101);
+  EXPECT_GT(net.stats().reliability.crash_drops, 0);
+}
+
 }  // namespace
 }  // namespace sweepmv

@@ -1,0 +1,34 @@
+// checkpoint-coverage fixtures, part 1: a serializer with a coverage
+// hole, a stale exemption, and a snapshot with no serializer at all.
+
+namespace sweepmv {
+
+struct Saved {
+  int a = 0;
+  int b = 0;
+};
+
+// Violations: drops_ never reaches the serializer, and the exemption
+// below names a member this snapshot does not capture.
+Saved FixtureAlg::SaveAlgState() const {
+  Saved s;
+  s.a = applied_;
+  s.b = drops_;
+  return s;
+}
+
+// checkpoint-exempt: retries_ — fixture exemption for a member the
+// snapshot no longer captures.
+void FixtureAlg::SerializeAlgState(Writer& w) const {
+  w.Write(applied_);
+}
+
+// Violation: snapshotted state with no durable serializer anywhere in
+// the file.
+Saved FixtureWh::SaveState() const {
+  Saved s;
+  s.a = installs_applied_;
+  return s;
+}
+
+}  // namespace sweepmv

@@ -1,0 +1,36 @@
+// checkpoint-coverage fixtures, part 2: exemption-block failure modes.
+
+namespace sweepmv {
+
+struct Saved {
+  int a = 0;
+};
+
+Saved FixtureAlg2::SaveAlgState() const {
+  Saved s;
+  s.a = applied_;
+  return s;
+}
+
+// Violation: an exemption block with no rationale after a dash.
+// checkpoint-exempt: applied_
+void FixtureAlg2::SerializeAlgState(Writer& w) const {
+  w.Write(applied_);
+}
+
+Saved FixtureWh2::SaveState() const {
+  Saved s;
+  s.a = counter_;
+  return s;
+}
+
+// Violation below: the serializer writes counter_ anyway, so exempting
+// it is stale.
+// checkpoint-exempt: counter_ — fixture rationale long enough here.
+Saved FixtureWh2::SerializeCheckpoint() const {
+  Saved s;
+  s.a = counter_;
+  return s;
+}
+
+}  // namespace sweepmv
