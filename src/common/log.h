@@ -26,6 +26,8 @@ void SetLogLevel(LogLevel level);
 
 namespace internal_log {
 
+inline bool Enabled(LogLevel level) { return level <= GetLogLevel(); }
+
 // Stream-style collector that emits on destruction.
 class LogMessage {
  public:
@@ -47,11 +49,26 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+// Swallows the LogMessage in the enabled branch of SWEEP_LOG so both
+// arms of the ternary have type void.
+class Voidify {
+ public:
+  void operator&(LogMessage&) {}
+};
+
 }  // namespace internal_log
 }  // namespace sweepmv
 
-#define SWEEP_LOG(level)                                      \
-  ::sweepmv::internal_log::LogMessage(                        \
-      ::sweepmv::LogLevel::k##level, __FILE__, __LINE__)
+// Short-circuits when the level is disabled: the streamed expressions
+// are never evaluated, so hot paths may log expensive renderings
+// (Relation::ToDisplayString sorts the whole relation) for free.
+// operator& binds looser than << and tighter than ?:, which makes the
+// whole streaming chain the right-hand operand.
+#define SWEEP_LOG(level)                                             \
+  (!::sweepmv::internal_log::Enabled(::sweepmv::LogLevel::k##level)) \
+      ? (void)0                                                      \
+      : ::sweepmv::internal_log::Voidify() &                         \
+            ::sweepmv::internal_log::LogMessage(                     \
+                ::sweepmv::LogLevel::k##level, __FILE__, __LINE__)
 
 #endif  // SWEEPMV_COMMON_LOG_H_

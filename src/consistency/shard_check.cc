@@ -1,0 +1,188 @@
+#include "consistency/shard_check.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/str.h"
+#include "consistency/replay.h"
+#include "shard/sharded_view.h"
+
+namespace sweepmv {
+
+namespace {
+
+// The ids of `log` in first-arrival order (the warehouse appends before
+// dedup would ever see a second copy, so ids are unique).
+std::set<int64_t> IdSet(
+    const std::vector<std::pair<int64_t, SimTime>>& log) {
+  std::set<int64_t> ids;
+  for (const auto& [id, at] : log) {
+    (void)at;
+    ids.insert(id);
+  }
+  return ids;
+}
+
+}  // namespace
+
+ShardConsistencyReport CheckShardedConsistency(
+    const ViewDef& view, const std::vector<const StateLog*>& source_logs,
+    const Relation& initial_view,
+    const std::vector<const Warehouse*>& shards) {
+  SWEEP_CHECK(!shards.empty());
+  SWEEP_CHECK(static_cast<int>(source_logs.size()) ==
+              view.num_relations());
+
+  ShardConsistencyReport report;
+
+  // Ground truth: id -> (relation, position in source commit order).
+  Replayer replay(&view, source_logs);
+  std::map<int64_t, std::pair<int, size_t>> located;
+  int64_t total_updates = 0;
+  for (size_t r = 0; r < source_logs.size(); ++r) {
+    const auto& updates = source_logs[r]->updates();
+    for (size_t k = 0; k < updates.size(); ++k) {
+      located.emplace(updates[k].id,
+                      std::make_pair(static_cast<int>(r), k));
+      ++total_updates;
+    }
+  }
+  report.updates = total_updates;
+
+  // Convergence: merged fragments vs. the replayed final state.
+  ShardedView merged_view(initial_view);
+  for (const Warehouse* shard : shards) merged_view.AddShard(shard);
+  std::vector<size_t> final_versions;
+  for (int r = 0; r < view.num_relations(); ++r) {
+    final_versions.push_back(replay.TotalUpdates(r));
+  }
+  replay.AdvanceTo(final_versions);
+  report.final_state_correct = merged_view.Merged() == replay.CurrentView();
+  report.version_vectors = merged_view.VersionVectors(source_logs);
+
+  // Ownership partition: each committed update installed by exactly one
+  // shard; no shard both installed and discarded the same id.
+  std::map<int64_t, int> installers;  // id -> count of installing shards
+  bool partition_ok = true;
+  std::string partition_detail;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const std::set<int64_t> installed =
+        IdSet(shards[s]->install_time_log());
+    const std::set<int64_t> skipped = IdSet(shards[s]->foreign_skip_log());
+    report.installs += static_cast<int64_t>(installed.size());
+    report.foreign_discards += static_cast<int64_t>(skipped.size());
+    for (int64_t id : installed) {
+      SWEEP_CHECK_MSG(located.count(id) != 0,
+                      "shard installed an update no source committed");
+      if (skipped.count(id) != 0 && partition_ok) {
+        partition_ok = false;
+        partition_detail = StrFormat(
+            "shard %d both installed and discarded update %lld",
+            static_cast<int>(s), static_cast<long long>(id));
+      }
+      ++installers[id];
+    }
+  }
+  for (const auto& [id, entry] : located) {
+    (void)entry;
+    const auto it = installers.find(id);
+    const int count = it == installers.end() ? 0 : it->second;
+    if (count != 1 && partition_ok) {
+      partition_ok = false;
+      partition_detail =
+          StrFormat("update %lld installed by %d shards (want exactly 1)",
+                    static_cast<long long>(id), count);
+    }
+  }
+  report.ownership_partition = partition_ok;
+
+  // Retire order: within each shard, each relation's retired updates
+  // must be a prefix of that relation's source commit order, retired in
+  // that order. Retires (install or discard) happen strictly at the
+  // queue head, so the shard's arrival order restricted to its retired
+  // set IS its retire order — no timestamp tie-breaking needed.
+  bool order_ok = true;
+  std::string order_detail;
+  for (size_t s = 0; s < shards.size() && order_ok; ++s) {
+    std::set<int64_t> retired = IdSet(shards[s]->install_time_log());
+    for (int64_t id : IdSet(shards[s]->foreign_skip_log())) {
+      retired.insert(id);
+    }
+    std::vector<size_t> next_pos(source_logs.size(), 0);
+    for (const auto& [id, at] : shards[s]->arrival_log()) {
+      (void)at;
+      if (retired.count(id) == 0) continue;
+      const auto& [rel, pos] = located.at(id);
+      if (pos != next_pos[static_cast<size_t>(rel)]) {
+        order_ok = false;
+        order_detail = StrFormat(
+            "shard %d retired update %lld of R%d at source position %zu "
+            "but position %zu was next",
+            static_cast<int>(s), static_cast<long long>(id), rel, pos,
+            next_pos[static_cast<size_t>(rel)]);
+        break;
+      }
+      ++next_pos[static_cast<size_t>(rel)];
+    }
+  }
+  report.retire_order_monotone = order_ok;
+
+  // Per-shard completeness: every arrival retired, owned installs in
+  // arrival order (one ViewChange per owned update, no reordering).
+  bool complete = partition_ok && order_ok;
+  std::string complete_detail;
+  for (size_t s = 0; s < shards.size() && complete; ++s) {
+    const Warehouse& shard = *shards[s];
+    const std::set<int64_t> installed = IdSet(shard.install_time_log());
+    const std::set<int64_t> skipped = IdSet(shard.foreign_skip_log());
+    if (installed.size() + skipped.size() != shard.arrival_log().size()) {
+      complete = false;
+      complete_detail = StrFormat(
+          "shard %d retired %zu of %zu arrivals", static_cast<int>(s),
+          installed.size() + skipped.size(), shard.arrival_log().size());
+      break;
+    }
+    // Owned installs must follow the arrival order.
+    size_t next = 0;
+    std::vector<int64_t> arrivals_installed;
+    for (const auto& [id, at] : shard.arrival_log()) {
+      (void)at;
+      if (installed.count(id) != 0) arrivals_installed.push_back(id);
+    }
+    for (const auto& [id, at] : shard.install_time_log()) {
+      (void)at;
+      if (next >= arrivals_installed.size() ||
+          arrivals_installed[next] != id) {
+        complete = false;
+        complete_detail = StrFormat(
+            "shard %d installed update %lld out of arrival order",
+            static_cast<int>(s), static_cast<long long>(id));
+        break;
+      }
+      ++next;
+    }
+  }
+
+  if (!report.final_state_correct) {
+    report.level = ConsistencyLevel::kInconsistent;
+    report.detail = "merged fragments diverge from the replayed final view";
+  } else if (!partition_ok) {
+    report.level = ConsistencyLevel::kConvergent;
+    report.detail = partition_detail;
+  } else if (!order_ok) {
+    report.level = ConsistencyLevel::kConvergent;
+    report.detail = order_detail;
+  } else if (!complete) {
+    report.level = ConsistencyLevel::kStrong;
+    report.detail = complete_detail;
+  } else {
+    report.level = ConsistencyLevel::kComplete;
+    report.detail =
+        "every shard retired its full arrival sequence in order";
+  }
+  return report;
+}
+
+}  // namespace sweepmv

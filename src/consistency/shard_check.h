@@ -1,0 +1,65 @@
+// Cross-shard consistency classification (docs/sharding.md).
+//
+// The single-warehouse checker (checker.h) replays install logs against
+// the sources' ground truth. A sharded deployment has no single install
+// log — each shard installs only the updates it owns — so the levels are
+// re-derived from per-shard retire logs and the merged view:
+//
+//   * convergent — the merged view (V_initial + Σ fragments) equals the
+//     view replayed at the sources' final states;
+//   * strong     — additionally, ownership is a genuine partition (every
+//     committed update installed by exactly one shard, never both
+//     installed and discarded by the same shard) and every shard retired
+//     each relation's updates in source commit order, so each shard's
+//     version vector grows monotonically through consistent states;
+//   * complete (per shard) — additionally, every shard retired its whole
+//     arrival sequence in arrival order, installing its owned slice
+//     one update at a time. Each FRAGMENT then steps through every
+//     state of its owned sub-stream in the global arrival order — the
+//     per-shard projection of SWEEP's complete consistency. (The MERGED
+//     view is only sampled between concurrent installs, which is the
+//     coordination sharding deliberately gives up; see docs/sharding.md
+//     for why cross-shard completeness would need a global barrier.)
+
+#ifndef SWEEPMV_CONSISTENCY_SHARD_CHECK_H_
+#define SWEEPMV_CONSISTENCY_SHARD_CHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "core/warehouse.h"
+#include "relational/relation.h"
+#include "relational/view_def.h"
+#include "source/state_log.h"
+
+namespace sweepmv {
+
+struct ShardConsistencyReport {
+  ConsistencyLevel level = ConsistencyLevel::kInconsistent;
+  // Reason the next-stricter level was not reached.
+  std::string detail;
+  bool final_state_correct = false;
+  // Every committed update installed by exactly one shard, and no shard
+  // both installed and discarded the same update.
+  bool ownership_partition = false;
+  // Every shard retired each relation's updates in source commit order.
+  bool retire_order_monotone = false;
+  int64_t updates = 0;
+  int64_t installs = 0;           // summed over shards
+  int64_t foreign_discards = 0;   // summed over shards
+  // Final per-shard version vectors (ShardedView::VersionVectors).
+  std::vector<std::vector<int64_t>> version_vectors;
+};
+
+// `initial_view` is the view over the initial base relations (what every
+// fragment is a delta against); `shards` are the drained warehouses.
+ShardConsistencyReport CheckShardedConsistency(
+    const ViewDef& view, const std::vector<const StateLog*>& source_logs,
+    const Relation& initial_view,
+    const std::vector<const Warehouse*>& shards);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_CONSISTENCY_SHARD_CHECK_H_

@@ -23,7 +23,13 @@ SweepWarehouse::SweepWarehouse(int site_id, ViewDef view_def,
 void SweepWarehouse::HandleUpdateArrival() { MaybeStartNext(); }
 
 void SweepWarehouse::MaybeStartNext() {
-  if (active_.has_value() || mutable_queue().empty()) return;
+  if (active_.has_value()) return;
+  // Sharded operation: foreign updates ride the queue only so a running
+  // sweep's compensation can observe them; with no sweep active any run
+  // of them at the head has served its purpose and is discarded (the
+  // owning shard maintains the view against them).
+  DiscardForeignQueueHead();
+  if (mutable_queue().empty()) return;
 
   Update update = std::move(mutable_queue().front());
   mutable_queue().pop_front();
@@ -55,9 +61,17 @@ void SweepWarehouse::Advance() {
     return;
   }
 
-  sweep.temp = sweep.dv;
+  // While the query is in flight `dv` is dead: HandleQueryAnswer
+  // overwrites it before any read, and recovery re-issues the query from
+  // the pending-query request, not from algorithm state. So the pre-send
+  // partial lives only in `temp` (compensation needs it) and the single
+  // remaining copy per hop is the query payload itself. `dv` is reset to
+  // a defined empty value so checkpoints of an in-flight sweep stay
+  // deterministic.
+  sweep.temp = std::move(sweep.dv);
+  sweep.dv = PartialDelta();
   sweep.outstanding_query =
-      SendSweepQuery(sweep.j, /*extend_left=*/sweep.left_phase, sweep.dv);
+      SendSweepQuery(sweep.j, /*extend_left=*/sweep.left_phase, sweep.temp);
 }
 
 void SweepWarehouse::HandleQueryAnswer(QueryAnswer answer) {

@@ -18,6 +18,10 @@ Warehouse::Warehouse(int site_id, ViewDef view_def, Network* network,
   SWEEP_CHECK(network != nullptr);
   SWEEP_CHECK(static_cast<int>(source_sites_.size()) ==
               view_def_.num_relations());
+  SWEEP_CHECK(options_.query_id_stride >= 1);
+  SWEEP_CHECK(options_.query_id_origin >= 0 &&
+              options_.query_id_origin < options_.query_id_stride);
+  next_query_id_ = options_.query_id_origin;
 }
 
 bool Warehouse::IsDuplicateUpdate(const Update& update) {
@@ -178,6 +182,9 @@ Warehouse::SavedState Warehouse::SaveState() const {
   state.duplicate_updates_ignored = duplicate_updates_ignored_;
   state.stale_answers_ignored = stale_answers_ignored_;
   state.queries_reissued = queries_reissued_;
+  state.foreign_skip_log = foreign_skip_log_;
+  state.foreign_updates_discarded = foreign_updates_discarded_;
+  state.install_time_log = install_time_log_;
   state.durable_checkpoint = durable_checkpoint_;
   state.durable_wal = durable_wal_;
   state.durable_epoch = durable_epoch_;
@@ -209,6 +216,9 @@ void Warehouse::RestoreState(const SavedState& state) {
   duplicate_updates_ignored_ = state.duplicate_updates_ignored;
   stale_answers_ignored_ = state.stale_answers_ignored;
   queries_reissued_ = state.queries_reissued;
+  foreign_skip_log_ = state.foreign_skip_log;
+  foreign_updates_discarded_ = state.foreign_updates_discarded;
+  install_time_log_ = state.install_time_log;
   durable_checkpoint_ = state.durable_checkpoint;
   durable_wal_ = state.durable_wal;
   durable_epoch_ = state.durable_epoch;
@@ -299,6 +309,17 @@ std::string Warehouse::SerializeCheckpoint() const {
   w.WriteI64(duplicate_updates_ignored_);
   w.WriteI64(stale_answers_ignored_);
   w.WriteI64(queries_reissued_);
+  w.WriteI64(static_cast<int64_t>(foreign_skip_log_.size()));
+  for (const auto& [id, at] : foreign_skip_log_) {
+    w.WriteI64(id);
+    w.WriteI64(at);
+  }
+  w.WriteI64(foreign_updates_discarded_);
+  w.WriteI64(static_cast<int64_t>(install_time_log_.size()));
+  for (const auto& [id, at] : install_time_log_) {
+    w.WriteI64(id);
+    w.WriteI64(at);
+  }
   SerializeAlgState(w);
   return w.Take();
 }
@@ -358,6 +379,21 @@ void Warehouse::RestoreFromCheckpoint(const std::string& bytes) {
   duplicate_updates_ignored_ = r.ReadI64();
   stale_answers_ignored_ = r.ReadI64();
   queries_reissued_ = r.ReadI64();
+  foreign_skip_log_.clear();
+  const int64_t skips = r.ReadI64();
+  for (int64_t i = 0; i < skips; ++i) {
+    const int64_t id = r.ReadI64();
+    const SimTime at = r.ReadI64();
+    foreign_skip_log_.emplace_back(id, at);
+  }
+  foreign_updates_discarded_ = r.ReadI64();
+  install_time_log_.clear();
+  const int64_t install_times = r.ReadI64();
+  for (int64_t i = 0; i < install_times; ++i) {
+    const int64_t id = r.ReadI64();
+    const SimTime at = r.ReadI64();
+    install_time_log_.emplace_back(id, at);
+  }
   DeserializeAlgState(r);
   SWEEP_CHECK_MSG(r.AtEnd(),
                   "checkpoint not fully consumed on restore — the "
@@ -526,7 +562,7 @@ void Warehouse::HandleSnapshotAnswer(SnapshotAnswer) {
 
 int64_t Warehouse::SendSweepQuery(int target_rel, bool extend_left,
                                   PartialDelta partial) {
-  int64_t id = next_query_id_++;
+  int64_t id = NextQueryId();
   ++queries_sent_;
   QueryRequest request;
   request.query_id = id;
@@ -540,7 +576,7 @@ int64_t Warehouse::SendSweepQuery(int target_rel, bool extend_left,
 }
 
 int64_t Warehouse::SendEcaQuery(std::vector<EcaTerm> terms) {
-  int64_t id = next_query_id_++;
+  int64_t id = NextQueryId();
   ++queries_sent_;
   EcaQueryRequest request{id, std::move(terms), epoch_};
   RegisterQuery(id, source_site(0), request);
@@ -549,7 +585,7 @@ int64_t Warehouse::SendEcaQuery(std::vector<EcaTerm> terms) {
 }
 
 int64_t Warehouse::SendSnapshotRequest(int target_rel) {
-  int64_t id = next_query_id_++;
+  int64_t id = NextQueryId();
   ++queries_sent_;
   int target = source_site(target_rel);
   // A multi-relation site answers one snapshot request with one
@@ -587,6 +623,8 @@ void Warehouse::InstallAbsoluteView(Relation new_view,
 
 void Warehouse::RecordInstall(std::vector<int64_t> update_ids) {
   updates_incorporated_ += static_cast<int64_t>(update_ids.size());
+  const SimTime now = network_->simulator()->now();
+  for (int64_t id : update_ids) install_time_log_.emplace_back(id, now);
   if (!options_.log_installs) return;
   InstallRecord record;
   record.time = network_->simulator()->now();
@@ -594,6 +632,17 @@ void Warehouse::RecordInstall(std::vector<int64_t> update_ids) {
   record.view_after = view_;
   record.negative_counts = view_.HasNegative();
   installs_.push_back(std::move(record));
+}
+
+void Warehouse::DiscardForeignQueueHead() {
+  while (!queue_.empty() && !OwnsUpdate(queue_.front())) {
+    foreign_skip_log_.emplace_back(queue_.front().id,
+                                   network_->simulator()->now());
+    ++foreign_updates_discarded_;
+    SWEEP_LOG(Debug) << name() << " discarded foreign update #"
+                     << queue_.front().id;
+    queue_.pop_front();
+  }
 }
 
 Relation Warehouse::MergedQueueDeltaFor(int rel) const {

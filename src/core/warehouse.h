@@ -103,6 +103,24 @@ class Warehouse : public Site {
     // reorder (faulty links with the reliability layer disabled); the
     // warehouse then falls back to remembering every id.
     bool fifo_update_streams = true;
+    // --- Sharded operation (src/shard/, docs/sharding.md) ---------------
+    // A sharded deployment runs several Warehouse instances over the same
+    // update stream, each owning a disjoint slice of it. Every shard sees
+    // every update (the router broadcasts in arrival order, so queue
+    // compensation still observes all interfering updates), but only the
+    // owner runs a sweep and installs the delta; foreign updates are
+    // discarded when they reach the queue head with no sweep active.
+    // `shard_of` maps an update to its owning shard index; null (the
+    // default) means "own everything" — bit-for-bit the unsharded
+    // behaviour.
+    int shard_index = 0;
+    std::function<int(const Update&)> shard_of;
+    // Query-id striping: shard s draws ids s, s+stride, 2*stride+s, ...
+    // so ids are disjoint across shards and the router can route a
+    // QueryAnswer back to its shard as query_id % stride. The defaults
+    // (0, 1) reproduce the unsharded sequence 0, 1, 2, ...
+    int64_t query_id_origin = 0;
+    int64_t query_id_stride = 1;
   };
 
   // `source_sites[r]` is the site id serving queries for relation r (all
@@ -165,6 +183,23 @@ class Warehouse : public Site {
   }
   int64_t stale_answers_ignored() const { return stale_answers_ignored_; }
   int64_t queries_reissued() const { return queries_reissued_; }
+  // Sharding counters: updates another shard owned, discarded at the
+  // queue head without maintenance here. (id, discard time) pairs in
+  // discard order — the cross-shard checker merges these with the
+  // install log to recover each shard's per-relation retire order.
+  int64_t foreign_updates_discarded() const {
+    return foreign_updates_discarded_;
+  }
+  const std::vector<std::pair<int64_t, SimTime>>& foreign_skip_log() const {
+    return foreign_skip_log_;
+  }
+  // (update id, install time) per incorporated update, kept even with
+  // log_installs off — the lightweight trace staleness percentiles are
+  // computed from at bench scale (the full InstallRecord log would hold
+  // a view snapshot per transition).
+  const std::vector<std::pair<int64_t, SimTime>>& install_time_log() const {
+    return install_time_log_;
+  }
 
   // --- Crash/recovery (docs/fault_model.md §6) --------------------------
   //
@@ -269,6 +304,9 @@ class Warehouse : public Site {
     int64_t duplicate_updates_ignored = 0;
     int64_t stale_answers_ignored = 0;
     int64_t queries_reissued = 0;
+    std::vector<std::pair<int64_t, SimTime>> foreign_skip_log;
+    int64_t foreign_updates_discarded = 0;
+    std::vector<std::pair<int64_t, SimTime>> install_time_log;
     std::string durable_checkpoint;
     std::vector<Update> durable_wal;
     int64_t durable_epoch = 0;
@@ -350,6 +388,19 @@ class Warehouse : public Site {
   // paper's "multiple interfering updates ... merged into a single ΔRj").
   Relation MergedQueueDeltaFor(int rel) const;
 
+  // True if this warehouse is responsible for maintaining the view
+  // against `update` (always true unless Options::shard_of is set).
+  bool OwnsUpdate(const Update& update) const {
+    return !options_.shard_of ||
+           options_.shard_of(update) == options_.shard_index;
+  }
+
+  // Pops foreign updates off the queue head, logging each discard. Only
+  // legal while no sweep is active: a running sweep's compensation needs
+  // every queued interfering update, owned or not, so algorithms call
+  // this exactly at the start-next-sweep decision point.
+  void DiscardForeignQueueHead();
+
   std::deque<Update>& mutable_queue() { return queue_; }
   Network* network() { return network_; }
   int site_id() const { return site_id_; }
@@ -357,6 +408,13 @@ class Warehouse : public Site {
 
  private:
   void RecordInstall(std::vector<int64_t> update_ids);
+
+  // Draws the next query id under the shard stripe (origin + n * stride).
+  int64_t NextQueryId() {
+    int64_t id = next_query_id_;
+    next_query_id_ += options_.query_id_stride;
+    return id;
+  }
 
   void RegisterQuery(int64_t query_id, int target_site,
                      const Message& request, int expected_answers = 1);
@@ -420,6 +478,13 @@ class Warehouse : public Site {
   int64_t duplicate_updates_ignored_ = 0;
   int64_t stale_answers_ignored_ = 0;
   int64_t queries_reissued_ = 0;
+  // Sharding: (id, time) of foreign updates discarded at the queue head,
+  // and their count (equal to the log's size, kept separately so the
+  // counter survives a hypothetical log trim).
+  std::vector<std::pair<int64_t, SimTime>> foreign_skip_log_;
+  int64_t foreign_updates_discarded_ = 0;
+  // (id, install time) per incorporated update; see install_time_log().
+  std::vector<std::pair<int64_t, SimTime>> install_time_log_;
   // The in-sim durable store: what survives a warehouse crash. The
   // checkpoint is cut lazily before the first arrival, then re-cut every
   // checkpoint_every WAL appends; the WAL holds the updates accepted

@@ -204,6 +204,12 @@ RunResult RunExplicitScenario(const ScenarioConfig& config,
   }
   result.staleness_integral = StalenessIntegral(*warehouse);
   result.mean_incorporation_delay = MeanIncorporationDelay(*warehouse);
+  {
+    const StalenessPercentiles tail =
+        IncorporationDelayPercentiles(*warehouse);
+    result.staleness_p50 = tail.p50;
+    result.staleness_p99 = tail.p99;
+  }
   if (result.updates_delivered > 0) {
     int64_t maintenance =
         result.net.Of(MessageClass::kQueryRequest).messages +

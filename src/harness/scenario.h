@@ -117,6 +117,9 @@ struct RunResult {
   SimTime last_arrival_time = 0;
   double staleness_integral = 0.0;
   double mean_incorporation_delay = 0.0;
+  // Arrival -> install delay percentiles (nearest-rank), in ticks.
+  double staleness_p50 = 0.0;
+  double staleness_p99 = 0.0;
 
   // Query+answer messages divided by delivered updates.
   double maintenance_msgs_per_update = 0.0;

@@ -1,24 +1,61 @@
 #include "harness/stats.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 namespace sweepmv {
 
 namespace {
 
-// Builds the map update id -> install time.
+// Builds the map update id -> install time. Reads the always-on
+// lightweight install-time log, so the metrics work even when the full
+// install log (log_installs) is disabled for throughput runs.
 std::map<int64_t, SimTime> InstallTimes(const Warehouse& warehouse) {
   std::map<int64_t, SimTime> times;
-  for (const InstallRecord& install : warehouse.install_log()) {
-    for (int64_t id : install.update_ids) {
-      times.emplace(id, install.time);
-    }
+  for (const auto& [id, at] : warehouse.install_time_log()) {
+    times.emplace(id, at);
   }
   return times;
 }
 
 }  // namespace
+
+StalenessPercentiles PercentilesOf(std::vector<double> samples) {
+  StalenessPercentiles p;
+  if (samples.empty()) return p;
+  std::sort(samples.begin(), samples.end());
+  p.samples = static_cast<int64_t>(samples.size());
+  // Nearest-rank: ceil(q * n) converted to a 0-based index.
+  auto rank = [&](double q) {
+    size_t k = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    if (k > 0) --k;
+    return samples[std::min(k, samples.size() - 1)];
+  };
+  p.p50 = rank(0.50);
+  p.p99 = rank(0.99);
+  return p;
+}
+
+StalenessPercentiles IncorporationDelayPercentiles(
+    const Warehouse& warehouse) {
+  const auto& arrivals = warehouse.arrival_log();
+  if (arrivals.empty()) return StalenessPercentiles{};
+
+  std::map<int64_t, SimTime> installed = InstallTimes(warehouse);
+  SimTime end = arrivals.back().second;
+  for (const auto& [id, t] : installed) end = std::max(end, t);
+
+  std::vector<double> delays;
+  delays.reserve(arrivals.size());
+  for (const auto& [id, at] : arrivals) {
+    auto it = installed.find(id);
+    SimTime done = it == installed.end() ? end : it->second;
+    delays.push_back(static_cast<double>(done - at));
+  }
+  return PercentilesOf(std::move(delays));
+}
 
 double StalenessIntegral(const Warehouse& warehouse) {
   const auto& arrivals = warehouse.arrival_log();

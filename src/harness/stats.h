@@ -4,10 +4,30 @@
 #define SWEEPMV_HARNESS_STATS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/warehouse.h"
 
 namespace sweepmv {
+
+// Tail view-staleness: percentiles over per-update accepted-at ->
+// installed-at delays, in ticks. Unlike the mean, the p99 exposes the
+// updates that sat behind a long sweep (or a whole batch window).
+struct StalenessPercentiles {
+  double p50 = 0.0;
+  double p99 = 0.0;
+  int64_t samples = 0;
+};
+
+// Nearest-rank percentiles of `samples` (consumed; order irrelevant).
+// Empty input yields all zeros.
+StalenessPercentiles PercentilesOf(std::vector<double> samples);
+
+// Percentiles of the warehouse's own arrival -> install delays, the
+// per-update view behind MeanIncorporationDelay. Updates never installed
+// count up to the end of the run.
+StalenessPercentiles IncorporationDelayPercentiles(
+    const Warehouse& warehouse);
 
 // Time integral of the number of delivered-but-not-yet-incorporated
 // updates, from the first arrival to the later of (last install, last

@@ -1,0 +1,61 @@
+// ShardRouter: the traffic hub of a sharded warehouse deployment.
+//
+// Sources address all their traffic to the router as if it were the one
+// warehouse; the router relays:
+//
+//   * UpdateMessage  — broadcast to every shard, in arrival order. One
+//     inbound FIFO link fans out to per-shard FIFO links, so every shard
+//     observes the same global arrival order — the total order that
+//     defines consistency, and the order SWEEP's compensation argument
+//     needs (an update committed before a query evaluated arrives at the
+//     shard before the query's answer, across both hops).
+//   * QueryRequest   — forwarded to the source hosting the target
+//     relation. The source answers to its sender (the router).
+//   * QueryAnswer    — routed back to the issuing shard, recovered from
+//     the query id: shard s stripes its ids as s, s+stride, ... with
+//     stride = num_shards, so owner = query_id % num_shards.
+//
+// The router holds no protocol state — it is pure forwarding plus
+// counters — so it needs no snapshot or checkpoint machinery.
+
+#ifndef SWEEPMV_SHARD_ROUTER_H_
+#define SWEEPMV_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/site.h"
+
+namespace sweepmv {
+
+class ShardRouter : public Site {
+ public:
+  // `source_sites[r]` answers queries for relation r; `shard_sites[s]`
+  // is the warehouse shard with shard_index s (ids must be registered
+  // with the network by the harness, router included).
+  ShardRouter(int site_id, Network* network, std::vector<int> source_sites,
+              std::vector<int> shard_sites);
+
+  void OnMessage(int from, Message msg) override;
+
+  int site_id() const { return site_id_; }
+  int num_shards() const { return static_cast<int>(shard_sites_.size()); }
+
+  int64_t updates_broadcast() const { return updates_broadcast_; }
+  int64_t queries_forwarded() const { return queries_forwarded_; }
+  int64_t answers_returned() const { return answers_returned_; }
+
+ private:
+  int site_id_;
+  Network* network_;
+  std::vector<int> source_sites_;
+  std::vector<int> shard_sites_;
+  int64_t updates_broadcast_ = 0;
+  int64_t queries_forwarded_ = 0;
+  int64_t answers_returned_ = 0;
+};
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_SHARD_ROUTER_H_

@@ -1,0 +1,91 @@
+// Sharded-scenario runner: the multi-shard, multi-view counterpart of
+// harness/scenario.h.
+//
+// Builds one simulated system holding `num_views` independent view
+// groups. Each group is a full deployment — per-relation DataSources, a
+// ShardRouter, and `num_shards` SweepWarehouse shards maintaining
+// fragments of that group's view — all sharing one simulator, one
+// network, and one update-id space. With batching on, client
+// transactions flow through per-relation BatchPipelines instead of
+// committing individually, so whole submit windows ride one sweep.
+//
+// Only SWEEP is shardable here: its compensation consumes queued
+// interfering updates in place without reordering them, which is what
+// makes the foreign-head discard exact (docs/sharding.md works the
+// argument). Nested SWEEP folds queued updates into a running sweep out
+// of arrival order — sound for one warehouse, wrong across fragments —
+// so the runner rejects every other algorithm.
+
+#ifndef SWEEPMV_SHARD_SHARDED_SCENARIO_H_
+#define SWEEPMV_SHARD_SHARDED_SCENARIO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "consistency/shard_check.h"
+#include "harness/scenario.h"
+#include "harness/stats.h"
+#include "shard/batch.h"
+
+namespace sweepmv {
+
+struct ShardedScenarioConfig {
+  // Base knobs: chain/workload generation (per group, seeds offset by
+  // the group index), latency, warehouse options, fault plan. The
+  // algorithm must be kSweep; relations_per_site must be 1.
+  ScenarioConfig base;
+  int num_shards = 1;
+  // Independent view groups (each with its own sources and shards).
+  int num_views = 1;
+  // Route client transactions through per-relation BatchPipelines.
+  bool batching = false;
+  BatchOptions batch;
+};
+
+struct ShardedRunResult {
+  bool completed = true;
+  int num_views = 0;
+  int num_shards = 0;
+  // Client transactions executed (into pipelines when batching).
+  int64_t txns_submitted = 0;
+  // Source commits = update messages entering the system (with batching,
+  // one per non-empty flushed batch).
+  int64_t updates_committed = 0;
+  int64_t installs = 0;           // per-shard owned installs, summed
+  int64_t foreign_discards = 0;   // summed over shards
+  int64_t batches_flushed = 0;
+  int64_t noop_batches = 0;       // batches whose delta cancelled away
+  int64_t duplicate_updates_ignored = 0;  // crash-replay dedup, summed
+  SimTime finish_time = 0;
+
+  // Group 0's merged final view and its replayed ground truth; with
+  // check_consistency on, every group is verified and `shard_consistency`
+  // reports group 0's cross-shard classification.
+  Relation final_view;
+  Relation expected_view;
+  bool all_groups_correct = true;
+  ShardConsistencyReport shard_consistency;
+
+  // Submit -> install view staleness across every group (accepted-at is
+  // the client submit time — for batching, entry into the pipeline).
+  StalenessPercentiles staleness;
+
+  NetworkStats net;
+};
+
+// Generated mode: every group gets its own chain + workload, seeded from
+// the base seeds offset by the group index.
+ShardedRunResult RunShardedScenario(const ShardedScenarioConfig& config);
+
+// Explicit mode (num_views must be 1): caller-provided view, initial
+// bases, and transaction schedule — the paper-example entry point the
+// equivalence tests drive.
+ShardedRunResult RunShardedExplicit(const ShardedScenarioConfig& config,
+                                    const ViewDef& view,
+                                    const std::vector<Relation>&
+                                        initial_bases,
+                                    const std::vector<ScheduledTxn>& txns);
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_SHARD_SHARDED_SCENARIO_H_

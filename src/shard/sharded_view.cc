@@ -1,0 +1,55 @@
+#include "shard/sharded_view.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace sweepmv {
+
+ShardedView::ShardedView(Relation initial)
+    : initial_(std::move(initial)) {}
+
+void ShardedView::AddShard(const Warehouse* shard) {
+  SWEEP_CHECK(shard != nullptr);
+  shards_.push_back(shard);
+}
+
+const Warehouse& ShardedView::shard(int s) const {
+  SWEEP_CHECK(s >= 0 && s < num_shards());
+  return *shards_[static_cast<size_t>(s)];
+}
+
+Relation ShardedView::Merged() const {
+  Relation merged = initial_;
+  for (const Warehouse* shard : shards_) merged.Merge(shard->view());
+  return merged;
+}
+
+std::vector<std::vector<int64_t>> ShardedView::VersionVectors(
+    const std::vector<const StateLog*>& source_logs) const {
+  std::map<int64_t, int> relation_of;
+  for (size_t r = 0; r < source_logs.size(); ++r) {
+    for (const LoggedUpdate& u : source_logs[r]->updates()) {
+      relation_of.emplace(u.id, static_cast<int>(r));
+    }
+  }
+  std::vector<std::vector<int64_t>> vectors;
+  for (const Warehouse* shard : shards_) {
+    std::vector<int64_t> versions(source_logs.size(), 0);
+    auto count = [&](const std::vector<std::pair<int64_t, SimTime>>& log) {
+      for (const auto& [id, at] : log) {
+        (void)at;
+        auto it = relation_of.find(id);
+        SWEEP_CHECK_MSG(it != relation_of.end(),
+                        "shard retired an update no source committed");
+        ++versions[static_cast<size_t>(it->second)];
+      }
+    };
+    count(shard->install_time_log());
+    count(shard->foreign_skip_log());
+    vectors.push_back(std::move(versions));
+  }
+  return vectors;
+}
+
+}  // namespace sweepmv

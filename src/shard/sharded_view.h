@@ -1,0 +1,62 @@
+// ShardedView: the merged, queryable face of a sharded warehouse.
+//
+// Each shard maintains a FRAGMENT: a signed-count relation that starts
+// empty and accumulates exactly the view deltas of the updates the shard
+// owns. Per-update deltas telescope — summed over every update, in any
+// partition, they equal V_final - V_initial — so
+//
+//   Merged() = V_initial + Σ_s fragment_s
+//
+// is byte-identical to the unsharded warehouse's final view once all
+// shards drain (tests/shard_equivalence_test.cc pins this for 1/2/4/8
+// shards). Mid-run, a fragment may legitimately hold negative counts
+// (a deletion whose prior insert landed in the initial view, not the
+// fragment); the merge cancels them.
+//
+// The per-shard version vector — how many updates of each relation a
+// shard has retired (installed as owner, or discarded as foreign) — is
+// what the cross-shard consistency check (src/consistency/shard_check.h)
+// validates against the sources' ground-truth logs.
+
+#ifndef SWEEPMV_SHARD_SHARDED_VIEW_H_
+#define SWEEPMV_SHARD_SHARDED_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/warehouse.h"
+#include "relational/relation.h"
+#include "source/state_log.h"
+
+namespace sweepmv {
+
+class ShardedView {
+ public:
+  // `initial` is the full view evaluated over the initial base relations
+  // — the V_initial every fragment is a delta against.
+  explicit ShardedView(Relation initial);
+
+  void AddShard(const Warehouse* shard);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const Warehouse& shard(int s) const;
+  const Relation& initial() const { return initial_; }
+
+  // V_initial + the sum of every shard's fragment.
+  Relation Merged() const;
+
+  // Per-shard version vector: entry [s][r] counts the relation-r updates
+  // shard s has retired (installed + foreign-discarded). `source_logs[r]`
+  // supplies the id -> relation mapping. When every shard has drained,
+  // all rows are identical and equal the sources' total update counts.
+  std::vector<std::vector<int64_t>> VersionVectors(
+      const std::vector<const StateLog*>& source_logs) const;
+
+ private:
+  Relation initial_;
+  std::vector<const Warehouse*> shards_;
+};
+
+}  // namespace sweepmv
+
+#endif  // SWEEPMV_SHARD_SHARDED_VIEW_H_

@@ -1,6 +1,7 @@
 #include "workload/update_gen.h"
 
 #include <cmath>
+#include <map>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -14,6 +15,8 @@ std::vector<ScheduledTxn> GenerateWorkload(
               view.num_relations());
   SWEEP_CHECK(spec.max_ops_per_txn >= 1);
   SWEEP_CHECK(spec.insert_fraction >= 0.0 && spec.insert_fraction <= 1.0);
+  SWEEP_CHECK(spec.key_skew >= 0.0 && spec.key_skew < 1.0);
+  SWEEP_CHECK(spec.key_domain >= 1);
 
   Rng rng(spec.seed);
   // Track what each relation will contain at execution time (events fire
@@ -25,6 +28,11 @@ std::vector<ScheduledTxn> GenerateWorkload(
     }
   }
   int64_t next_key = FirstFreshKey(chain);
+  // Hot-key mode: the live tuple of each occupied key slot, per relation.
+  // Slots start at FirstFreshKey, above every initial-base key, so
+  // uniqueness holds against the initial tuples too. std::map keeps the
+  // schedule deterministic under a fixed seed.
+  std::vector<std::map<int64_t, Tuple>> hot_keys(initial_bases.size());
 
   std::vector<ScheduledTxn> txns;
   txns.reserve(static_cast<size_t>(spec.total_txns));
@@ -43,6 +51,32 @@ std::vector<ScheduledTxn> GenerateWorkload(
 
     int ops = static_cast<int>(rng.Uniform(1, spec.max_ops_per_txn));
     for (int k = 0; k < ops; ++k) {
+      if (spec.key_skew > 0.0) {
+        auto join_value = [&]() {
+          return spec.value_skew > 0.0
+                     ? rng.Zipf(chain.join_domain, spec.value_skew)
+                     : rng.Uniform(0, chain.join_domain - 1);
+        };
+        auto& hot = hot_keys[static_cast<size_t>(txn.relation)];
+        const int64_t key = FirstFreshKey(chain) +
+                            rng.Zipf(spec.key_domain, spec.key_skew);
+        auto slot = hot.find(key);
+        if (slot == hot.end()) {
+          Tuple t = IntTuple({key, join_value(), join_value()});
+          hot.emplace(key, t);
+          txn.ops.push_back(UpdateOp::Insert(std::move(t)));
+        } else if (rng.Bernoulli(spec.insert_fraction)) {
+          // Modify: replace the slot's tuple, keeping its key.
+          txn.ops.push_back(UpdateOp::Delete(slot->second));
+          Tuple t = IntTuple({key, join_value(), join_value()});
+          slot->second = t;
+          txn.ops.push_back(UpdateOp::Insert(std::move(t)));
+        } else {
+          txn.ops.push_back(UpdateOp::Delete(slot->second));
+          hot.erase(slot);
+        }
+        continue;
+      }
       bool insert = rng.Bernoulli(spec.insert_fraction) || pool.empty();
       if (insert) {
         auto join_value = [&]() {

@@ -37,6 +37,15 @@ struct WorkloadSpec {
   // Zipf skew in (0,1) concentrates join-attribute values on low values
   // (hot-key workloads, higher join fan-out on the hot keys); 0 = uniform.
   double value_skew = 0.0;
+  // Zipf skew in (0,1) over a bounded per-relation working set of
+  // key_domain key slots: each op draws a slot; an absent slot is
+  // inserted, a present one is modified (delete + reinsert with fresh
+  // join values) with probability insert_fraction, else deleted. High
+  // skew makes a few hot keys churn repeatedly — exactly what batching
+  // cancels (BatchPipeline) — while keys stay unique per relation.
+  // 0 keeps the unbounded fresh-key discipline above.
+  double key_skew = 0.0;
+  int64_t key_domain = 256;
   uint64_t seed = 7;
 };
 

@@ -49,7 +49,9 @@ checkpoint-coverage
     snapshot does not capture, or one the serializer writes anyway, is
     stale and fails. Unlike the regex rules this one is structural
     (it brace-matches the two function bodies), and it uses the
-    checkpoint-exempt block, not lint:allow.
+    checkpoint-exempt block, not lint:allow. It covers .cc files under
+    src/core/ and src/shard/ — the shard layer runs the same durable
+    warehouses, so its snapshot/serializer pairs owe the same coverage.
 
 raw-thread
     The simulator is single-threaded by design: all concurrency in the
@@ -331,7 +333,8 @@ def lint_file(path: Path, rel: str, failures: list[Failure]) -> None:
     except (OSError, UnicodeDecodeError) as err:
         failures.append(Failure(rel, 1, "io", rel, f"unreadable: {err}"))
         return
-    if rel.startswith("src/core/") and path.suffix == ".cc":
+    if (rel.startswith(("src/core/", "src/shard/"))
+            and path.suffix == ".cc"):
         check_checkpoint_coverage(rel, lines, failures)
     # (line index, rule) pairs of annotations some match consulted — the
     # rest are stale.

@@ -1,0 +1,24 @@
+// checkpoint-coverage fixture for the shard layer: sharded-warehouse
+// snapshot state that never reaches the durable serializer.
+
+namespace sweepmv {
+
+struct Saved {
+  int a = 0;
+  int b = 0;
+};
+
+// Violation: foreign_skips_ is snapshotted but the serializer below
+// never writes it, so a recovered shard would forget it.
+Saved FixtureShardRouter::SaveAlgState() const {
+  Saved s;
+  s.a = routed_;
+  s.b = foreign_skips_;
+  return s;
+}
+
+void FixtureShardRouter::SerializeAlgState(Writer& w) const {
+  w.Write(routed_);
+}
+
+}  // namespace sweepmv
