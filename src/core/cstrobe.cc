@@ -208,7 +208,11 @@ void CStrobeWarehouse::HandleQueryAnswer(QueryAnswer answer) {
 
 void CStrobeWarehouse::HandleInterference(const Update& update) {
   SWEEP_CHECK(active_.has_value());
-  for (const auto& [t, c] : update.delta.entries()) {
+  // Sorted: the iteration order decides the order of local_removals /
+  // observed_deletes_ (both checkpoint-serialized) and the signature
+  // widening sequence, so an unordered walk would leak hash-table order
+  // into checkpoint bytes and task-spawn order.
+  for (const auto& [t, c] : update.delta.SortedEntries()) {
     if (c > 0) {
       // Concurrent insert: offset locally at finalize time by deleting
       // the matching tuples from the accumulated answer.

@@ -32,7 +32,7 @@ uint64_t RoutingHashTuple(const std::vector<int>& key_positions,
   // FNV-style combine over the selected values (mirrors
   // Tuple::ComputeHash) without materializing the projection.
   uint64_t h = 0xcbf29ce484222325ull;
-  auto mix = [&h](uint64_t vh) {
+  const auto mix = [&h](uint64_t vh) {
     h ^= vh + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
   };
   if (key_positions.empty()) {
@@ -60,6 +60,8 @@ uint64_t RoutingHash(const ViewDef& view, const Update& update) {
               update.relation < view.num_relations());
   const std::vector<int> keys = JoinKeyPositions(view, update.relation);
   uint64_t best = ~uint64_t{0};
+  // sweeplint:allow determinism-taint min-reduce over per-tuple hashes
+  // is order-independent, so the unordered walk cannot change the result
   for (const auto& [tuple, count] : update.delta.entries()) {
     (void)count;
     best = std::min(best, RoutingHashTuple(keys, tuple));

@@ -197,7 +197,7 @@ ShardedRunResult RunGroups(const ShardedScenarioConfig& config,
   result.num_views = static_cast<int>(groups.size());
   result.num_shards = num_shards;
 
-  auto drained = [&]() {
+  const auto drained = [&]() {
     if (executed >= config.base.max_events) return false;
     for (const Group& group : groups) {
       for (const auto& shard : group.shards) {
@@ -258,7 +258,7 @@ ShardedRunResult RunGroups(const ShardedScenarioConfig& config,
         // updates installs.
         SimTime done = flush.flushed_at;
         for (int64_t id : flush.update_ids) {
-          auto it = installed_at.find(id);
+          const auto it = installed_at.find(id);
           done = std::max(done, it == installed_at.end()
                                     ? result.finish_time
                                     : it->second);
@@ -270,7 +270,7 @@ ShardedRunResult RunGroups(const ShardedScenarioConfig& config,
     }
     for (const auto& [id, submit] : group.submit_log) {
       if (id < 0) continue;  // refused by a crashed source: never an update
-      auto it = installed_at.find(id);
+      const auto it = installed_at.find(id);
       const SimTime done =
           it == installed_at.end() ? result.finish_time : it->second;
       staleness.push_back(static_cast<double>(done - submit));

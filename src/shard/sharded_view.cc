@@ -36,10 +36,11 @@ std::vector<std::vector<int64_t>> ShardedView::VersionVectors(
   std::vector<std::vector<int64_t>> vectors;
   for (const Warehouse* shard : shards_) {
     std::vector<int64_t> versions(source_logs.size(), 0);
-    auto count = [&](const std::vector<std::pair<int64_t, SimTime>>& log) {
+    const auto count =
+        [&](const std::vector<std::pair<int64_t, SimTime>>& log) {
       for (const auto& [id, at] : log) {
         (void)at;
-        auto it = relation_of.find(id);
+        const auto it = relation_of.find(id);
         SWEEP_CHECK_MSG(it != relation_of.end(),
                         "shard retired an update no source committed");
         ++versions[static_cast<size_t>(it->second)];

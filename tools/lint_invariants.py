@@ -35,23 +35,13 @@ unordered-arrival
     link, so any use outside sim/channel.* must be annotated with why
     reordering is intended there.
 
-checkpoint-coverage
-    Crash recovery rebuilds the warehouse from the durable checkpoint
-    (core/checkpoint.h), so the serializer must cover exactly the member
-    set the in-sim snapshot captures: every `member_` read in
-    Warehouse::SaveState must be written by SerializeCheckpoint, and
-    every member in an algorithm's SaveAlgState by its
-    SerializeAlgState (a SaveAlgState with no serializer at all is also
-    an error). Members that genuinely must not be checkpointed — the
-    durable store itself, recovery instrumentation — are declared in a
-    `// checkpoint-exempt: member_ ... — rationale` comment block
-    directly above the serializer; an exemption for a member the
-    snapshot does not capture, or one the serializer writes anyway, is
-    stale and fails. Unlike the regex rules this one is structural
-    (it brace-matches the two function bodies), and it uses the
-    checkpoint-exempt block, not lint:allow. It covers .cc files under
-    src/core/ and src/shard/ — the shard layer runs the same durable
-    warehouses, so its snapshot/serializer pairs owe the same coverage.
+checkpoint-coverage (moved)
+    The structural SaveState↔SerializeCheckpoint coverage rule now lives
+    in sweeplint (tools/sweeplint/ckpt.py), where it runs on the shared
+    semantic member model both frontends produce instead of this file's
+    regex/brace heuristics. The `// checkpoint-exempt: member_ ... —
+    rationale` block grammar is unchanged; sweeplint parses the same
+    blocks. Run `tools/sweeplint/sweeplint.py` to evaluate it.
 
 raw-thread
     The simulator is single-threaded by design: all concurrency in the
@@ -146,139 +136,6 @@ RULES = [
 
 RULE_NAMES = {rule["name"] for rule in RULES}
 
-# --- checkpoint-coverage (structural; see module docstring) ------------
-# Snapshot capture ↔ durable serializer pairs: whatever the left-hand
-# function reads must reach the right-hand one's byte stream.
-CHECKPOINT_PAIRS = (
-    ("SaveState", "SerializeCheckpoint"),
-    ("SaveAlgState", "SerializeAlgState"),
-)
-CHECKPOINT_RULE = "checkpoint-coverage"
-# Warehouse members are lowercase snake_case with a trailing underscore.
-MEMBER_TOKEN = re.compile(r"\b[a-z][a-z0-9_]*_(?![A-Za-z0-9_])")
-EXEMPT_MARK = "checkpoint-exempt:"
-# The rationale separator inside a checkpoint-exempt block: an em dash
-# or a standalone "--".
-EXEMPT_DASH = re.compile(r"—|(?<!-)--(?!-)")
-
-
-def find_body(lines: list[str], method: str) -> tuple[int, str] | None:
-    """Returns (definition line index, comment-stripped body text) of the
-    first qualified definition `...::method(...) {...}` in the file, or
-    None. Brace-matched, so the extraction is structural rather than
-    line-based."""
-    pattern = re.compile(rf"::{method}\s*\(")
-    for i, line in enumerate(lines):
-        if not pattern.search(line):
-            continue
-        depth = 0
-        opened = False
-        body: list[str] = []
-        for j in range(i, len(lines)):
-            code = lines[j].split("//", 1)[0]
-            for ch in code:
-                if ch == "{":
-                    depth += 1
-                    opened = True
-                elif ch == "}":
-                    depth -= 1
-            body.append(code)
-            if opened and depth <= 0:
-                break
-        return i, "\n".join(body)
-    return None
-
-
-def parse_exempt_block(
-    lines: list[str], def_idx: int
-) -> tuple[set[str], int, str]:
-    """Parses the contiguous comment block directly above a serializer
-    definition. Returns (exempt member names, block start line index or
-    -1 when there is no checkpoint-exempt block, error text or '')."""
-    block: list[str] = []
-    j = def_idx - 1
-    while j >= 0 and lines[j].strip().startswith("//"):
-        block.append(lines[j].strip().lstrip("/").strip())
-        j -= 1
-    start = j + 1
-    text = " ".join(reversed(block))
-    if EXEMPT_MARK not in text:
-        return set(), -1, ""
-    after = text.split(EXEMPT_MARK, 1)[1]
-    dash = EXEMPT_DASH.search(after)
-    if dash is None or len(after[dash.end():].strip()) < MIN_RATIONALE_LEN:
-        return set(), start, (
-            "checkpoint-exempt needs a rationale after an em dash or "
-            "'--' (>= 8 chars)"
-        )
-    names = set(MEMBER_TOKEN.findall(after[: dash.start()]))
-    return names, start, ""
-
-
-def check_checkpoint_coverage(
-    rel: str, lines: list[str], failures: list[Failure]
-) -> None:
-    for save, serialize in CHECKPOINT_PAIRS:
-        save_hit = find_body(lines, save)
-        if save_hit is None:
-            continue
-        save_idx, save_body = save_hit
-        save_members = set(MEMBER_TOKEN.findall(save_body))
-        if not save_members:
-            continue  # the base-class "not implemented" stub
-        ser_hit = find_body(lines, serialize)
-        if ser_hit is None:
-            failures.append(
-                Failure(
-                    rel, save_idx + 1, CHECKPOINT_RULE,
-                    lines[save_idx].strip(),
-                    f"{save} snapshots state but this file defines no "
-                    f"{serialize}; none of it reaches the durable "
-                    "checkpoint crash recovery restores from",
-                )
-            )
-            continue
-        ser_idx, ser_body = ser_hit
-        ser_members = set(MEMBER_TOKEN.findall(ser_body))
-        exempt, block_idx, block_err = parse_exempt_block(lines, ser_idx)
-        if block_err:
-            failures.append(
-                Failure(
-                    rel, block_idx + 1, CHECKPOINT_RULE,
-                    lines[block_idx].strip(), block_err,
-                )
-            )
-        for name in sorted(save_members - ser_members - exempt):
-            failures.append(
-                Failure(
-                    rel, save_idx + 1, CHECKPOINT_RULE,
-                    f"{save} captures {name}",
-                    f"{name} is captured by {save} but never written by "
-                    f"{serialize}; crash recovery would restore less "
-                    "state than an in-sim snapshot restore — serialize "
-                    "it or list it in the checkpoint-exempt block with "
-                    "a rationale",
-                )
-            )
-        for name in sorted(exempt - save_members):
-            failures.append(
-                Failure(
-                    rel, block_idx + 1, CHECKPOINT_RULE,
-                    f"checkpoint-exempt: {name}",
-                    f"stale exemption: {save} does not capture {name} — "
-                    "delete it from the checkpoint-exempt block",
-                )
-            )
-        for name in sorted(exempt & ser_members):
-            failures.append(
-                Failure(
-                    rel, block_idx + 1, CHECKPOINT_RULE,
-                    f"checkpoint-exempt: {name}",
-                    f"stale exemption: {serialize} writes {name} anyway "
-                    "— delete it from the checkpoint-exempt block",
-                )
-            )
-
 # The lookbehind keeps sweeplint's own annotation vocabulary
 # (`sweeplint:allow <check> <why>`, tools/sweeplint/) from matching as a
 # lint:allow with an unknown rule.
@@ -333,9 +190,6 @@ def lint_file(path: Path, rel: str, failures: list[Failure]) -> None:
     except (OSError, UnicodeDecodeError) as err:
         failures.append(Failure(rel, 1, "io", rel, f"unreadable: {err}"))
         return
-    if (rel.startswith(("src/core/", "src/shard/"))
-            and path.suffix == ".cc"):
-        check_checkpoint_coverage(rel, lines, failures)
     # (line index, rule) pairs of annotations some match consulted — the
     # rest are stale.
     used: set[tuple[int, str]] = set()
@@ -470,11 +324,6 @@ def main() -> int:
     if args.list_rules:
         for rule in RULES:
             print(f"{rule['name']}: {rule['why']}")
-        print(
-            f"{CHECKPOINT_RULE}: the durable checkpoint serializer must "
-            "cover the same member set as the in-sim snapshot "
-            "(SaveState/SaveAlgState), modulo the checkpoint-exempt block"
-        )
         return 0
 
     if args.self_test:

@@ -1,4 +1,12 @@
-"""The three sweeplint checks, over the frontend-neutral model.
+"""The sweeplint checks, over the frontend-neutral model.
+
+This module owns the three original declaration-level checks and the
+check registry; the v2 dataflow checks live beside it and are dispatched
+from run_checks() here: determinism-taint (taint.py, nondeterminism
+source->sink dataflow), protocol-guard (guards.py, epoch filtering /
+send-handle pairing / stride stamping) and checkpoint-coverage (ckpt.py,
+durable serializer vs in-sim snapshot parity, ported from
+tools/lint_invariants.py onto the shared member model).
 
 snapshot-completeness
     Every class exposing a SaveState/RestoreState (or SaveAlgState/
@@ -40,17 +48,34 @@ from model import (
     Diagnostic,
     Method,
     Model,
-    find_allow,
     sort_diagnostics,
 )
-
-Token = Tuple[str, int]
+from tokutil import (
+    Token,
+    UNORDERED_MARKERS as _UNORDERED_MARKERS,
+    in_scope as _in_scope,
+    is_ident as _is_ident,
+    match_paren as _match_paren,
+    split_top_level_args as _split_top_level_args,
+    suppressed as _suppressed,
+    unordered_type,
+)
+from ckpt import CHECK_CKPT, CKPT_SCOPE, check_checkpoint_coverage
+from guards import CHECK_GUARD, GUARD_SCOPE, check_protocol_guard
+from taint import CHECK_TAINT, TAINT_SCOPE, check_determinism_taint
 
 CHECK_SNAPSHOT = "snapshot-completeness"
 CHECK_UNORDERED = "unordered-iteration"
 CHECK_EVENT_LABEL = "unlabeled-event"
 
-ALL_CHECKS = (CHECK_SNAPSHOT, CHECK_UNORDERED, CHECK_EVENT_LABEL)
+ALL_CHECKS = (
+    CHECK_SNAPSHOT,
+    CHECK_UNORDERED,
+    CHECK_EVENT_LABEL,
+    CHECK_TAINT,
+    CHECK_GUARD,
+    CHECK_CKPT,
+)
 
 # Default directory scopes (relative-path prefixes) per check; fixture
 # runs pass scope_all=True instead.
@@ -96,17 +121,6 @@ SINK_IDENTIFIERS = frozenset(
     }
 )
 
-_UNORDERED_MARKERS = ("unordered_map", "unordered_set")
-
-
-def _is_ident(tok: str) -> bool:
-    return bool(tok) and (tok[0].isalpha() or tok[0] == "_")
-
-
-def _unordered(type_text: str) -> bool:
-    return any(m in type_text for m in _UNORDERED_MARKERS)
-
-
 def run_checks(
     model: Model,
     checks: Sequence[str] = ALL_CHECKS,
@@ -121,6 +135,15 @@ def run_checks(
     if CHECK_EVENT_LABEL in checks:
         scope = None if scope_all else EVENT_LABEL_SCOPE
         diags.extend(check_event_label(model, scope))
+    if CHECK_TAINT in checks:
+        scope = None if scope_all else TAINT_SCOPE
+        diags.extend(check_determinism_taint(model, scope))
+    if CHECK_GUARD in checks:
+        scope = None if scope_all else GUARD_SCOPE
+        diags.extend(check_protocol_guard(model, scope))
+    if CHECK_CKPT in checks:
+        scope = None if scope_all else CKPT_SCOPE
+        diags.extend(check_checkpoint_coverage(model, scope))
     return sort_diagnostics(diags)
 
 
@@ -248,75 +271,6 @@ def check_snapshot_completeness(model: Model) -> List[Diagnostic]:
     return diags
 
 
-# --- shared body machinery --------------------------------------------------
-
-
-def _match_paren(tokens: List[Token], open_idx: int) -> int:
-    depth = 0
-    for i in range(open_idx, len(tokens)):
-        t = tokens[i][0]
-        if t in ("(", "[", "{"):
-            depth += 1
-        elif t in (")", "]", "}"):
-            depth -= 1
-            if depth == 0:
-                return i
-    return len(tokens)
-
-
-def _split_top_level_args(tokens: List[Token]) -> List[List[Token]]:
-    """Splits the token slice between a call's parens on top-level commas."""
-    args: List[List[Token]] = []
-    cur: List[Token] = []
-    depth = 0
-    for tok in tokens:
-        t = tok[0]
-        if t in ("(", "[", "{"):
-            depth += 1
-        elif t in (")", "]", "}"):
-            depth -= 1
-        elif t == "," and depth == 0:
-            args.append(cur)
-            cur = []
-            continue
-        cur.append(tok)
-    if cur:
-        args.append(cur)
-    return args
-
-
-def _suppressed(
-    model: Model,
-    body: Method,
-    line: int,
-    check: str,
-    diags: List[Diagnostic],
-    message_if_bare: str,
-) -> bool:
-    """True if a well-formed suppression covers (file, line). A matching
-    annotation with a missing/short rationale still suppresses nothing
-    and adds its own diagnostic."""
-    hit = find_allow(model, body.file, line, check)
-    if hit is None:
-        return False
-    rationale, ann_line = hit
-    if len(rationale.strip()) >= MIN_RATIONALE_LEN:
-        return True
-    diags.append(
-        Diagnostic(
-            file=body.file,
-            line=ann_line,
-            check=check,
-            message=message_if_bare,
-        )
-    )
-    return True
-
-
-def _in_scope(path: str, scope: Optional[Tuple[str, ...]]) -> bool:
-    return scope is None or any(path.startswith(p) for p in scope)
-
-
 # --- unordered-iteration ----------------------------------------------------
 
 
@@ -353,11 +307,12 @@ class _TypeTables:
         return self.global_returns.get(name, "")
 
 
-def _find_local_unordered(tokens: List[Token]) -> Dict[str, str]:
-    """Local variables declared with an unordered container type."""
+def _find_local_unordered(model: Model, tokens: List[Token]) -> Dict[str, str]:
+    """Local variables declared with an unordered container type
+    (directly or via a recorded alias)."""
     locals_: Dict[str, str] = {}
     for i, (t, _) in enumerate(tokens):
-        if not any(m in t for m in _UNORDERED_MARKERS):
+        if not (_is_ident(t) and unordered_type(model, t)):
             continue
         # Skip the template argument list, then take the next identifier.
         j = i + 1
@@ -421,7 +376,7 @@ def check_unordered_iteration(
         if not _in_scope(body.file, scope):
             continue
         tokens = body.tokens
-        locals_ = _find_local_unordered(tokens)
+        locals_ = _find_local_unordered(model, tokens)
         i = 0
         while i < len(tokens):
             if tokens[i][0] != "for":
@@ -450,7 +405,7 @@ def check_unordered_iteration(
             expr = head[colon + 1 :]
             for_line = tokens[i][1]
             range_type = _resolve_range_type(expr, body, locals_, tables)
-            if not _unordered(range_type):
+            if not unordered_type(model, range_type):
                 i = close + 1
                 continue
             # Loop body extent.

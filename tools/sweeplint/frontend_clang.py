@@ -115,6 +115,7 @@ def _scan_comments(rel: str, text: str, model: Model) -> None:
     AST)."""
     allows = model.allows.setdefault(rel, {})
     comments = model.comment_lines.setdefault(rel, set())
+    comment_text = model.comment_text.setdefault(rel, {})
     in_block = False
     for lineno, line in enumerate(text.splitlines(), start=1):
         stripped = line.strip()
@@ -123,6 +124,7 @@ def _scan_comments(rel: str, text: str, model: Model) -> None:
             body = line
             if "*/" in line:
                 in_block = False
+                body = line.split("*/", 1)[0]
                 after = line.split("*/", 1)[1].strip()
                 code_before_comment = bool(after) and not after.startswith(
                     "//"
@@ -134,13 +136,16 @@ def _scan_comments(rel: str, text: str, model: Model) -> None:
             elif "/*" in line:
                 before, body = line.split("/*", 1)
                 code_before_comment = bool(before.strip())
-                if "*/" not in body:
+                if "*/" in body:
+                    body = body.split("*/", 1)[0]
+                else:
                     in_block = True
             else:
                 continue
         m = _ALLOW_RE.search(body)
         if m:
             allows[lineno] = (m.group("check"), m.group("rationale").strip())
+        comment_text[lineno] = body.strip()
         if not code_before_comment and stripped:
             comments.add(lineno)
     if not allows:
@@ -217,9 +222,37 @@ class _TUWalker:
                 cindex.CursorKind.FUNCTION_DECL,
             ):
                 self._visit_function(child, class_stack)
+                continue
+            if kind in (
+                cindex.CursorKind.TYPE_ALIAS_DECL,
+                cindex.CursorKind.TYPEDEF_DECL,
+            ):
+                self._record_alias(child)
+
+    def _record_alias(self, cursor) -> None:
+        if self._rel(cursor) is None:
+            return
+        try:
+            target = cursor.underlying_typedef_type.spelling or ""
+        except Exception:
+            target = ""
+        if cursor.spelling and target:
+            self.model.aliases.setdefault(cursor.spelling, target)
 
     def _fill_class(self, cursor, info: ClassInfo, rel: str) -> None:
         for child in cursor.get_children():
+            if child.kind == cindex.CursorKind.CXX_BASE_SPECIFIER:
+                # Normalize to the unqualified name with template args
+                # stripped — the micro frontend's spelling.
+                text = child.type.spelling or child.spelling or ""
+                text = text.split("<", 1)[0]
+                text = text.rsplit("::", 1)[-1].strip()
+                for prefix in ("class ", "struct "):
+                    if text.startswith(prefix):
+                        text = text[len(prefix):]
+                if text and text not in info.bases:
+                    info.bases.append(text)
+                continue
             if child.kind == cindex.CursorKind.FIELD_DECL:
                 annotated, rationale = _exemption_of(child)
                 info.fields[child.spelling] = Field(
@@ -235,6 +268,11 @@ class _TUWalker:
                 info.declared_methods[child.spelling] = (
                     child.result_type.spelling
                 )
+            elif child.kind in (
+                cindex.CursorKind.TYPE_ALIAS_DECL,
+                cindex.CursorKind.TYPEDEF_DECL,
+            ):
+                self._record_alias(child)
 
     def _visit_function(self, cursor, class_stack: List[str]) -> None:
         if not cursor.is_definition():
@@ -282,6 +320,7 @@ class _TUWalker:
             line=cursor.location.line,
             return_type=cursor.result_type.spelling,
             tokens=_tokens_of(body),
+            params=[arg.spelling or "" for arg in cursor.get_arguments()],
         )
         self.model.bodies.append(method)
         cls = self.model.classes.get(class_name)

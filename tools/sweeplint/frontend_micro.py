@@ -71,6 +71,8 @@ class ParsedFile:
         self.bodies: List[Method] = []
         self.allows: Dict[int, Tuple[str, str]] = {}
         self.comment_lines: Set[int] = set()
+        self.comment_text: Dict[int, str] = {}
+        self.aliases: Dict[str, str] = {}
 
 
 def tokenize(text: str, parsed: ParsedFile) -> List[Token]:
@@ -91,6 +93,10 @@ def tokenize(text: str, parsed: ParsedFile) -> List[Token]:
     def note_comment(body: str, start_line: int) -> None:
         for off, part in enumerate(body.split("\n")):
             comment_seen.add(start_line + off)
+            prev = parsed.comment_text.get(start_line + off, "")
+            parsed.comment_text[start_line + off] = (
+                (prev + " " + part).strip() if prev else part.strip()
+            )
             m = _ALLOW_RE.search(part)
             if m:
                 parsed.allows[start_line + off] = (
@@ -250,6 +256,132 @@ _KEYWORDS = {
     "class", "union", "enum", "unsigned", "signed", "return", "default",
     "delete", "operator", "if", "while", "for", "switch", "do", "else",
 }
+
+# Builtin type spellings that cannot be a parameter name; a parameter
+# whose trailing identifier is one of these is unnamed.
+_TYPE_WORDS = {
+    "void", "bool", "char", "short", "int", "long", "float", "double",
+    "auto", "size_t", "ssize_t", "int8_t", "int16_t", "int32_t",
+    "int64_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+    "uintptr_t", "intptr_t", "wchar_t",
+} | _KEYWORDS
+
+_BASE_SPECIFIER_WORDS = {"public", "private", "protected", "virtual"}
+
+
+def _base_names(stmt: List[Token], colon_idx: int) -> List[str]:
+    """Base-class names from a class head's base list (after ':').
+
+    Each top-level comma-separated chunk contributes its last identifier
+    at angle depth 0 — 'public sweepmv::Warehouse' -> 'Warehouse',
+    'Base<T>' -> 'Base' — matching the clang frontend's normalization."""
+    bases: List[str] = []
+    chunk_last = ""
+    angle = 0
+    prev = ""
+    for tok, _ in stmt[colon_idx + 1 :]:
+        if tok == "<":
+            if prev and (prev[0].isalpha() or prev[0] == "_" or prev == ">"):
+                angle += 1
+        elif tok == ">":
+            angle = max(0, angle - 1)
+        elif tok == ">>":
+            angle = max(0, angle - 2)
+        elif tok == "," and angle == 0:
+            if chunk_last:
+                bases.append(chunk_last)
+            chunk_last = ""
+        elif (
+            angle == 0
+            and _is_ident(tok)
+            and tok not in _BASE_SPECIFIER_WORDS
+        ):
+            chunk_last = tok
+        prev = tok
+    if chunk_last:
+        bases.append(chunk_last)
+    return bases
+
+
+def _param_names(stmt: List[Token], open_idx: int) -> List[str]:
+    """Parameter names of a function declaration whose parameter list
+    opens at stmt[open_idx] == '('. Unnamed parameters yield ''."""
+    depth = 0
+    close = len(stmt)
+    for i in range(open_idx, len(stmt)):
+        t = stmt[i][0]
+        if t in ("(", "["):
+            depth += 1
+        elif t in (")", "]"):
+            depth -= 1
+            if depth == 0:
+                close = i
+                break
+    inner = stmt[open_idx + 1 : close]
+    if not inner:
+        return []
+    params: List[str] = []
+    chunk: List[str] = []
+    depth = 0
+    angle = 0
+    prev = ""
+    for tok, _ in inner:
+        if tok in ("(", "[", "{"):
+            depth += 1
+        elif tok in (")", "]", "}"):
+            depth -= 1
+        elif tok == "<" and depth == 0:
+            if prev and (prev[0].isalpha() or prev[0] == "_" or prev == ">"):
+                angle += 1
+        elif tok == ">" and depth == 0:
+            angle = max(0, angle - 1)
+        elif tok == ">>" and depth == 0:
+            angle = max(0, angle - 2)
+        elif tok == "," and depth == 0 and angle == 0:
+            params.append(_chunk_param_name(chunk))
+            chunk = []
+            prev = tok
+            continue
+        chunk.append(tok)
+        prev = tok
+    params.append(_chunk_param_name(chunk))
+    return params
+
+
+def _chunk_param_name(chunk: List[str]) -> str:
+    # Cut at a default argument, then take the trailing identifier.
+    if "=" in chunk:
+        chunk = chunk[: chunk.index("=")]
+    for tok in reversed(chunk):
+        if _is_ident(tok):
+            return "" if tok in _TYPE_WORDS else tok
+        if tok not in ("&", "*", "]", "[", "const"):
+            break
+    return ""
+
+
+def _capture_alias(stmt: List[Token], parsed: ParsedFile) -> None:
+    """Records `using X = ...;` / `typedef ... X;` type aliases (any
+    scope) so the unordered-container predicate resolves them."""
+    if not stmt:
+        return
+    if (
+        stmt[0][0] == "using"
+        and len(stmt) >= 4
+        and _is_ident(stmt[1][0])
+        and stmt[2][0] == "="
+    ):
+        parsed.aliases.setdefault(
+            stmt[1][0], " ".join(t for t, _ in stmt[3:])
+        )
+    elif (
+        stmt[0][0] == "typedef"
+        and len(stmt) >= 3
+        and _is_ident(stmt[-1][0])
+    ):
+        parsed.aliases.setdefault(
+            stmt[-1][0], " ".join(t for t, _ in stmt[1:-1])
+        )
 
 
 def _exempt_prefix_end(stmt: List[Token]) -> int:
@@ -419,6 +551,7 @@ def parse_file(rel_path: str, text: str) -> ParsedFile:
             i += 2
             continue
         if t == ";":
+            _capture_alias(stmt, parsed)
             cls = current_class()
             if stmt and cls is not None:
                 # Classify on the tokens past any exemption-macro prefix;
@@ -479,9 +612,19 @@ def parse_file(rel_path: str, text: str) -> ParsedFile:
                     stmt = []
                     i = close + 1
                     continue
+                bases: List[str] = []
+                for idx in range(kw_idx + 1, len(stmt)):
+                    if stmt[idx][0] == ":":
+                        bases = _base_names(stmt, idx)
+                        break
                 prefix = class_prefix()
                 qualified = f"{prefix}::{name}" if prefix else name
-                info = ClassInfo(name=qualified, file=rel_path, line=stmt[0][1])
+                info = ClassInfo(
+                    name=qualified,
+                    file=rel_path,
+                    line=stmt[0][1],
+                    bases=bases,
+                )
                 parsed.classes.append(info)
                 scopes.append(_Scope("class", name, info))
                 stmt = []
@@ -512,6 +655,7 @@ def parse_file(rel_path: str, text: str) -> ParsedFile:
                         line=fline,
                         return_type=ret,
                         tokens=tokens[i + 1 : close],
+                        params=_param_names(core, tops["("][0]),
                     )
                     parsed.bodies.append(method)
                     if cls is not None and not qualifier:
@@ -560,6 +704,12 @@ def model_from_parsed(parsed_files: List[ParsedFile]) -> Model:
             model.comment_lines.setdefault(parsed.rel_path, set()).update(
                 parsed.comment_lines
             )
+        if parsed.comment_text:
+            model.comment_text.setdefault(parsed.rel_path, {}).update(
+                parsed.comment_text
+            )
+        for alias, target in parsed.aliases.items():
+            model.aliases.setdefault(alias, target)
     for body in model.bodies:
         if body.class_name and "::" not in body.class_name:
             cls = model.classes.get(body.class_name)

@@ -73,6 +73,9 @@ class Method:
     return_type: str = ""
     # Body token stream, comments excluded: (spelling, line).
     tokens: List[Tuple[str, int]] = dataclasses.field(default_factory=list)
+    # Parameter names in declaration order ("" for unnamed parameters).
+    # The taint pass keys its interprocedural summaries on these.
+    params: List[str] = dataclasses.field(default_factory=list)
 
     def identifier_set(self) -> Set[str]:
         return {t for t, _ in self.tokens if _is_identifier(t)}
@@ -85,6 +88,10 @@ class ClassInfo:
     name: str
     file: str = ""
     line: int = 0
+    # Direct base-class names (unqualified, template args stripped), in
+    # declaration order. Drives the protocol-guard handler/dispatcher
+    # resolution across the Warehouse hierarchy.
+    bases: List[str] = dataclasses.field(default_factory=list)
     fields: Dict[str, Field] = dataclasses.field(default_factory=dict)
     # Declared method names (even without a body) -> return type text.
     declared_methods: Dict[str, str] = dataclasses.field(default_factory=dict)
@@ -123,6 +130,16 @@ class Model:
     comment_lines: Dict[str, Set[int]] = dataclasses.field(
         default_factory=dict
     )
+    # file -> {line -> comment text} (markers stripped). The
+    # checkpoint-coverage check reconstructs `checkpoint-exempt:` blocks
+    # from this; only content matters, not exact whitespace.
+    comment_text: Dict[str, Dict[int, str]] = dataclasses.field(
+        default_factory=dict
+    )
+    # Type-alias name -> underlying type text (`using X = ...;` and
+    # `typedef ... X;`), first writer wins in sorted-file order. Lets the
+    # unordered-container predicate see through e.g. Relation::CountMap.
+    aliases: Dict[str, str] = dataclasses.field(default_factory=dict)
 
     def merge_class(self, info: ClassInfo) -> None:
         cur = self.classes.get(info.name)
@@ -135,6 +152,7 @@ class Model:
                 name=info.name,
                 file=info.file,
                 line=info.line,
+                bases=list(info.bases),
                 fields=dict(info.fields),
                 declared_methods=dict(info.declared_methods),
                 methods=dict(info.methods),
@@ -142,6 +160,9 @@ class Model:
             return
         if info.fields and not cur.fields:
             cur.file, cur.line = info.file, info.line
+        for base in info.bases:
+            if base not in cur.bases:
+                cur.bases.append(base)
         for name, field in info.fields.items():
             cur.fields.setdefault(name, field)
         cur.declared_methods.update(info.declared_methods)
@@ -195,3 +216,33 @@ def find_allow(
         if entry is not None and entry[0] == check:
             return entry[1], cand
     return None
+
+
+def base_chain(model: Model, class_name: str) -> List[str]:
+    """The class plus its transitive bases, breadth-first, deduplicated.
+
+    Bases that were never parsed (e.g. std:: types) simply terminate
+    their branch."""
+    out: List[str] = []
+    queue = [class_name]
+    while queue:
+        name = queue.pop(0)
+        if name in out:
+            continue
+        out.append(name)
+        cls = model.classes.get(name)
+        if cls is not None:
+            queue.extend(cls.bases)
+    return out
+
+
+def derived_closure(model: Model, class_name: str) -> List[str]:
+    """Every class whose transitive base chain includes class_name
+    (excluding class_name itself), in sorted order."""
+    out = []
+    for name in sorted(model.classes):
+        if name == class_name:
+            continue
+        if class_name in base_chain(model, name):
+            out.append(name)
+    return out

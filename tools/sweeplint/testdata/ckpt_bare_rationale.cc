@@ -1,0 +1,30 @@
+// checkpoint-coverage, positive: the exempt block's rationale is too
+// short, so it exempts nothing — the missing member is still reported.
+struct CheckpointWriter {
+  void WriteI64(long v);
+};
+
+struct Warehouse {
+  void SaveState();
+  void RestoreState();
+  void SerializeCheckpoint(CheckpointWriter& w);
+  long applied_ = 0;
+  long epoch_ = 0;
+};
+
+void Warehouse::SaveState() {
+  long a = applied_;
+  long e = epoch_;
+  (void)a;
+  (void)e;
+}
+
+void Warehouse::RestoreState() {
+  applied_ = 0;
+  epoch_ = 0;
+}
+
+// checkpoint-exempt: epoch_ — meh
+void Warehouse::SerializeCheckpoint(CheckpointWriter& w) {
+  w.WriteI64(applied_);
+}

@@ -1,0 +1,31 @@
+// checkpoint-coverage, clean: the uncheckpointed member is declared in
+// the checkpoint-exempt block with a rationale.
+struct CheckpointWriter {
+  void WriteI64(long v);
+};
+
+struct Warehouse {
+  void SaveState();
+  void RestoreState();
+  void SerializeCheckpoint(CheckpointWriter& w);
+  long applied_ = 0;
+  long epoch_ = 0;
+};
+
+void Warehouse::SaveState() {
+  long a = applied_;
+  long e = epoch_;
+  (void)a;
+  (void)e;
+}
+
+void Warehouse::RestoreState() {
+  applied_ = 0;
+  epoch_ = 0;
+}
+
+// checkpoint-exempt: epoch_ — recovery derives the epoch from the
+// checkpoint header, not from the serialized payload
+void Warehouse::SerializeCheckpoint(CheckpointWriter& w) {
+  w.WriteI64(applied_);
+}

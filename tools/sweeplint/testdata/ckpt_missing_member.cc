@@ -1,0 +1,29 @@
+// checkpoint-coverage, positive: SaveState captures epoch_ but the
+// durable serializer never writes it.
+struct CheckpointWriter {
+  void WriteI64(long v);
+};
+
+struct Warehouse {
+  void SaveState();
+  void RestoreState();
+  void SerializeCheckpoint(CheckpointWriter& w);
+  long applied_ = 0;
+  long epoch_ = 0;
+};
+
+void Warehouse::SaveState() {
+  long a = applied_;
+  long e = epoch_;
+  (void)a;
+  (void)e;
+}
+
+void Warehouse::RestoreState() {
+  applied_ = 0;
+  epoch_ = 0;
+}
+
+void Warehouse::SerializeCheckpoint(CheckpointWriter& w) {
+  w.WriteI64(applied_);
+}

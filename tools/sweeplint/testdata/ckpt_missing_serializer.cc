@@ -1,0 +1,16 @@
+// checkpoint-coverage, positive: SaveAlgState snapshots algorithm state
+// but the class defines no SerializeAlgState at all.
+struct Algorithm {
+  void SaveAlgState();
+  void RestoreAlgState();
+  long cursor_ = 0;
+};
+
+void Algorithm::SaveAlgState() {
+  long c = cursor_;
+  (void)c;
+}
+
+void Algorithm::RestoreAlgState() {
+  cursor_ = 0;
+}

@@ -1,0 +1,29 @@
+// checkpoint-coverage, positive: two stale exemptions — one for a
+// member the snapshot does not capture, one for a member the serializer
+// writes anyway.
+struct CheckpointWriter {
+  void WriteI64(long v);
+};
+
+struct Warehouse {
+  void SaveState();
+  void RestoreState();
+  void SerializeCheckpoint(CheckpointWriter& w);
+  long applied_ = 0;
+  long epoch_ = 0;
+};
+
+void Warehouse::SaveState() {
+  long a = applied_;
+  (void)a;
+}
+
+void Warehouse::RestoreState() {
+  applied_ = 0;
+}
+
+// checkpoint-exempt: epoch_, applied_ — neither member needs durable
+// coverage according to this (wrong) block
+void Warehouse::SerializeCheckpoint(CheckpointWriter& w) {
+  w.WriteI64(applied_);
+}

@@ -1,0 +1,22 @@
+// protocol-guard, suppressed: the missing epoch guard carries a
+// rationale annotation on the handler definition.
+struct QueryAnswer {
+  long query_id = 0;
+  long epoch = 0;
+};
+
+template <typename T>
+T* get_if(int* msg);
+
+struct Warehouse {
+  void OnMessage(int msg) {
+    if (QueryAnswer* answer = get_if<QueryAnswer>(&msg)) {
+      HandleQueryAnswer(*answer);
+    }
+  }
+  // sweeplint:allow protocol-guard this warehouse never recovers, so
+  // every answer is from the only epoch that can exist
+  void HandleQueryAnswer(QueryAnswer answer) { applied_ += answer.query_id; }
+  long epoch_ = 0;
+  long applied_ = 0;
+};

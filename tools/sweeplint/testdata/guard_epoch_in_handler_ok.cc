@@ -1,0 +1,25 @@
+// protocol-guard, clean: the dispatch site is unguarded but the handler
+// body itself rejects stale epochs before mutating state.
+struct QueryAnswer {
+  long query_id = 0;
+  long epoch = 0;
+};
+
+template <typename T>
+T* get_if(int* msg);
+
+struct Warehouse {
+  void OnMessage(int msg) {
+    if (QueryAnswer* answer = get_if<QueryAnswer>(&msg)) {
+      HandleQueryAnswer(*answer);
+    }
+  }
+  void HandleQueryAnswer(QueryAnswer answer) {
+    if (answer.epoch != epoch_) {
+      return;
+    }
+    applied_ += answer.query_id;
+  }
+  long epoch_ = 0;
+  long applied_ = 0;
+};

@@ -1,0 +1,21 @@
+// protocol-guard, positive: the handler mutates state but neither it
+// nor its dispatch site checks the answer's epoch — a pre-crash answer
+// would be applied to post-recovery state.
+struct QueryAnswer {
+  long query_id = 0;
+  long epoch = 0;
+};
+
+template <typename T>
+T* get_if(int* msg);
+
+struct Warehouse {
+  void OnMessage(int msg) {
+    if (QueryAnswer* answer = get_if<QueryAnswer>(&msg)) {
+      HandleQueryAnswer(*answer);
+    }
+  }
+  void HandleQueryAnswer(QueryAnswer answer) { applied_ += answer.query_id; }
+  long epoch_ = 0;
+  long applied_ = 0;
+};

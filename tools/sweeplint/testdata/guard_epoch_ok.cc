@@ -1,0 +1,23 @@
+// protocol-guard, clean: the dispatch site compares the answer's epoch
+// against the warehouse epoch between unpack and invoke.
+struct QueryAnswer {
+  long query_id = 0;
+  long epoch = 0;
+};
+
+template <typename T>
+T* get_if(int* msg);
+
+struct Warehouse {
+  void OnMessage(int msg) {
+    if (QueryAnswer* answer = get_if<QueryAnswer>(&msg)) {
+      if (answer->epoch != epoch_) {
+        return;
+      }
+      HandleQueryAnswer(*answer);
+    }
+  }
+  void HandleQueryAnswer(QueryAnswer answer) { applied_ += answer.query_id; }
+  long epoch_ = 0;
+  long applied_ = 0;
+};

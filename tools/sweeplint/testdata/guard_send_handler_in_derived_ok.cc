@@ -1,0 +1,13 @@
+// protocol-guard, clean: the base class re-issues queries on behalf of
+// the running algorithm; the non-stub handler lives in the derived
+// class, which satisfies the pairing.
+struct Warehouse {
+  long SendEcaQuery(int rel) { return next_ + rel; }
+  void Reissue() { SendEcaQuery(2); }
+  long next_ = 0;
+};
+
+struct Eca : public Warehouse {
+  void HandleEcaAnswer(int answer) { applied_ += answer; }
+  long applied_ = 0;
+};

@@ -1,0 +1,19 @@
+// protocol-guard, positive: the algorithm sends sweep queries but no
+// class in its hierarchy defines a non-stub HandleQueryAnswer, so the
+// answer aborts at the base stub on delivery.
+void Abort(const char* why);
+
+struct Warehouse {
+  long SendSweepQuery(int rel) { return next_ + rel; }
+  void HandleQueryAnswer(int answer) {
+    SWEEP_CHECK_MSG(false, "this algorithm does not use sweep queries");
+  }
+  void SWEEP_CHECK_MSG(bool ok, const char* why) {
+    if (!ok) Abort(why);
+  }
+  long next_ = 0;
+};
+
+struct Sweep : public Warehouse {
+  void Advance() { SendSweepQuery(1); }
+};

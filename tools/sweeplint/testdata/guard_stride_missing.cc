@@ -1,0 +1,16 @@
+// protocol-guard, positive: shard construction assigns shard_index but
+// never stamps the query-id lane (origin/stride) — shards would draw
+// colliding query ids.
+struct Options {
+  int shard_index = 0;
+  int query_id_origin = 0;
+  int query_id_stride = 1;
+};
+
+struct Builder {
+  Options Make(int s) {
+    Options options;
+    options.shard_index = s;
+    return options;
+  }
+};

@@ -1,0 +1,17 @@
+// protocol-guard, clean: shard construction stamps the full query-id
+// lane alongside the shard index.
+struct Options {
+  int shard_index = 0;
+  int query_id_origin = 0;
+  int query_id_stride = 1;
+};
+
+struct Builder {
+  Options Make(int s, int num_shards) {
+    Options options;
+    options.shard_index = s;
+    options.query_id_origin = s;
+    options.query_id_stride = num_shards;
+    return options;
+  }
+};

@@ -1,0 +1,23 @@
+// determinism-taint, clean: a well-formed allow on the sink line.
+int rand();
+
+struct EventLabel {
+  int kind = 0;
+};
+
+struct Sim {
+  void Schedule(long delay, EventLabel label, unsigned payload) {
+    armed_ += delay + label.kind + payload;
+  }
+  long armed_ = 0;
+};
+
+struct Harness {
+  void Arm() {
+    unsigned jitter = rand();
+    // sweeplint:allow determinism-taint fuzz harness deliberately
+    // randomizes the arrival time outside controlled mode
+    sim_->Schedule(5, EventLabel{1}, jitter);
+  }
+  Sim* sim_ = nullptr;
+};

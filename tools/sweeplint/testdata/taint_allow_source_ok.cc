@@ -1,0 +1,31 @@
+// determinism-taint, clean: a well-formed unordered-iteration allow on
+// the source loop also silences the taint flows out of it — the taint
+// pass subsumes the syntactic check, one annotation covers both.
+namespace std {
+template <typename K, typename V>
+struct unordered_map {
+  struct value_type {
+    K first;
+    V second;
+  };
+  const value_type* begin() const { return nullptr; }
+  const value_type* end() const { return nullptr; }
+};
+}  // namespace std
+
+struct Tracer {
+  void Trace(int value) { last_ = value; }
+  int last_ = 0;
+};
+
+struct Collector {
+  void Flush() {
+    // sweeplint:allow unordered-iteration debug-only counter dump, the
+    // trace consumer sums the values so order cannot matter
+    for (const auto& entry : pending_) {
+      tracer_.Trace(entry.second);
+    }
+  }
+  std::unordered_map<int, int> pending_;
+  Tracer tracer_;
+};

@@ -1,0 +1,21 @@
+// determinism-taint, positive: wall-clock time flows into trace output.
+namespace std {
+namespace chrono {
+struct system_clock {
+  static long now();
+};
+}  // namespace chrono
+}  // namespace std
+
+struct Tracer {
+  void Trace(long value) { last_ = value; }
+  long last_ = 0;
+};
+
+struct Harness {
+  void Stamp() {
+    long t = std::chrono::system_clock::now();
+    tracer_.Trace(t);
+  }
+  Tracer tracer_;
+};

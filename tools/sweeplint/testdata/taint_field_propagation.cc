@@ -1,0 +1,21 @@
+// determinism-taint, positive: taint assigned to a member in one method
+// reaches a sink through the same member in another method.
+int rand();
+
+struct EventLabel {
+  int kind = 0;
+};
+
+struct Sim {
+  void Schedule(long delay, EventLabel label, unsigned payload) {
+    armed_ += delay + label.kind + payload;
+  }
+  long armed_ = 0;
+};
+
+struct Harness {
+  void Reseed() { seed_ = rand(); }
+  void Arm() { sim_->Schedule(5, EventLabel{1}, seed_); }
+  unsigned seed_ = 0;
+  Sim* sim_ = nullptr;
+};

@@ -1,0 +1,23 @@
+// determinism-taint, clean: flow-sensitivity — the tainted local is
+// overwritten with a deterministic value before reaching the sink.
+int rand();
+
+struct EventLabel {
+  int kind = 0;
+};
+
+struct Sim {
+  void Schedule(long delay, EventLabel label, unsigned payload) {
+    armed_ += delay + label.kind + payload;
+  }
+  long armed_ = 0;
+};
+
+struct Harness {
+  void Arm() {
+    unsigned jitter = rand();
+    jitter = 17;
+    sim_->Schedule(5, EventLabel{1}, jitter);
+  }
+  Sim* sim_ = nullptr;
+};

@@ -1,0 +1,13 @@
+// determinism-taint, positive: the tainted value is passed to a helper
+// that forwards its parameter into a fingerprint sink.
+int rand();
+void HashCombine(unsigned long seed, unsigned long value);
+
+struct Harness {
+  void Record(unsigned long v) { HashCombine(state_, v); }
+  void Go() {
+    unsigned long t = rand();
+    Record(t);
+  }
+  unsigned long state_ = 0;
+};

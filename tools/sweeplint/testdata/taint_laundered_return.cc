@@ -1,0 +1,26 @@
+// determinism-taint, positive: the RNG value is laundered through a
+// helper's return value before reaching the Schedule argument.
+int rand();
+
+struct EventLabel {
+  int kind = 0;
+};
+
+struct Sim {
+  void Schedule(long delay, EventLabel label, unsigned payload) {
+    armed_ += delay + label.kind + payload;
+  }
+  long armed_ = 0;
+};
+
+struct Harness {
+  unsigned Mix() {
+    unsigned x = rand();
+    return x;
+  }
+  void Arm() {
+    unsigned jitter = Mix();
+    sim_->Schedule(5, EventLabel{1}, jitter);
+  }
+  Sim* sim_ = nullptr;
+};

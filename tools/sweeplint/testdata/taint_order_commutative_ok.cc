@@ -1,0 +1,33 @@
+// determinism-taint, clean: order taint dies at commutative reductions
+// (+= on a numeric accumulator) and keyed map writes.
+namespace std {
+template <typename K, typename V>
+struct unordered_map {
+  struct value_type {
+    K first;
+    V second;
+  };
+  const value_type* begin() const { return nullptr; }
+  const value_type* end() const { return nullptr; }
+  V& operator[](const K& k);
+};
+}  // namespace std
+
+struct Tracer {
+  void Trace(long value) { last_ = value; }
+  long last_ = 0;
+};
+
+struct Harness {
+  void Reduce() {
+    long total = 0;
+    for (const auto& entry : counts_) {
+      total += entry.second;
+      mirror_[entry.first] = entry.second;
+    }
+    tracer_.Trace(total);
+  }
+  std::unordered_map<int, int> counts_;
+  std::unordered_map<int, int> mirror_;
+  Tracer tracer_;
+};

@@ -1,0 +1,15 @@
+// determinism-taint, positive: pointer identity (reinterpret_cast to
+// uintptr_t) flows into the state fingerprint.
+using uintptr_t = unsigned long;
+void HashCombine(uintptr_t seed, uintptr_t value);
+
+struct Node {
+  int payload = 0;
+};
+
+struct Harness {
+  void Mix(const Node* node) {
+    uintptr_t id = reinterpret_cast<uintptr_t>(node);
+    HashCombine(7, id);
+  }
+};

@@ -1,0 +1,22 @@
+// determinism-taint, positive: unseeded RNG flows directly into a
+// Simulator::Schedule argument.
+int rand();
+
+struct EventLabel {
+  int kind = 0;
+};
+
+struct Sim {
+  void Schedule(long delay, EventLabel label, unsigned payload) {
+    armed_ += delay + label.kind + payload;
+  }
+  long armed_ = 0;
+};
+
+struct Harness {
+  void Arm() {
+    unsigned jitter = rand();
+    sim_->Schedule(5, EventLabel{1}, jitter);
+  }
+  Sim* sim_ = nullptr;
+};

@@ -1,0 +1,41 @@
+// determinism-taint, clean: the sorted-copy idiom — std::sort
+// sanitizes the order taint before the values reach the trace.
+namespace std {
+template <typename K, typename V>
+struct unordered_map {
+  struct value_type {
+    K first;
+    V second;
+  };
+  const value_type* begin() const { return nullptr; }
+  const value_type* end() const { return nullptr; }
+};
+template <typename T>
+struct vector {
+  void push_back(const T& v);
+  T* begin();
+  T* end();
+};
+template <typename It>
+void sort(It first, It last);
+}  // namespace std
+
+struct Tracer {
+  void Trace(int value) { last_ = value; }
+  int last_ = 0;
+};
+
+struct Harness {
+  void Flush() {
+    std::vector<int> vals;
+    for (const auto& entry : counts_) {
+      vals.push_back(entry.second);
+    }
+    std::sort(vals.begin(), vals.end());
+    for (int v : vals) {
+      tracer_.Trace(v);
+    }
+  }
+  std::unordered_map<int, int> counts_;
+  Tracer tracer_;
+};

@@ -1,0 +1,10 @@
+// determinism-taint, positive: thread identity flows into query-id
+// assignment — ids would differ between runs and replay would diverge.
+unsigned long pthread_self();
+
+struct Harness {
+  void Assign() {
+    next_query_id_ = pthread_self();
+  }
+  unsigned long next_query_id_ = 0;
+};
