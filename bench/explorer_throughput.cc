@@ -2,34 +2,47 @@
 //
 // Exhaustively enumerates every FIFO-respecting interleaving of the
 // paper's Section 5.2 worked example — with sleep-set partial-order
-// reduction and naively — under three execution engines:
+// reduction and naively — under the explorer's execution engines:
 //
 //   replay    stateless baseline: every schedule re-executes its whole
 //             choice prefix from a fresh system (share_prefixes=false)
-//   shared    prefix-sharing DFS: one live system, snapshot/restore at
-//             decision points, ~1 execution per schedule
-//   shared xN shared engine with the subtree frontier split across N
-//             work-stealing threads
+//   snapshot  prefix-sharing DFS backtracking by full SaveState copy at
+//             every branch (use_undo=false) — the deep-copy engine
+//   undo      prefix-sharing DFS backtracking by undo-log rollback,
+//             full snapshots only on the anchor cadence (use_undo=true)
+//   dedup     undo engine plus the visited-state table: branches
+//             reaching an already-classified state merge its cached
+//             summary instead of re-exploring (dedup_states=true)
+//   xN        the undo+dedup engine with the subtree frontier split
+//             across N work-stealing threads
 //
-// plus a batch of seeded random walks. Reports wall clock, the
-// replay-redundancy factor (executions / schedules — how many times the
-// average event was re-executed), and the POR pruning factor
+// plus an anchor-cadence sweep (K in {1, 8, 64}), a batch of seeded
+// random walks, and the engine ladder on a generated multi-view
+// fault-injected stress scenario (two warehouses, two crash choice
+// points, millions of naive interleavings). Reports
+// wall clock, the replay-redundancy factor (executions / schedules),
+// the dedup hit rate, and mean undo entries per rollback,
 // machine-readably. The bench aborts if any two engines disagree on
 // schedule counts or verdicts: the speedup rows are only meaningful
 // because every engine answers the identical question.
 //
 //   $ ./explorer_throughput [--algo=SWEEP] [--budget=500000]
-//                           [--walks=500] [--out=BENCH_explorer.json]
+//                           [--walks=500] [--large-updates=1]
+//                           [--large-budget=10000000]
+//                           [--out=BENCH_explorer.json]
 //
-// Acceptance bars: POR prunes >= 2x schedules vs. naive enumeration
-// (ISSUE 3); replay redundancy <= 1.5 on the POR config and >= 5x
-// wall-clock speedup on the naive config vs. the replay baseline
-// (ISSUE 4); zero violations for SWEEP throughout.
+// Acceptance bars: POR prunes >= 2x schedules vs. naive enumeration;
+// replay redundancy <= 1.5 on the POR config; undo+dedup >= 5x
+// sequential wall clock over the deep-copy snapshot engine on the
+// stress scenario; zero violations for SWEEP throughout. Parallel rows
+// report wall clock against the "cores" field the JSON records — on a
+// single-core host they measure pool overhead, not speedup.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/str.h"
@@ -46,6 +59,14 @@ int64_t NowMs() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+struct EngineOpts {
+  bool share_prefixes = true;
+  int threads = 1;
+  bool use_undo = false;
+  int anchor_every = 8;
+  bool dedup = false;
+};
 
 struct Timed {
   std::string mode;
@@ -64,22 +85,40 @@ struct Timed {
                      static_cast<double>(result.schedules)
                : 0.0;
   }
+  // Fraction of hashable node visits answered from the visited table.
+  double DedupHitRate() const {
+    const int64_t lookups = result.dedup_hits + result.dedup_inserts;
+    return lookups > 0 ? static_cast<double>(result.dedup_hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+  }
+  // Mean mutations unwound per watermark rollback — the O(changes) the
+  // undo log replaces an O(state) snapshot restore with.
+  double UndoPerRollback() const {
+    return result.undo_rollbacks > 0
+               ? static_cast<double>(result.undo_entries) /
+                     static_cast<double>(result.undo_rollbacks)
+               : 0.0;
+  }
 };
 
 Timed RunExhaustive(const ControlledScenario& scenario,
                     ConsistencyLevel required, bool sleep_sets,
-                    int64_t budget, bool share_prefixes, int threads,
+                    int64_t budget, const EngineOpts& engine,
                     std::string mode) {
   ExplorerConfig config{scenario, required, sleep_sets, budget,
                         /*max_steps_per_run=*/10'000,
                         /*stop_at_first_violation=*/false,
                         /*minimize=*/false};
-  config.share_prefixes = share_prefixes;
-  config.threads = threads;
+  config.share_prefixes = engine.share_prefixes;
+  config.threads = engine.threads;
+  config.use_undo = engine.use_undo;
+  config.snapshot_anchor_every = engine.anchor_every;
+  config.dedup_states = engine.dedup;
   Timed timed;
   timed.mode = std::move(mode);
   timed.sleep_sets = sleep_sets;
-  timed.threads = threads;
+  timed.threads = engine.threads;
   int64_t start = NowMs();
   timed.result = ExploreExhaustive(config);
   timed.wall_ms = NowMs() - start;
@@ -127,13 +166,20 @@ std::string RowJson(const Timed& t) {
   return StrFormat(
       "{\"schedules\": %lld, \"executions\": %lld, "
       "\"replay_redundancy\": %.2f, \"threads\": %d, \"exhausted\": %s, "
-      "\"violations\": %lld, \"sleep_pruned\": %lld, \"wall_ms\": %lld, "
-      "\"schedules_per_sec\": %.1f}",
+      "\"violations\": %lld, \"sleep_pruned\": %lld, "
+      "\"dedup_hits\": %lld, \"dedup_hit_rate\": %.3f, "
+      "\"undo_rollbacks\": %lld, \"undo_per_rollback\": %.1f, "
+      "\"anchor_snapshots\": %lld, \"parallel_fallback\": %s, "
+      "\"wall_ms\": %lld, \"schedules_per_sec\": %.1f}",
       static_cast<long long>(t.result.schedules),
       static_cast<long long>(t.result.executions), t.Redundancy(),
       t.threads, t.result.exhausted ? "true" : "false",
       static_cast<long long>(t.result.violations),
       static_cast<long long>(t.result.sleep_pruned),
+      static_cast<long long>(t.result.dedup_hits), t.DedupHitRate(),
+      static_cast<long long>(t.result.undo_rollbacks), t.UndoPerRollback(),
+      static_cast<long long>(t.result.anchor_snapshots),
+      t.result.parallel_fallback ? "true" : "false",
       static_cast<long long>(t.wall_ms), t.SchedulesPerSec());
 }
 
@@ -143,6 +189,8 @@ int main(int argc, char** argv) {
   Algorithm algo = Algorithm::kSweep;
   int64_t budget = 500'000;
   int64_t walks = 500;
+  int large_updates = 1;
+  int64_t large_budget = 10'000'000;
   std::string out_path = "BENCH_explorer.json";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -152,6 +200,10 @@ int main(int argc, char** argv) {
       budget = std::atoll(arg.substr(9).c_str());
     } else if (arg.rfind("--walks=", 0) == 0) {
       walks = std::atoll(arg.substr(8).c_str());
+    } else if (arg.rfind("--large-updates=", 0) == 0) {
+      large_updates = std::atoi(arg.substr(16).c_str());
+    } else if (arg.rfind("--large-budget=", 0) == 0) {
+      large_budget = std::atoll(arg.substr(15).c_str());
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
     } else {
@@ -167,29 +219,58 @@ int main(int argc, char** argv) {
       "(required: %s).\n\n",
       AlgorithmName(algo), ConsistencyLevelName(required));
 
-  auto run = [&](bool sleep_sets, bool share, int threads,
+  const EngineOpts kReplay{/*share_prefixes=*/false, 1, false, 8, false};
+  const EngineOpts kSnapshot{true, 1, /*use_undo=*/false, 8, false};
+  const EngineOpts kUndo{true, 1, /*use_undo=*/true, 8, false};
+  const EngineOpts kDedup{true, 1, /*use_undo=*/true, 8, /*dedup=*/true};
+  auto parallel_opts = [](int threads) {
+    return EngineOpts{true, threads, /*use_undo=*/true, 8, /*dedup=*/true};
+  };
+
+  auto run = [&](bool sleep_sets, const EngineOpts& engine,
                  std::string mode) {
-    return RunExhaustive(scenario, required, sleep_sets, budget, share,
-                         threads, std::move(mode));
+    return RunExhaustive(scenario, required, sleep_sets, budget, engine,
+                         std::move(mode));
   };
 
   // Stateless replay baselines (the pre-prefix-sharing engine).
-  Timed por_replay = run(true, false, 1, "POR replay");
-  Timed naive_replay = run(false, false, 1, "naive replay");
+  Timed por_replay = run(true, kReplay, "POR replay");
+  Timed naive_replay = run(false, kReplay, "naive replay");
 
-  // Prefix-sharing engine, sequential then parallel.
-  Timed por = run(true, true, 1, "POR shared");
-  Timed naive = run(false, true, 1, "naive shared");
+  // Prefix-sharing engines: deep-copy snapshot, undo-log, undo+dedup.
+  // "por"/"naive" stay bound to the snapshot engine so the headline rows
+  // stay comparable run over run; the undo rows carry their own keys.
+  Timed por = run(true, kSnapshot, "POR snapshot");
+  Timed naive = run(false, kSnapshot, "naive snapshot");
+  Timed por_undo = run(true, kUndo, "POR undo");
+  Timed naive_undo = run(false, kUndo, "naive undo");
+  Timed por_dedup = run(true, kDedup, "POR undo+dedup");
+  Timed naive_dedup = run(false, kDedup, "naive undo+dedup");
+
+  // Anchor cadence sweep: K=1 degenerates to a snapshot at every branch;
+  // large K leans almost entirely on the undo log.
+  std::vector<Timed> cadence;
+  for (int k : {1, 8, 64}) {
+    EngineOpts opts = kUndo;
+    opts.anchor_every = k;
+    cadence.push_back(run(true, opts, StrFormat("POR undo K=%d", k)));
+  }
+
   std::vector<Timed> parallel;
   for (int threads : {2, 4, 8}) {
-    parallel.push_back(run(true, true, threads,
-                           StrFormat("POR shared x%d", threads)));
-    parallel.push_back(run(false, true, threads,
-                           StrFormat("naive shared x%d", threads)));
+    parallel.push_back(run(true, parallel_opts(threads),
+                           StrFormat("POR x%d", threads)));
+    parallel.push_back(run(false, parallel_opts(threads),
+                           StrFormat("naive x%d", threads)));
   }
 
   RequireSameVerdicts(por_replay, por);
+  RequireSameVerdicts(por_replay, por_undo);
+  RequireSameVerdicts(por_replay, por_dedup);
   RequireSameVerdicts(naive_replay, naive);
+  RequireSameVerdicts(naive_replay, naive_undo);
+  RequireSameVerdicts(naive_replay, naive_dedup);
+  for (const Timed& t : cadence) RequireSameVerdicts(por, t);
   for (const Timed& t : parallel) {
     RequireSameVerdicts(t.sleep_sets ? por : naive, t);
   }
@@ -204,13 +285,14 @@ int main(int argc, char** argv) {
   int64_t random_ms = NowMs() - random_start;
 
   TablePrinter table({"mode", "threads", "schedules", "executions",
-                      "redundancy", "violations", "wall ms",
+                      "redundancy", "dedup hits", "violations", "wall ms",
                       "schedules/s"});
   auto add = [&](const Timed& t) {
     table.AddRow({t.mode, StrFormat("%d", t.threads),
                   StrFormat("%lld", static_cast<long long>(t.result.schedules)),
                   StrFormat("%lld", static_cast<long long>(t.result.executions)),
                   StrFormat("%.2f", t.Redundancy()),
+                  StrFormat("%lld", static_cast<long long>(t.result.dedup_hits)),
                   StrFormat("%lld", static_cast<long long>(t.result.violations)),
                   StrFormat("%lld", static_cast<long long>(t.wall_ms)),
                   StrFormat("%.0f", t.SchedulesPerSec())});
@@ -219,11 +301,16 @@ int main(int argc, char** argv) {
   add(naive_replay);
   add(por);
   add(naive);
+  add(por_undo);
+  add(naive_undo);
+  add(por_dedup);
+  add(naive_dedup);
+  for (const Timed& t : cadence) add(t);
   for (const Timed& t : parallel) add(t);
   table.AddRow({"random walks", "1",
                 StrFormat("%lld", static_cast<long long>(random.schedules)),
                 StrFormat("%lld", static_cast<long long>(random.executions)),
-                "-",
+                "-", "-",
                 StrFormat("%lld", static_cast<long long>(random.violations)),
                 StrFormat("%lld", static_cast<long long>(random_ms)), "-"});
   std::printf("%s\n", table.Render().c_str());
@@ -233,51 +320,179 @@ int main(int argc, char** argv) {
           ? static_cast<double>(naive.result.schedules) /
                 static_cast<double>(por.result.schedules)
           : 0.0;
-  const Timed& naive_8t = parallel.back();
   double sharing_speedup = Speedup(naive_replay, naive);
-  double parallel_speedup = Speedup(naive_replay, naive_8t);
   std::printf("POR reduction: %.2fx (%lld pruned branches)\n", reduction,
               static_cast<long long>(por.result.sleep_pruned));
   std::printf(
       "prefix sharing: naive redundancy %.2f -> %.2f, %.1fx faster "
-      "sequential, %.1fx at 8 threads\n",
+      "sequential; dedup hit rate %.1f%% (POR) / %.1f%% (naive)\n",
       naive_replay.Redundancy(), naive.Redundancy(), sharing_speedup,
-      parallel_speedup);
+      100.0 * por_dedup.DedupHitRate(), 100.0 * naive_dedup.DedupHitRate());
+
+  // --- Generated multi-view fault-injected stress scenario -------------
+  // Two warehouses over the same sources plus two crash choice points:
+  // the space where the undo log and the visited table earn their keep.
+  // Measured without sleep sets: POR removes the *syntactic* diamonds
+  // (commuting independent events) and flattens this scenario to a few
+  // thousand schedules, while the crash placements create *semantic*
+  // confluence — different interleavings reaching identical
+  // post-recovery states — that only the visited table can collapse.
+  // The two reductions are orthogonal; the paper-example section above
+  // measures their composition. The snapshot row is the deep-copy
+  // sequential baseline the speedup bars are measured against.
+  std::printf(
+      "\nGenerated multi-view stress scenario: SWEEP + NESTED warehouses, "
+      "%d update(s), 2 crashes.\n\n",
+      large_updates);
+  ControlledScenario large_scenario = GeneratedMultiViewScenario(
+      Algorithm::kSweep, Algorithm::kNestedSweep, large_updates,
+      /*crash=*/true);
+  // Crash recovery parks SWEEP at strong consistency, not completeness;
+  // certify convergence (shared with NESTED, whose promise is the same).
+  ConsistencyLevel large_required = ConsistencyLevel::kStrong;
+  auto run_large = [&](const EngineOpts& engine, std::string mode) {
+    return RunExhaustive(large_scenario, large_required,
+                         /*sleep_sets=*/false, large_budget, engine,
+                         std::move(mode));
+  };
+  Timed large_snapshot = run_large(kSnapshot, "stress snapshot");
+  Timed large_undo = run_large(kUndo, "stress undo");
+  Timed large_dedup = run_large(kDedup, "stress undo+dedup");
+  std::vector<Timed> large_parallel;
+  for (int threads : {2, 4, 8}) {
+    large_parallel.push_back(
+        run_large(parallel_opts(threads), StrFormat("stress x%d", threads)));
+  }
+  // Budget-capped runs cover engine-dependent slices of the space, so
+  // cross-engine equality is only meaningful when both sides exhausted.
+  auto require_if_exhausted = [&](const Timed& a, const Timed& b) {
+    if (a.result.exhausted && b.result.exhausted) RequireSameVerdicts(a, b);
+  };
+  if (!large_snapshot.result.exhausted) {
+    std::fprintf(stderr,
+                 "warning: stress baseline hit the schedule budget "
+                 "(%lld); cross-engine equality not checked\n",
+                 static_cast<long long>(large_budget));
+  }
+  require_if_exhausted(large_snapshot, large_undo);
+  require_if_exhausted(large_snapshot, large_dedup);
+  for (const Timed& t : large_parallel) {
+    require_if_exhausted(large_snapshot, t);
+  }
+
+  TablePrinter large_table({"mode", "threads", "schedules", "executions",
+                            "redundancy", "dedup hits", "violations",
+                            "wall ms", "schedules/s"});
+  auto add_large = [&](const Timed& t) {
+    large_table.AddRow(
+        {t.mode, StrFormat("%d", t.threads),
+         StrFormat("%lld", static_cast<long long>(t.result.schedules)),
+         StrFormat("%lld", static_cast<long long>(t.result.executions)),
+         StrFormat("%.2f", t.Redundancy()),
+         StrFormat("%lld", static_cast<long long>(t.result.dedup_hits)),
+         StrFormat("%lld", static_cast<long long>(t.result.violations)),
+         StrFormat("%lld", static_cast<long long>(t.wall_ms)),
+         StrFormat("%.0f", t.SchedulesPerSec())});
+  };
+  add_large(large_snapshot);
+  add_large(large_undo);
+  add_large(large_dedup);
+  for (const Timed& t : large_parallel) add_large(t);
+  std::printf("%s\n", large_table.Render().c_str());
+
+  const Timed& large_8t = large_parallel.back();
+  double undo_dedup_speedup = Speedup(large_snapshot, large_dedup);
+  double large_parallel_speedup = Speedup(large_dedup, large_8t);
+  std::printf(
+      "stress: undo+dedup %.1fx over deep-copy sequential; 8 threads "
+      "%.1fx over undo+dedup sequential (fallback: %s); dedup hit rate "
+      "%.1f%%, %.1f undo entries/rollback\n",
+      undo_dedup_speedup, large_parallel_speedup,
+      large_8t.result.parallel_fallback ? "yes" : "no",
+      100.0 * large_dedup.DedupHitRate(), large_undo.UndoPerRollback());
 
   std::string parallel_json;
   for (size_t i = 0; i < parallel.size(); ++i) {
     const Timed& t = parallel[i];
     parallel_json += StrFormat(
         "    {\"config\": \"%s\", \"threads\": %d, \"schedules\": %lld, "
-        "\"executions\": %lld, \"wall_ms\": %lld, "
+        "\"executions\": %lld, \"dedup_hits\": %lld, "
+        "\"parallel_fallback\": %s, \"wall_ms\": %lld, "
         "\"schedules_per_sec\": %.1f}%s\n",
-        t.sleep_sets ? "por" : "naive", t.threads, static_cast<long long>(t.result.schedules),
+        t.sleep_sets ? "por" : "naive", t.threads,
+        static_cast<long long>(t.result.schedules),
         static_cast<long long>(t.result.executions),
+        static_cast<long long>(t.result.dedup_hits),
+        t.result.parallel_fallback ? "true" : "false",
         static_cast<long long>(t.wall_ms), t.SchedulesPerSec(),
         i + 1 < parallel.size() ? "," : "");
+  }
+  std::string cadence_json;
+  for (size_t i = 0; i < cadence.size(); ++i) {
+    const Timed& t = cadence[i];
+    cadence_json += StrFormat(
+        "    {\"anchor_every\": %d, \"wall_ms\": %lld, "
+        "\"anchor_snapshots\": %lld, \"undo_rollbacks\": %lld, "
+        "\"undo_per_rollback\": %.1f}%s\n",
+        i == 0 ? 1 : (i == 1 ? 8 : 64),
+        static_cast<long long>(t.wall_ms),
+        static_cast<long long>(t.result.anchor_snapshots),
+        static_cast<long long>(t.result.undo_rollbacks),
+        t.UndoPerRollback(), i + 1 < cadence.size() ? "," : "");
+  }
+  std::string large_parallel_json;
+  for (size_t i = 0; i < large_parallel.size(); ++i) {
+    const Timed& t = large_parallel[i];
+    large_parallel_json += StrFormat(
+        "      {\"threads\": %d, \"schedules\": %lld, \"wall_ms\": %lld, "
+        "\"parallel_fallback\": %s, \"schedules_per_sec\": %.1f}%s\n",
+        t.threads, static_cast<long long>(t.result.schedules),
+        static_cast<long long>(t.wall_ms),
+        t.result.parallel_fallback ? "true" : "false",
+        t.SchedulesPerSec(), i + 1 < large_parallel.size() ? "," : "");
   }
 
   std::string json = StrFormat(
       "{\n"
       "  \"bench\": \"explorer_throughput\",\n"
+      "  \"cores\": %u,\n"
       "  \"algorithm\": \"%s\",\n"
       "  \"required_level\": \"%s\",\n"
       "  \"por\": %s,\n"
       "  \"naive\": %s,\n"
       "  \"por_replay\": %s,\n"
       "  \"naive_replay\": %s,\n"
+      "  \"por_undo\": %s,\n"
+      "  \"naive_undo\": %s,\n"
+      "  \"por_dedup\": %s,\n"
+      "  \"naive_dedup\": %s,\n"
+      "  \"cadence\": [\n%s  ],\n"
       "  \"parallel\": [\n%s  ],\n"
       "  \"reduction_x\": %.2f,\n"
       "  \"prefix_sharing_speedup_x\": %.2f,\n"
-      "  \"parallel_speedup_x\": %.2f,\n"
+      "  \"large\": {\n"
+      "    \"updates\": %d,\n"
+      "    \"snapshot\": %s,\n"
+      "    \"undo\": %s,\n"
+      "    \"dedup\": %s,\n"
+      "    \"parallel\": [\n%s    ],\n"
+      "    \"undo_dedup_speedup_x\": %.2f,\n"
+      "    \"parallel_speedup_x\": %.2f\n"
+      "  },\n"
       "  \"random\": {\"walks\": %lld, \"violations\": %lld, "
       "\"wall_ms\": %lld}\n"
       "}\n",
-      AlgorithmName(algo), ConsistencyLevelName(required),
+      std::thread::hardware_concurrency(), AlgorithmName(algo),
+      ConsistencyLevelName(required),
       RowJson(por).c_str(), RowJson(naive).c_str(),
       RowJson(por_replay).c_str(), RowJson(naive_replay).c_str(),
-      parallel_json.c_str(), reduction, sharing_speedup, parallel_speedup,
-      static_cast<long long>(random.schedules),
+      RowJson(por_undo).c_str(), RowJson(naive_undo).c_str(),
+      RowJson(por_dedup).c_str(), RowJson(naive_dedup).c_str(),
+      cadence_json.c_str(), parallel_json.c_str(), reduction,
+      sharing_speedup, large_updates, RowJson(large_snapshot).c_str(),
+      RowJson(large_undo).c_str(), RowJson(large_dedup).c_str(),
+      large_parallel_json.c_str(), undo_dedup_speedup,
+      large_parallel_speedup, static_cast<long long>(random.schedules),
       static_cast<long long>(random.violations),
       static_cast<long long>(random_ms));
 

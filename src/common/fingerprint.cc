@@ -1,0 +1,61 @@
+#include "common/fingerprint.h"
+
+#include <cstring>
+
+#include "common/str.h"
+
+namespace sweepmv {
+
+namespace {
+
+uint64_t SplitMixLane(uint64_t x, uint64_t salt) {
+  x += salt;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void StateHasher::Mix(uint64_t value) {
+  lo_ = SplitMixLane(lo_ ^ value, 0x9e3779b97f4a7c15ull);
+  hi_ = SplitMixLane(hi_ + value, 0xd1b54a32d192ed03ull);
+}
+
+void StateHasher::U64(const char* tag, uint64_t value) {
+  for (const char* c = tag; *c != '\0'; ++c) {
+    Mix(static_cast<uint64_t>(static_cast<unsigned char>(*c)) | 0x100u);
+  }
+  Mix(value);
+  if (keep_text_) {
+    text_ += tag;
+    text_ += StrFormat("=%llu\n", static_cast<unsigned long long>(value));
+  }
+}
+
+void StateHasher::Bytes(const char* tag, const void* data, size_t size) {
+  U64(tag, static_cast<uint64_t>(size));
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t chunk = 0;
+    std::memcpy(&chunk, bytes + i, 8);
+    Mix(chunk);
+  }
+  if (i < size) {
+    uint64_t chunk = 0;
+    std::memcpy(&chunk, bytes + i, size - i);
+    Mix(chunk);
+  }
+  if (keep_text_) {
+    // The size line above already carries the tag; append the payload as
+    // hex so dump diffs show content, not just lengths.
+    text_ += "  bytes:";
+    for (size_t k = 0; k < size; ++k) {
+      text_ += StrFormat("%02x", static_cast<unsigned>(bytes[k]));
+    }
+    text_ += "\n";
+  }
+}
+
+}  // namespace sweepmv

@@ -41,6 +41,10 @@ class Rng {
   // source its own stream while keeping a single top-level seed.
   Rng Fork();
 
+  // Raw generator state, exposed for state fingerprinting (the explorer
+  // hashes it so two system states with diverged RNG streams never alias).
+  uint64_t state() const { return state_; }
+
  private:
   uint64_t state_;
 };

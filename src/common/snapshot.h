@@ -35,4 +35,28 @@
 #define SWEEP_SNAPSHOT_EXEMPT(why)
 #endif
 
+// Undo-exemption twin, for the undo-log backtracking engine: in a class
+// that defines CaptureUndo (or CaptureUndoAlgState), every member the
+// Save*/Restore* pair captures must also be value- or tail-captured by
+// the undo recorder — a member the recorder skips silently survives
+// rollback with a corrupted value, the exact failure mode snapshot
+// completeness guards against, one engine over. sweeplint's
+// undo-coverage check enforces it; this macro records the deliberate
+// exceptions:
+//
+//   SWEEP_UNDO_EXEMPT("captured wholesale by the enclosing full-state "
+//                     "anchor; never mutated between anchors")
+//   std::vector<int> rebuilt_cache_;
+//
+// The rationale bar is the same as above: say why a rollback that skips
+// this member is sound. Both annotations may appear on one member (a
+// member can be outside the snapshot for one reason and outside the
+// undo log for another).
+#if defined(__clang__)
+#define SWEEP_UNDO_EXEMPT(why) \
+  [[clang::annotate("sweeplint:undo-exempt:" why)]]
+#else
+#define SWEEP_UNDO_EXEMPT(why)
+#endif
+
 #endif  // SWEEPMV_COMMON_SNAPSHOT_H_

@@ -276,6 +276,16 @@ void CStrobeWarehouse::RestoreAlgState(const AlgState& state) {
   max_tasks_per_update_ = s.max_tasks_per_update;
 }
 
+void CStrobeWarehouse::CaptureUndoAlgState(UndoLog& undo) {
+  undo.CaptureValue(&internal_view_);
+  undo.CaptureValue(&root_delta_);
+  undo.CaptureValue(&active_);
+  undo.CaptureValue(&observed_deletes_);
+  undo.CaptureValue(&spawned_);
+  undo.CaptureValue(&compensating_queries_);
+  undo.CaptureValue(&max_tasks_per_update_);
+}
+
 namespace {
 
 void WriteSignature(CheckpointWriter& w,

@@ -108,6 +108,7 @@ class CStrobeWarehouse : public Warehouse {
   };
   std::shared_ptr<const AlgState> SaveAlgState() const override;
   void RestoreAlgState(const AlgState& state) override;
+  void CaptureUndoAlgState(UndoLog& undo) override;
   void SerializeAlgState(CheckpointWriter& w) const override;
   void DeserializeAlgState(CheckpointReader& r) override;
 

@@ -134,6 +134,16 @@ void EcaWarehouse::RestoreAlgState(const AlgState& state) {
   batch_installs_ = s.batch_installs;
 }
 
+void EcaWarehouse::CaptureUndoAlgState(UndoLog& undo) {
+  undo.CaptureValue(&active_);
+  undo.CaptureValue(&offsets_);
+  undo.CaptureValue(&pending_delta_);
+  undo.CaptureValue(&pending_ids_);
+  undo.CaptureValue(&max_query_terms_);
+  undo.CaptureValue(&total_query_terms_);
+  undo.CaptureValue(&batch_installs_);
+}
+
 void EcaWarehouse::SerializeAlgState(CheckpointWriter& w) const {
   auto write_term = [&w](const OffsetTerm& term) {
     w.WriteI32(term.sign);

@@ -179,6 +179,15 @@ void NestedSweepWarehouse::RestoreAlgState(const AlgState& state) {
   max_depth_seen_ = s.max_depth_seen;
 }
 
+void NestedSweepWarehouse::CaptureUndoAlgState(UndoLog& undo) {
+  undo.CaptureValue(&stack_);
+  undo.CaptureValue(&batch_ids_);
+  undo.CaptureValue(&compensations_);
+  undo.CaptureValue(&nested_calls_);
+  undo.CaptureValue(&forced_deferrals_);
+  undo.CaptureValue(&max_depth_seen_);
+}
+
 void NestedSweepWarehouse::SerializeAlgState(CheckpointWriter& w) const {
   w.WriteI64(static_cast<int64_t>(stack_.size()));
   for (const Frame& frame : stack_) {

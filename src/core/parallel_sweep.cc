@@ -136,6 +136,11 @@ void ParallelSweepWarehouse::RestoreAlgState(const AlgState& state) {
   compensations_ = s.compensations;
 }
 
+void ParallelSweepWarehouse::CaptureUndoAlgState(UndoLog& undo) {
+  undo.CaptureValue(&active_);
+  undo.CaptureValue(&compensations_);
+}
+
 void ParallelSweepWarehouse::SerializeAlgState(CheckpointWriter& w) const {
   auto write_side = [&w](const Side& side) {
     w.WriteBool(side.extend_left);

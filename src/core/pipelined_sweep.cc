@@ -156,6 +156,15 @@ void PipelinedSweepWarehouse::RestoreAlgState(const AlgState& state) {
   malformed_answers_rejected_ = s.malformed_answers_rejected;
 }
 
+void PipelinedSweepWarehouse::CaptureUndoAlgState(UndoLog& undo) {
+  undo.CaptureValue(&received_);
+  undo.CaptureValue(&started_);
+  undo.CaptureValue(&inflight_);
+  undo.CaptureValue(&compensations_);
+  undo.CaptureValue(&max_observed_inflight_);
+  undo.CaptureValue(&malformed_answers_rejected_);
+}
+
 void PipelinedSweepWarehouse::SerializeAlgState(CheckpointWriter& w) const {
   w.WriteI64(static_cast<int64_t>(received_.size()));
   for (const Update& update : received_) w.WriteUpdate(update);

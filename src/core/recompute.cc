@@ -72,6 +72,11 @@ void RecomputeWarehouse::RestoreAlgState(const AlgState& state) {
   recomputations_ = s.recomputations;
 }
 
+void RecomputeWarehouse::CaptureUndoAlgState(UndoLog& undo) {
+  undo.CaptureValue(&active_);
+  undo.CaptureValue(&recomputations_);
+}
+
 void RecomputeWarehouse::SerializeAlgState(CheckpointWriter& w) const {
   w.WriteBool(active_.has_value());
   if (active_.has_value()) {

@@ -52,6 +52,7 @@ class RecomputeWarehouse : public Warehouse {
   };
   std::shared_ptr<const AlgState> SaveAlgState() const override;
   void RestoreAlgState(const AlgState& state) override;
+  void CaptureUndoAlgState(UndoLog& undo) override;
   void SerializeAlgState(CheckpointWriter& w) const override;
   void DeserializeAlgState(CheckpointReader& r) override;
 

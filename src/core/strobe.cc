@@ -184,6 +184,13 @@ void StrobeWarehouse::RestoreAlgState(const AlgState& state) {
   batch_installs_ = s.batch_installs;
 }
 
+void StrobeWarehouse::CaptureUndoAlgState(UndoLog& undo) {
+  undo.CaptureValue(&internal_view_);
+  undo.CaptureValue(&pending_);
+  undo.CaptureValue(&action_list_);
+  undo.CaptureValue(&batch_installs_);
+}
+
 void StrobeWarehouse::SerializeAlgState(CheckpointWriter& w) const {
   w.WriteRelation(internal_view_);
   w.WriteI64(static_cast<int64_t>(pending_.size()));

@@ -127,6 +127,11 @@ void SweepWarehouse::RestoreAlgState(const AlgState& state) {
   compensations_ = s.compensations;
 }
 
+void SweepWarehouse::CaptureUndoAlgState(UndoLog& undo) {
+  undo.CaptureValue(&active_);
+  undo.CaptureValue(&compensations_);
+}
+
 void SweepWarehouse::SerializeAlgState(CheckpointWriter& w) const {
   w.WriteBool(active_.has_value());
   if (active_.has_value()) {

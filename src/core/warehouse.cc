@@ -44,8 +44,83 @@ void Warehouse::InitializeView(Relation initial_view) {
   view_ = std::move(initial_view);
 }
 
+void Warehouse::CaptureUndo(bool full) {
+  if (undo_ == nullptr) return;
+  undo_->CaptureValue(&view_);
+  undo_->CaptureValue(&queue_);
+  if (full) {
+    // Crash/recovery clears and rebuilds the logs from the checkpoint, so
+    // truncate-to-length would restore the wrong content.
+    undo_->CaptureValue(&arrival_log_);
+    undo_->CaptureValue(&installs_);
+    undo_->CaptureValue(&install_time_log_);
+    undo_->CaptureValue(&foreign_skip_log_);
+  } else {
+    undo_->CaptureTail(&arrival_log_);
+    undo_->CaptureTail(&installs_);
+    undo_->CaptureTail(&install_time_log_);
+    undo_->CaptureTail(&foreign_skip_log_);
+  }
+  undo_->CaptureValue(&updates_incorporated_);
+  undo_->CaptureValue(&queries_sent_);
+  undo_->CaptureValue(&next_query_id_);
+  undo_->CaptureValue(&update_watermarks_);
+  undo_->CaptureValue(&seen_update_ids_);
+  undo_->CaptureValue(&pending_queries_);
+  undo_->CaptureValue(&duplicate_updates_ignored_);
+  undo_->CaptureValue(&stale_answers_ignored_);
+  undo_->CaptureValue(&queries_reissued_);
+  undo_->CaptureValue(&foreign_updates_discarded_);
+  undo_->CaptureValue(&durable_checkpoint_);
+  undo_->CaptureValue(&durable_wal_);
+  undo_->CaptureValue(&durable_epoch_);
+  undo_->CaptureValue(&epoch_);
+  undo_->CaptureValue(&crashed_);
+  undo_->CaptureValue(&recovering_);
+  undo_->CaptureValue(&timer_gen_);
+  undo_->CaptureValue(&recoveries_);
+  undo_->CaptureValue(&wal_replayed_);
+  undo_->CaptureValue(&checkpoints_taken_);
+  undo_->CaptureValue(&checkpoint_bytes_max_);
+  undo_->CaptureValue(&pre_epoch_answers_ignored_);
+  undo_->CaptureValue(&max_query_attempts_);
+  CaptureUndoAlgState(*undo_);
+}
+
+void Warehouse::CaptureUndoAlgState(UndoLog&) {
+  SWEEP_CHECK_MSG(false, "this warehouse does not implement undo-log "
+                         "backtracking (CaptureUndoAlgState)");
+}
+
+void Warehouse::DescribeState(StateHasher& h) const {
+  h.I64("wh.site", site_id_);
+  const std::string protocol = SerializeCheckpoint();
+  h.Bytes("wh.protocol", protocol.data(), protocol.size());
+  h.Bytes("wh.durable_ckpt", durable_checkpoint_.data(),
+          durable_checkpoint_.size());
+  h.U64("wh.wal", durable_wal_.size());
+  for (const Update& u : durable_wal_) {
+    h.I64("wal.id", u.id);
+    h.I64("wal.rel", u.relation);
+    h.I64("wal.at", u.applied_at);
+    AbsorbRelation(h, "wal.delta", u.delta);
+  }
+  h.I64("wh.durable_epoch", durable_epoch_);
+  h.I64("wh.epoch", epoch_);
+  h.Bool("wh.crashed", crashed_);
+  h.Bool("wh.recovering", recovering_);
+  h.I64("wh.timer_gen", timer_gen_);
+  h.I64("wh.recoveries", recoveries_);
+  h.I64("wh.wal_replayed", wal_replayed_);
+  h.I64("wh.checkpoints", checkpoints_taken_);
+  h.I64("wh.ckpt_bytes_max", checkpoint_bytes_max_);
+  h.I64("wh.pre_epoch_ignored", pre_epoch_answers_ignored_);
+  h.I64("wh.max_attempts", max_query_attempts_);
+}
+
 void Warehouse::OnMessage(int from, Message msg) {
   (void)from;
+  CaptureUndo(/*full=*/false);
   // Defense in depth: the network already drops deliveries to a crashed
   // site, so nothing should reach a dead warehouse.
   if (crashed_) return;
@@ -425,6 +500,7 @@ void Warehouse::StampEpoch(Message* request, int64_t epoch) {
 }
 
 void Warehouse::Crash() {
+  CaptureUndo(/*full=*/true);
   SWEEP_CHECK_MSG(DurabilityOn(),
                   "warehouse crash without a durable store (set "
                   "Options::checkpoint_every)");
@@ -435,6 +511,7 @@ void Warehouse::Crash() {
 }
 
 void Warehouse::Restart() {
+  CaptureUndo(/*full=*/true);
   SWEEP_CHECK_MSG(crashed_, "warehouse restarted while up");
   network_->RestartSite(site_id_);
   crashed_ = false;
@@ -442,6 +519,7 @@ void Warehouse::Restart() {
 }
 
 void Warehouse::CrashAndRecover() {
+  CaptureUndo(/*full=*/true);
   SWEEP_CHECK_MSG(DurabilityOn(),
                   "warehouse crash without a durable store (set "
                   "Options::checkpoint_every)");
@@ -520,10 +598,20 @@ void Warehouse::ArmQueryTimer(int64_t query_id) {
   SWEEP_CHECK(armed != pending_queries_.end());
   const SimTime delay = BackoffDelay(query_id, armed->second.attempts);
   const int64_t gen = timer_gen_;
+  // Content digest so the explorer's canonical fingerprint can identify
+  // the pending timer: which query, which incarnation, which attempt.
+  StateHasher timer_hash;
+  timer_hash.I64("timer.query", query_id);
+  timer_hash.I64("timer.gen", gen);
+  timer_hash.I64("timer.attempt", armed->second.attempts);
+  const Fp128 t = timer_hash.Digest();
+  const uint64_t timer_digest = (t.lo ^ t.hi) == 0 ? 1 : (t.lo ^ t.hi);
   // lint:allow direct-schedule local timer, not a protocol message: fires
   // at this site only, sends nothing itself, so it needs no EventLabel
   // channel and cannot perturb per-link FIFO order.
-  network_->simulator()->Schedule(delay, [this, query_id, gen]() {
+  network_->simulator()->Schedule(
+      delay, EventLabel{}, timer_digest, [this, query_id, gen]() {
+    CaptureUndo(/*full=*/false);
     // A crashed warehouse sends nothing; a timer armed by a dead
     // incarnation stays dead (recovery re-armed its own).
     if (crashed_ || gen != timer_gen_) return;

@@ -34,7 +34,9 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/fingerprint.h"
 #include "common/snapshot.h"
+#include "common/undo.h"
 #include "core/checkpoint.h"
 #include "relational/partial_delta.h"
 #include "relational/relation.h"
@@ -325,7 +327,24 @@ class Warehouse : public Site {
   SavedState SaveState() const;
   void RestoreState(const SavedState& state);
 
+  // --- Undo log + fingerprint (schedule-space explorer) -----------------
+
+  // Installs the undo log the mutation entry points capture into (see
+  // common/undo.h). Null detaches.
+  void AttachUndo(UndoLog* undo) { undo_ = undo; }
+
+  // Absorbs the warehouse state into `h`: the canonical checkpoint bytes
+  // (which cover the SaveState member set plus the algorithm half, with
+  // sorted iteration everywhere) and the checkpoint-exempt durability /
+  // recovery members. Identical in exact and canonical mode.
+  void DescribeState(StateHasher& h) const;
+
  protected:
+  // Algorithm-specific undo hook: value-captures exactly the members
+  // SaveAlgState copies (sweeplint's undo-coverage rule keeps the sets in
+  // sync). The default fails loudly, like SaveAlgState.
+  virtual void CaptureUndoAlgState(UndoLog& undo);
+
   // Algorithm-specific snapshot hooks. Every maintenance algorithm in
   // src/core overrides both; the defaults fail loudly so a new algorithm
   // cannot silently explore with half-restored state. (Restores receive
@@ -407,6 +426,14 @@ class Warehouse : public Site {
   int source_site(int rel) const;
 
  private:
+  // Records the SaveState member set into the attached undo log; called
+  // at the top of every mutation entry point. Normal eras record the
+  // append-only logs as truncate-to-length tails; `full` eras (the
+  // crash/recovery path, whose RestoreFromCheckpoint clears and rebuilds
+  // them) value-capture everything. The durable store is always
+  // value-captured: TakeCheckpoint truncates the WAL mid-event.
+  void CaptureUndo(bool full);
+
   void RecordInstall(std::vector<int64_t> update_ids);
 
   // Draws the next query id under the shard stripe (origin + n * stride).
@@ -515,6 +542,10 @@ class Warehouse : public Site {
       "state from it (e.g. MaintainedAggregate) are outside the explored "
       "system by design")
   InstallObserver observer_;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "wiring, not state: the explorer owns the undo log and manages its "
+      "watermarks across backtracks")
+  UndoLog* undo_ = nullptr;
 };
 
 }  // namespace sweepmv

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "common/check.h"
+#include "common/fingerprint.h"
 #include "common/str.h"
 
 namespace sweepmv {
@@ -104,6 +105,14 @@ std::string Relation::ToDisplayString() const {
 
 std::ostream& operator<<(std::ostream& os, const Relation& r) {
   return os << r.ToDisplayString();
+}
+
+void AbsorbRelation(StateHasher& h, const char* tag, const Relation& rel) {
+  h.U64(tag, rel.DistinctSize());
+  for (const auto& [tuple, count] : rel.SortedEntries()) {
+    h.U64("t.hash", static_cast<uint64_t>(tuple.Hash()));
+    h.I64("t.count", count);
+  }
 }
 
 }  // namespace sweepmv

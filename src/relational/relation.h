@@ -122,6 +122,12 @@ class Relation {
 
 std::ostream& operator<<(std::ostream& os, const Relation& r);
 
+class StateHasher;
+
+// Absorbs `rel` into a state fingerprint in sorted-tuple order (see
+// common/fingerprint.h) — the canonical form every interleaving agrees on.
+void AbsorbRelation(StateHasher& h, const char* tag, const Relation& rel);
+
 }  // namespace sweepmv
 
 #endif  // SWEEPMV_RELATIONAL_RELATION_H_

@@ -38,6 +38,9 @@ class Channel {
   SimTime UnorderedArrival(SimTime now, int64_t payload_tuples = 0);
 
   int64_t messages_sent() const { return messages_sent_; }
+  // FIFO clamp + jitter stream state, exposed for state fingerprinting.
+  SimTime last_arrival() const { return last_arrival_; }
+  uint64_t rng_state() const { return rng_.state(); }
 
   void set_latency(LatencyModel latency) { latency_ = latency; }
   const LatencyModel& latency() const { return latency_; }

@@ -1,6 +1,91 @@
 #include "sim/message.h"
 
+#include "common/fingerprint.h"
+
 namespace sweepmv {
+
+namespace {
+
+void AbsorbPartial(StateHasher& h, const PartialDelta& pd) {
+  h.I64("pd.lo", pd.lo);
+  h.I64("pd.hi", pd.hi);
+  AbsorbRelation(h, "pd.rel", pd.rel);
+}
+
+}  // namespace
+
+uint64_t MessageDigest(const Message& msg) {
+  StateHasher h;
+  struct Visitor {
+    StateHasher& h;
+    void operator()(const UpdateMessage& m) const {
+      h.U64("msg", 1);
+      h.I64("u.id", m.update.id);
+      h.I64("u.rel", m.update.relation);
+      h.I64("u.at", m.update.applied_at);
+      AbsorbRelation(h, "u.delta", m.update.delta);
+    }
+    void operator()(const QueryRequest& m) const {
+      h.U64("msg", 2);
+      h.I64("q.id", m.query_id);
+      h.I64("q.rel", m.target_rel);
+      h.Bool("q.left", m.extend_left);
+      h.I64("q.epoch", m.epoch);
+      AbsorbPartial(h, m.partial);
+    }
+    void operator()(const QueryAnswer& m) const {
+      h.U64("msg", 3);
+      h.I64("a.id", m.query_id);
+      h.I64("a.epoch", m.epoch);
+      AbsorbPartial(h, m.partial);
+    }
+    void operator()(const EcaQueryRequest& m) const {
+      h.U64("msg", 4);
+      h.I64("eq.id", m.query_id);
+      h.I64("eq.epoch", m.epoch);
+      h.U64("eq.terms", m.terms.size());
+      for (const EcaTerm& term : m.terms) {
+        h.I64("term.sign", term.sign);
+        h.U64("term.fixed", term.fixed.size());
+        for (const auto& fixed : term.fixed) {
+          h.Bool("term.has", fixed.has_value());
+          if (fixed.has_value()) AbsorbRelation(h, "term.rel", *fixed);
+        }
+      }
+    }
+    void operator()(const EcaQueryAnswer& m) const {
+      h.U64("msg", 5);
+      h.I64("ea.id", m.query_id);
+      h.I64("ea.epoch", m.epoch);
+      AbsorbRelation(h, "ea.result", m.result);
+    }
+    void operator()(const SnapshotRequest& m) const {
+      h.U64("msg", 6);
+      h.I64("sr.id", m.query_id);
+      h.I64("sr.epoch", m.epoch);
+    }
+    void operator()(const SnapshotAnswer& m) const {
+      h.U64("msg", 7);
+      h.I64("sa.id", m.query_id);
+      h.I64("sa.rel", m.relation);
+      h.I64("sa.epoch", m.epoch);
+      AbsorbRelation(h, "sa.snapshot", m.snapshot);
+    }
+    void operator()(const SessionDatagram& m) const {
+      h.U64("msg", 8);
+      h.I64("dg.seq", m.seq);
+      h.I64("dg.base", m.base_seq);
+      h.I64("dg.ack", m.cum_ack);
+      h.I64("dg.epoch", m.epoch);
+      h.Bool("dg.payload", m.payload != nullptr);
+      if (m.payload) h.U64("dg.inner", MessageDigest(*m.payload));
+    }
+  };
+  std::visit(Visitor{h}, msg);
+  Fp128 d = h.Digest();
+  uint64_t digest = d.lo ^ d.hi;
+  return digest == 0 ? 1 : digest;
+}
 
 MessageClass ClassOf(const Message& msg) {
   struct Visitor {

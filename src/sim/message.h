@@ -122,6 +122,13 @@ enum class MessageClass : int {
 
 MessageClass ClassOf(const Message& msg);
 
+// Canonical content digest of a message for the explorer's state
+// fingerprints: built from sorted relation iteration (common/fingerprint.h)
+// so the same payload digests identically no matter which interleaving
+// produced it. Never returns 0 — the simulator reserves digest 0 for
+// "undigested event".
+uint64_t MessageDigest(const Message& msg);
+
 // Number of tuples the message carries — the size proxy used by the
 // benches (the paper discusses message *size* for ECA in these terms).
 int64_t PayloadTuples(const Message& msg);

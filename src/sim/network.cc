@@ -106,9 +106,61 @@ void Network::ConfigureSessionIfNeeded(LinkState& link) {
   link.session_configured = true;
 }
 
+void Network::ArmControlledDrop() {
+  CaptureUndo();
+  ++controlled_drops_armed_;
+}
+
+void Network::CaptureUndo() {
+  if (undo_ == nullptr) return;
+  undo_->CaptureValue(&stats_);
+  undo_->CaptureValue(&rng_);
+  undo_->CaptureValue(&fault_root_);
+  undo_->CaptureValue(&controlled_drops_armed_);
+  // Mirror of RestoreState's link handling: restore surviving channels,
+  // erase links created after the watermark so a replayed first send
+  // re-forks the same per-link RNG from the restored roots.
+  std::map<std::pair<int, int>, Channel> channels;
+  for (const auto& [key, link] : links_) {
+    channels.emplace(key, link.channel);
+  }
+  undo_->Capture(&links_, [this, channels = std::move(channels)]() {
+    for (auto it = links_.begin(); it != links_.end();) {
+      auto saved = channels.find(it->first);
+      if (saved == channels.end()) {
+        it = links_.erase(it);
+      } else {
+        it->second.channel = saved->second;
+        ++it;
+      }
+    }
+  });
+}
+
+void Network::DescribeState(StateHasher& h) const {
+  h.I64("net.drops_armed", controlled_drops_armed_);
+  h.U64("net.rng", rng_.state());
+  h.U64("net.fault_rng", fault_root_.state());
+  h.U64("net.classes", stats_.by_class.size());
+  for (const auto& cls : stats_.by_class) {
+    h.I64("cls.messages", cls.messages);
+    h.I64("cls.tuples", cls.payload_tuples);
+  }
+  h.I64("net.ctrl_drops", stats_.reliability.drops_injected);
+  h.U64("net.links", links_.size());
+  for (const auto& [key, link] : links_) {
+    h.I64("link.from", key.first);
+    h.I64("link.to", key.second);
+    h.I64("link.sent", link.channel.messages_sent());
+    h.I64("link.last_arrival", link.channel.last_arrival());
+    h.U64("link.rng", link.channel.rng_state());
+  }
+}
+
 void Network::Send(int from, int to, Message msg) {
   auto site_it = sites_.find(to);
   SWEEP_CHECK_MSG(site_it != sites_.end(), "unknown destination site");
+  CaptureUndo();
 
   if (crashed_.count(from) != 0) {
     // A crashed site cannot transmit (defense in depth; crashed sites
@@ -166,8 +218,12 @@ void Network::SendDirect(LinkState& link, int from, int to, Message msg) {
   Site* dest = sites_.at(to);
   EventLabel label{EventKind::kDelivery, from, to,
                    MessageClassName(ClassOf(msg))};
+  // Content digest so the explorer's canonical fingerprint can identify
+  // this pending delivery independent of schedule history. Only worth
+  // computing in controlled mode (time-ordered benches never hash state).
+  uint64_t digest = sim_->controlled() ? MessageDigest(msg) : 0;
   auto boxed = std::make_shared<Message>(std::move(msg));
-  sim_->ScheduleAt(arrival, label, [this, dest, from, to, boxed]() {
+  sim_->ScheduleAt(arrival, label, digest, [this, dest, from, to, boxed]() {
     if (crashed_.count(to) != 0) {
       ++stats_.reliability.crash_drops;
       return;

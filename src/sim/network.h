@@ -30,8 +30,10 @@
 #include <string>
 #include <utility>
 
+#include "common/fingerprint.h"
 #include "common/rng.h"
 #include "common/snapshot.h"
+#include "common/undo.h"
 #include "sim/channel.h"
 #include "sim/fault_model.h"
 #include "sim/latency.h"
@@ -149,7 +151,7 @@ class Network {
   // break snapshotting). Query traffic only: the warehouse's timeout
   // re-issue heals a lost query or answer, while a lost update
   // notification is unrecoverable without the session layer.
-  void ArmControlledDrop() { ++controlled_drops_armed_; }
+  void ArmControlledDrop();
   int64_t controlled_drops_armed() const { return controlled_drops_armed_; }
 
   const NetworkStats& stats() const { return stats_; }
@@ -186,6 +188,19 @@ class Network {
   SavedState SaveState() const;
   void RestoreState(const SavedState& state);
 
+  // --- Undo log + fingerprint (pristine links only) ---------------------
+
+  // Installs the undo log Send/ArmControlledDrop capture into (see
+  // common/undo.h). Null detaches. Same pristine-links precondition as
+  // SaveState.
+  void AttachUndo(UndoLog* undo) { undo_ = undo; }
+
+  // Absorbs the network's SaveState member set into `h` in keyed link
+  // order. Identical in exact and canonical mode: traffic counters and
+  // per-link channel state are order-independent facts about the set of
+  // sends performed, so they canonicalize as-is.
+  void DescribeState(StateHasher& h) const;
+
  private:
   // Everything the network tracks for one directed link.
   struct LinkState {
@@ -208,6 +223,10 @@ class Network {
   };
 
   LinkState& LinkFor(int from, int to);
+  // Records the SaveState member set (stats, RNG roots, armed drops,
+  // per-link channels incl. links created later) into the attached undo
+  // log. Called at the top of every controlled-mode mutation entry point.
+  void CaptureUndo();
   void ConfigureSessionIfNeeded(LinkState& link);
   SessionOptions ResolvedSessionOptions(const LinkState& link) const;
 
@@ -267,6 +286,10 @@ class Network {
       "observer hook owned by the harness; outlives and never depends on "
       "the explored prefix")
   Tap tap_;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "wiring, not state: the explorer owns the undo log and manages its "
+      "watermarks across backtracks")
+  UndoLog* undo_ = nullptr;
 };
 
 }  // namespace sweepmv

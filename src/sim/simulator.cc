@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <map>
 #include <tuple>
 #include <utility>
@@ -35,8 +36,13 @@ void Simulator::Schedule(SimTime delay, std::function<void()> fn) {
 
 void Simulator::Schedule(SimTime delay, EventLabel label,
                          std::function<void()> fn) {
+  Schedule(delay, label, /*digest=*/0, std::move(fn));
+}
+
+void Simulator::Schedule(SimTime delay, EventLabel label, uint64_t digest,
+                         std::function<void()> fn) {
   SWEEP_CHECK(delay >= 0);
-  ScheduleAt(now_ + delay, label, std::move(fn));
+  ScheduleAt(now_ + delay, label, digest, std::move(fn));
 }
 
 void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
@@ -45,14 +51,27 @@ void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
 
 void Simulator::ScheduleAt(SimTime when, EventLabel label,
                            std::function<void()> fn) {
+  ScheduleAt(when, label, /*digest=*/0, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime when, EventLabel label, uint64_t digest,
+                           std::function<void()> fn) {
   SWEEP_CHECK_MSG(when >= now_ || controlled(),
                   "cannot schedule in the past");
-  Event event{when, next_seq_++, label, std::move(fn)};
+  CaptureUndo();
+  Event event{when, next_seq_++, label, digest, std::move(fn)};
   if (controlled()) {
     pending_.push_back(std::move(event));
   } else {
     queue_.push(std::move(event));
   }
+}
+
+void Simulator::CaptureUndo() {
+  if (undo_ == nullptr) return;
+  undo_->CaptureValue(&now_);
+  undo_->CaptureValue(&next_seq_);
+  undo_->CaptureValue(&pending_);
 }
 
 void Simulator::SetScheduler(Scheduler* scheduler) {
@@ -114,6 +133,65 @@ std::vector<Scheduler::Candidate> Simulator::Ready() const {
   return ready;
 }
 
+bool Simulator::DescribeState(StateHasher& h, bool exact) const {
+  SWEEP_CHECK_MSG(controlled(), "DescribeState is controlled-mode only");
+  bool hashable = true;
+  h.I64("sim.now", now_);
+  if (exact) {
+    h.I64("sim.next_seq", next_seq_);
+    std::vector<const Event*> events;
+    events.reserve(pending_.size());
+    for (const Event& ev : pending_) events.push_back(&ev);
+    std::sort(events.begin(), events.end(),
+              [](const Event* a, const Event* b) { return a->seq < b->seq; });
+    h.U64("sim.pending", events.size());
+    for (const Event* ev : events) {
+      h.I64("ev.when", ev->when);
+      h.I64("ev.seq", ev->seq);
+      h.U64("ev.kind", static_cast<uint64_t>(ev->label.kind));
+      h.I64("ev.from", ev->label.from);
+      h.I64("ev.to", ev->label.to);
+      h.Bytes("ev.what", ev->label.what, std::strlen(ev->label.what));
+      h.U64("ev.digest", ev->digest);
+      if (ev->digest == 0) hashable = false;
+    }
+    return hashable;
+  }
+  // Canonical mode: absolute sequence numbers are interleaving history,
+  // not state — group per FIFO channel (ordered map => deterministic
+  // channel order) and identify events by within-channel ordinal plus
+  // content digest. `when` stays in: arrival times feed the controlled
+  // clock via now = max(now, when), so they are behavior-relevant.
+  std::map<ChannelKey, std::vector<const Event*>> channels;
+  for (const Event& ev : pending_) {
+    channels[KeyOf(ev.label)].push_back(&ev);
+  }
+  h.U64("sim.channels", channels.size());
+  for (auto& [key, events] : channels) {
+    std::sort(events.begin(), events.end(),
+              [](const Event* a, const Event* b) {
+                if (a->label.kind == EventKind::kDelivery) {
+                  return a->seq < b->seq;
+                }
+                return std::make_pair(a->when, a->seq) <
+                       std::make_pair(b->when, b->seq);
+              });
+    h.I64("chan.kind", std::get<0>(key));
+    h.I64("chan.from", std::get<1>(key));
+    h.I64("chan.to", std::get<2>(key));
+    h.U64("chan.events", events.size());
+    uint64_t ordinal = 0;
+    for (const Event* ev : events) {
+      h.U64("ev.ordinal", ordinal++);
+      h.I64("ev.when", ev->when);
+      h.Bytes("ev.what", ev->label.what, std::strlen(ev->label.what));
+      h.U64("ev.digest", ev->digest);
+      if (ev->digest == 0) hashable = false;
+    }
+  }
+  return hashable;
+}
+
 bool Simulator::StepControlled() {
   if (pending_.empty()) return false;
   std::vector<size_t> indices = ReadyIndices();
@@ -125,6 +203,7 @@ bool Simulator::StepControlled() {
   }
   size_t pick = scheduler_->Pick(ready);
   SWEEP_CHECK_MSG(pick < ready.size(), "scheduler picked out of range");
+  CaptureUndo();
   size_t idx = indices[pick];
   Event ev = std::move(pending_[idx]);
   pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(idx));

@@ -24,7 +24,9 @@
 #include <queue>
 #include <vector>
 
+#include "common/fingerprint.h"
 #include "common/snapshot.h"
+#include "common/undo.h"
 #include "sim/time.h"
 
 namespace sweepmv {
@@ -75,6 +77,10 @@ class Simulator {
     SimTime when;
     int64_t seq;
     EventLabel label;
+    // Content digest of what this event will do (message hash, txn hash,
+    // …) for canonical state fingerprints; 0 = undigested, which marks
+    // the whole state as not safely dedupable (see HashState).
+    uint64_t digest = 0;
     std::function<void()> fn;
   };
   struct Later {
@@ -92,13 +98,19 @@ class Simulator {
 
   SimTime now() const { return now_; }
 
-  // Schedules `fn` to run `delay` ticks from now (delay >= 0).
+  // Schedules `fn` to run `delay` ticks from now (delay >= 0). The
+  // digest overloads additionally attach a content hash of the event's
+  // payload (see Event::digest).
   void Schedule(SimTime delay, std::function<void()> fn);
   void Schedule(SimTime delay, EventLabel label, std::function<void()> fn);
+  void Schedule(SimTime delay, EventLabel label, uint64_t digest,
+                std::function<void()> fn);
 
   // Schedules `fn` at absolute time `when` (when >= now()).
   void ScheduleAt(SimTime when, std::function<void()> fn);
   void ScheduleAt(SimTime when, EventLabel label, std::function<void()> fn);
+  void ScheduleAt(SimTime when, EventLabel label, uint64_t digest,
+                  std::function<void()> fn);
 
   // Switches to controlled mode. Must be called before anything is
   // scheduled; `scheduler` must outlive the simulator's runs. In
@@ -151,11 +163,30 @@ class Simulator {
   SavedState SaveState() const;
   void RestoreState(const SavedState& state);
 
+  // --- Undo log + fingerprint (controlled mode only) --------------------
+
+  // Installs the undo log that every subsequent mutation entry point
+  // value-captures into (first-touch-per-era; see common/undo.h). Null
+  // detaches.
+  void AttachUndo(UndoLog* undo) { undo_ = undo; }
+
+  // Absorbs the simulator's state into `h`. `exact` mode (the oracle
+  // dump) includes absolute sequence numbers and orders pending events by
+  // seq; canonical mode (the dedup fingerprint) groups pending events per
+  // FIFO channel with within-channel ordinals and omits seq/next_seq_ so
+  // two interleavings reaching the same logical state digest identically.
+  // Returns false if any pending event lacks a content digest, in which
+  // case the state must not be deduplicated.
+  bool DescribeState(StateHasher& h, bool exact) const;
+
  private:
   // Controlled mode: picks the ready set's indices into `pending_`
   // (parallel to the candidate list Ready() builds).
   std::vector<size_t> ReadyIndices() const;
   bool StepControlled();
+  // Records now_/next_seq_/pending_ into the attached undo log. Called at
+  // the top of every controlled-mode mutation entry point.
+  void CaptureUndo();
 
   SimTime now_ = 0;
   int64_t next_seq_ = 0;
@@ -169,6 +200,10 @@ class Simulator {
       "wiring, not state: the explorer that drives save/restore owns the "
       "scheduler and keeps it installed across backtracks")
   Scheduler* scheduler_ = nullptr;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "wiring, not state: the explorer owns the undo log and manages its "
+      "watermarks across backtracks")
+  UndoLog* undo_ = nullptr;
 };
 
 }  // namespace sweepmv

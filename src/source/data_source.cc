@@ -34,7 +34,34 @@ DataSource::DataSource(int site_id, int relation_index, Relation initial,
   }
 }
 
+void DataSource::CaptureUndo() {
+  if (undo_ == nullptr) return;
+  ids_->CaptureUndo(*undo_);
+  // store_'s indexes are a pure cache over the relation; the custom entry
+  // restores the relation and rebuilds them, exactly like RestoreState.
+  undo_->Capture(&store_, [this, saved = store_.relation()]() {
+    store_.RestoreRelation(saved);
+  });
+  undo_->CaptureValue(&query_stats_);
+  undo_->CaptureValue(&log_);
+  undo_->CaptureValue(&queries_answered_);
+  undo_->CaptureValue(&crashed_);
+  undo_->CaptureValue(&updates_replayed_);
+}
+
+void DataSource::DescribeState(StateHasher& h) const {
+  h.I64("src.site", site_id_);
+  AbsorbRelation(h, "src.relation", store_.relation());
+  AbsorbStateLog(h, "src.log", log_);
+  h.I64("src.answered", queries_answered_);
+  h.Bool("src.crashed", crashed_);
+  h.I64("src.replayed", updates_replayed_);
+  h.I64("src.probes", query_stats_.index_probes);
+  h.I64("src.scans", query_stats_.scan_fallbacks);
+}
+
 int64_t DataSource::ApplyTransaction(const std::vector<UpdateOp>& ops) {
+  CaptureUndo();
   // A crashed site executes no transactions; the workload simply does not
   // happen here until the site is back.
   if (crashed_) return -1;
@@ -66,6 +93,7 @@ void DataSource::AddWarehouse(int warehouse_site) {
 }
 
 void DataSource::Crash() {
+  CaptureUndo();
   SWEEP_CHECK_MSG(!crashed_, "source is already crashed");
   crashed_ = true;
   network_->CrashSite(site_id_);
@@ -73,6 +101,7 @@ void DataSource::Crash() {
 }
 
 void DataSource::Restart() {
+  CaptureUndo();
   SWEEP_CHECK_MSG(crashed_, "source is not crashed");
   crashed_ = false;
   network_->RestartSite(site_id_);
@@ -152,6 +181,7 @@ int64_t DataSource::ApplyDelete(Tuple t) {
 }
 
 void DataSource::OnMessage(int from, Message msg) {
+  CaptureUndo();
   // The network drops deliveries to crashed sites; this guard is defense
   // in depth.
   if (crashed_) return;

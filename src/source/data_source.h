@@ -16,7 +16,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/fingerprint.h"
 #include "common/snapshot.h"
+#include "common/undo.h"
 #include "relational/relation.h"
 #include "relational/view_def.h"
 #include "sim/network.h"
@@ -37,6 +39,11 @@ class UpdateIdGenerator {
   // system state the explorer rewinds.
   int64_t SaveState() const { return next_; }
   void RestoreState(int64_t next) { next_ = next; }
+
+  // Undo support: every site that may advance the counter records it; the
+  // log's first-touch-per-era dedup keeps one entry per watermark span.
+  void CaptureUndo(UndoLog& undo) { undo.CaptureValue(&next_); }
+  void DescribeState(StateHasher& h) const { h.I64("ids.next", next_); }
 
  private:
   int64_t next_ = 0;
@@ -129,7 +136,21 @@ class DataSource : public SourceSite {
   SavedState SaveState() const;
   void RestoreState(const SavedState& state);
 
+  // --- Undo log + fingerprint (schedule-space explorer) -----------------
+
+  // Installs the undo log the mutation entry points capture into (see
+  // common/undo.h). Null detaches.
+  void AttachUndo(UndoLog* undo) { undo_ = undo; }
+
+  // Absorbs the SaveState member set into `h` (sorted relation iteration;
+  // identical in exact and canonical mode).
+  void DescribeState(StateHasher& h) const;
+
  private:
+  // Records the SaveState member set into the attached undo log; called
+  // at the top of every mutation entry point.
+  void CaptureUndo();
+
   SWEEP_SNAPSHOT_EXEMPT("site identity, fixed at construction")
   int site_id_;
   SWEEP_SNAPSHOT_EXEMPT("which base relation this site hosts — topology, "
@@ -154,6 +175,10 @@ class DataSource : public SourceSite {
   int64_t queries_answered_ = 0;
   bool crashed_ = false;
   int64_t updates_replayed_ = 0;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "wiring, not state: the explorer owns the undo log and manages its "
+      "watermarks across backtracks")
+  UndoLog* undo_ = nullptr;
 };
 
 }  // namespace sweepmv

@@ -24,8 +24,29 @@ EcaSource::EcaSource(int site_id, std::vector<Relation> initial_relations,
   }
 }
 
+void EcaSource::CaptureUndo() {
+  if (undo_ == nullptr) return;
+  ids_->CaptureUndo(*undo_);
+  undo_->CaptureValue(&relations_);
+  undo_->CaptureValue(&logs_);
+  undo_->CaptureValue(&queries_answered_);
+}
+
+void EcaSource::DescribeState(StateHasher& h) const {
+  h.I64("eca.site", site_id_);
+  h.U64("eca.relations", relations_.size());
+  for (const Relation& rel : relations_) {
+    AbsorbRelation(h, "eca.relation", rel);
+  }
+  for (const StateLog& log : logs_) {
+    AbsorbStateLog(h, "eca.log", log);
+  }
+  h.I64("eca.answered", queries_answered_);
+}
+
 int64_t EcaSource::ApplyTransaction(int relation_index,
                                     const std::vector<UpdateOp>& ops) {
+  CaptureUndo();
   SWEEP_CHECK(relation_index >= 0 &&
               relation_index < view_->num_relations());
   Relation delta = OpsToDelta(view_->rel_schema(relation_index), ops);
@@ -51,6 +72,7 @@ int64_t EcaSource::ApplyTransaction(int relation_index,
 }
 
 void EcaSource::OnMessage(int from, Message msg) {
+  CaptureUndo();
   if (auto* query = std::get_if<EcaQueryRequest>(&msg)) {
     Relation result(view_->joined_schema());
     for (const EcaTerm& term : query->terms) {

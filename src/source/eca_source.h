@@ -14,7 +14,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/fingerprint.h"
 #include "common/snapshot.h"
+#include "common/undo.h"
 #include "relational/relation.h"
 #include "relational/view_def.h"
 #include "sim/network.h"
@@ -68,7 +70,17 @@ class EcaSource : public SourceSite {
   SavedState SaveState() const;
   void RestoreState(const SavedState& state);
 
+  // --- Undo log + fingerprint (schedule-space explorer) -----------------
+  void AttachUndo(UndoLog* undo) { undo_ = undo; }
+  // Absorbs the SaveState member set into `h` (sorted relation iteration;
+  // identical in exact and canonical mode).
+  void DescribeState(StateHasher& h) const;
+
  private:
+  // Records the SaveState member set into the attached undo log; called
+  // at the top of every mutation entry point.
+  void CaptureUndo();
+
   // Evaluates one signed term: positions fixed by the term use its deltas,
   // the rest use this site's current base relations. Result spans the full
   // joined schema (selection/projection are the warehouse's job).
@@ -91,6 +103,10 @@ class EcaSource : public SourceSite {
   UpdateIdGenerator* ids_;
   std::vector<StateLog> logs_;
   int64_t queries_answered_ = 0;
+  SWEEP_SNAPSHOT_EXEMPT(
+      "wiring, not state: the explorer owns the undo log and manages its "
+      "watermarks across backtracks")
+  UndoLog* undo_ = nullptr;
 };
 
 }  // namespace sweepmv

@@ -1,6 +1,7 @@
 #include "source/state_log.h"
 
 #include "common/check.h"
+#include "common/fingerprint.h"
 
 namespace sweepmv {
 
@@ -22,6 +23,16 @@ int StateLog::IndexOf(int64_t id) const {
     if (updates_[i].id == id) return static_cast<int>(i);
   }
   return -1;
+}
+
+void AbsorbStateLog(StateHasher& h, const char* tag, const StateLog& log) {
+  h.U64(tag, log.updates().size());
+  AbsorbRelation(h, "log.initial", log.initial());
+  for (const LoggedUpdate& u : log.updates()) {
+    h.I64("log.id", u.id);
+    h.I64("log.at", u.applied_at);
+    AbsorbRelation(h, "log.delta", u.delta);
+  }
 }
 
 }  // namespace sweepmv

@@ -42,6 +42,13 @@ class StateLog {
   std::vector<LoggedUpdate> updates_;
 };
 
+class StateHasher;
+
+// Absorbs the log (initial snapshot + every logged delta, in log order)
+// into a state fingerprint. Log order is append order — identical for any
+// interleaving that executed the same source-local transactions.
+void AbsorbStateLog(StateHasher& h, const char* tag, const StateLog& log);
+
 }  // namespace sweepmv
 
 #endif  // SWEEPMV_SOURCE_STATE_LOG_H_

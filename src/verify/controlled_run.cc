@@ -12,6 +12,32 @@ namespace {
 
 constexpr int kWarehouseSite = 0;
 
+// Content digest of a transaction choice point: which relation, which
+// operations. Two txn events with equal digests are interchangeable —
+// exactly when swapping them cannot change any reachable state.
+uint64_t TxnDigest(int relation, const std::vector<UpdateOp>& ops) {
+  StateHasher h;
+  h.U64("txn.rel", static_cast<uint64_t>(relation));
+  h.U64("txn.ops", ops.size());
+  for (const UpdateOp& op : ops) {
+    h.I64("op.kind", op.kind == UpdateOp::Kind::kInsert ? 1 : -1);
+    h.U64("op.tuple", op.tuple.Hash());
+  }
+  const Fp128 d = h.Digest();
+  const uint64_t folded = d.lo ^ d.hi;
+  return folded == 0 ? 1 : folded;
+}
+
+// Fault choice points carry a fixed tag: all pending crash (or arm-drop)
+// events are mutually interchangeable.
+uint64_t InternalEventDigest(const char* what) {
+  StateHasher h;
+  h.Str("internal", what);
+  const Fp128 d = h.Digest();
+  const uint64_t folded = d.lo ^ d.hi;
+  return folded == 0 ? 1 : folded;
+}
+
 TraceStep RecordStep(const std::vector<Scheduler::Candidate>& ready,
                      size_t chosen) {
   TraceStep step;
@@ -66,25 +92,46 @@ ControlledSystem::ControlledSystem(const ControlledScenario& scenario,
       network_.RegisterSite(r + 1, sources_.back().get());
     }
   }
-  warehouse_ = MakeWarehouse(scenario.algorithm, kWarehouseSite, view_,
-                             &network_, source_sites, scenario.warehouse);
-  network_.RegisterSite(kWarehouseSite, warehouse_.get());
+  warehouses_.push_back(MakeWarehouse(scenario.algorithm, kWarehouseSite,
+                                      view_, &network_, source_sites,
+                                      scenario.warehouse));
+  network_.RegisterSite(kWarehouseSite, warehouses_.front().get());
+
+  // Extra warehouses (multi-view deployment): same view, same sources,
+  // each running its own algorithm at its own site past the sources.
+  SWEEP_CHECK_MSG(scenario.extra_warehouses.empty() ||
+                      eca_source_ == nullptr,
+                  "multi-warehouse scenarios require per-relation sources");
+  for (size_t w = 0; w < scenario.extra_warehouses.size(); ++w) {
+    const Algorithm alg = scenario.extra_warehouses[w];
+    SWEEP_CHECK_MSG(!RequiresSingleSource(alg),
+                    "single-source algorithms cannot share sources with "
+                    "other warehouses");
+    const int site = n + 1 + static_cast<int>(w);
+    warehouses_.push_back(MakeWarehouse(alg, site, view_, &network_,
+                                        source_sites, scenario.warehouse));
+    network_.RegisterSite(site, warehouses_.back().get());
+    for (auto& source : sources_) source->AddWarehouse(site);
+  }
 
   std::vector<const Relation*> rels;
   for (const Relation& r : bases_) rels.push_back(&r);
-  warehouse_->InitializeView(view_.EvaluateFull(rels));
-  warehouse_->InitializeAuxiliary(bases_);
+  for (auto& warehouse : warehouses_) {
+    warehouse->InitializeView(view_.EvaluateFull(rels));
+    warehouse->InitializeAuxiliary(bases_);
+  }
 
   // All transactions enter at t=0; only the schedule orders them against
   // deliveries. Same-relation transactions stay in list order (their
-  // events share a channel).
+  // events share a channel). Each carries a content digest so the state
+  // fingerprint can describe it canonically while it is still pending.
   for (const ControlledTxn& txn : scenario.txns) {
     SWEEP_CHECK(txn.relation >= 0 && txn.relation < n);
     const int site = eca_source_ != nullptr ? 1 : txn.relation + 1;
     const EventLabel label{EventKind::kTxn, -1, site, "txn"};
     const int rel = txn.relation;
     const auto ops = txn.ops;
-    sim_.ScheduleAt(0, label, [this, rel, ops]() {
+    sim_.ScheduleAt(0, label, TxnDigest(rel, ops), [this, rel, ops]() {
       if (eca_source_ != nullptr) {
         eca_source_->ApplyTransaction(rel, ops);
       } else {
@@ -99,13 +146,55 @@ ControlledSystem::ControlledSystem(const ControlledScenario& scenario,
   for (int i = 0; i < scenario.warehouse_crashes; ++i) {
     const EventLabel label{EventKind::kInternal, -1, kWarehouseSite,
                            "warehouse-crash"};
-    sim_.ScheduleAt(0, label, [this]() { warehouse_->CrashAndRecover(); });
+    sim_.ScheduleAt(0, label, InternalEventDigest("warehouse-crash"),
+                    [this]() { warehouses_.front()->CrashAndRecover(); });
   }
   for (int i = 0; i < scenario.max_message_drops; ++i) {
     const EventLabel label{EventKind::kInternal, -1, kWarehouseSite,
                            "arm-drop"};
-    sim_.ScheduleAt(0, label, [this]() { network_.ArmControlledDrop(); });
+    sim_.ScheduleAt(0, label, InternalEventDigest("arm-drop"),
+                    [this]() { network_.ArmControlledDrop(); });
   }
+}
+
+bool ControlledSystem::WarehouseIdle() const {
+  for (const auto& warehouse : warehouses_) {
+    if (!warehouse->update_queue().empty() || warehouse->Busy()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ControlledSystem::AttachUndo(UndoLog* undo) {
+  sim_.AttachUndo(undo);
+  network_.AttachUndo(undo);
+  for (auto& source : sources_) source->AttachUndo(undo);
+  if (eca_source_ != nullptr) eca_source_->AttachUndo(undo);
+  for (auto& warehouse : warehouses_) warehouse->AttachUndo(undo);
+}
+
+bool ControlledSystem::HashState(Fp128* fp) const {
+  StateHasher h;
+  const bool hashable = sim_.DescribeState(h, /*exact=*/false);
+  network_.DescribeState(h);
+  ids_.DescribeState(h);
+  for (const auto& source : sources_) source->DescribeState(h);
+  if (eca_source_ != nullptr) eca_source_->DescribeState(h);
+  for (const auto& warehouse : warehouses_) warehouse->DescribeState(h);
+  *fp = h.Digest();
+  return hashable;
+}
+
+std::string ControlledSystem::CanonicalDebugDump() const {
+  StateHasher h(/*keep_text=*/true);
+  sim_.DescribeState(h, /*exact=*/true);
+  network_.DescribeState(h);
+  ids_.DescribeState(h);
+  for (const auto& source : sources_) source->DescribeState(h);
+  if (eca_source_ != nullptr) eca_source_->DescribeState(h);
+  for (const auto& warehouse : warehouses_) warehouse->DescribeState(h);
+  return h.Text();
 }
 
 int64_t ControlledSystem::Run(int64_t max_steps) {
@@ -135,7 +224,10 @@ ControlledSystem::SavedState ControlledSystem::SaveState() const {
     state.eca_source = std::make_unique<EcaSource::SavedState>(
         eca_source_->SaveState());
   }
-  state.warehouse = warehouse_->SaveState();
+  state.warehouses.reserve(warehouses_.size());
+  for (const auto& warehouse : warehouses_) {
+    state.warehouses.push_back(warehouse->SaveState());
+  }
   return state;
 }
 
@@ -151,11 +243,21 @@ void ControlledSystem::RestoreState(const SavedState& state) {
     SWEEP_CHECK(state.eca_source != nullptr);
     eca_source_->RestoreState(*state.eca_source);
   }
-  warehouse_->RestoreState(state.warehouse);
+  SWEEP_CHECK(state.warehouses.size() == warehouses_.size());
+  for (size_t i = 0; i < warehouses_.size(); ++i) {
+    warehouses_[i]->RestoreState(state.warehouses[i]);
+  }
 }
 
 ConsistencyReport ControlledSystem::Check() const {
-  return CheckConsistency(view_, SourceLogs(), *warehouse_);
+  ConsistencyReport worst = CheckConsistency(view_, SourceLogs(),
+                                             *warehouses_.front());
+  for (size_t i = 1; i < warehouses_.size(); ++i) {
+    ConsistencyReport report =
+        CheckConsistency(view_, SourceLogs(), *warehouses_[i]);
+    if (report.level < worst.level) worst = std::move(report);
+  }
+  return worst;
 }
 
 std::string ControlledOutcome::Fingerprint() const {

@@ -17,8 +17,10 @@
 #include <string>
 #include <vector>
 
+#include "common/fingerprint.h"
 #include "common/rng.h"
 #include "common/snapshot.h"
+#include "common/undo.h"
 #include "consistency/checker.h"
 #include "core/factory.h"
 #include "core/warehouse.h"
@@ -53,6 +55,12 @@ struct ControlledScenario {
   // warehouse.base.query_timeout > 0 or the run wedges).
   int warehouse_crashes = 0;
   int max_message_drops = 0;
+  // Additional warehouses materializing the same view over the same
+  // sources (multi-view deployment: every source ships each update to all
+  // registered warehouses; each warehouse maintains its view with its own
+  // algorithm). Crash choice points target the primary warehouse only.
+  // Incompatible with single-source (ECA-family) primaries.
+  std::vector<Algorithm> extra_warehouses = {};
 };
 
 // Records every pick; replays a choice vector, continuing with the
@@ -110,17 +118,40 @@ class ControlledSystem {
   }
 
   bool Drained() const { return sim_.pending_events() == 0; }
-  bool WarehouseIdle() const {
-    return warehouse_->update_queue().empty() && !warehouse_->Busy();
-  }
+  // All warehouses idle (empty queue, no in-flight maintenance).
+  bool WarehouseIdle() const;
 
-  // Classifies the finished run against the consistency lattice. Call
-  // only after the run drained.
+  // Classifies the finished run against the consistency lattice — the
+  // worst report over all warehouses. Call only after the run drained.
   ConsistencyReport Check() const;
 
-  const Warehouse& warehouse() const { return *warehouse_; }
+  const Warehouse& warehouse() const { return *warehouses_.front(); }
+  const Warehouse& warehouse(size_t i) const { return *warehouses_[i]; }
+  size_t num_warehouses() const { return warehouses_.size(); }
   const ViewDef& view_def() const { return view_; }
   std::vector<const StateLog*> SourceLogs() const;
+
+  // --- Undo log + fingerprint (schedule-space explorer) -----------------
+
+  // Installs `undo` into every component; from then on each controlled
+  // step's mutations are recorded and the explorer can rewind by popping
+  // entries to a watermark instead of restoring a full snapshot. Null
+  // detaches.
+  void AttachUndo(UndoLog* undo);
+
+  // Canonical 128-bit fingerprint of the live system: warehouse views and
+  // algorithm state, durable stores, source relations and logs, network
+  // channels, and the in-flight message set keyed per channel (content
+  // digests, not sequence numbers). Built from sorted/keyed iteration so
+  // the same logical state always hashes identically, whichever schedule
+  // reached it. Returns false — and the explorer must not dedup on this
+  // state — when a pending event carries no content digest.
+  bool HashState(Fp128* fp) const;
+
+  // Exact-mode, human-readable serialization of the same state (absolute
+  // event sequence numbers and clock included): the byte string the undo
+  // round-trip oracle compares against SaveState/RestoreState.
+  std::string CanonicalDebugDump() const;
 
   // --- Snapshot/restore (prefix-sharing exploration) --------------------
   //
@@ -143,7 +174,7 @@ class ControlledSystem {
     int64_t next_update_id = 0;
     std::vector<DataSource::SavedState> sources;
     std::unique_ptr<EcaSource::SavedState> eca_source;
-    Warehouse::SavedState warehouse;
+    std::vector<Warehouse::SavedState> warehouses;
   };
   SavedState SaveState() const;
   void RestoreState(const SavedState& state);
@@ -160,7 +191,8 @@ class ControlledSystem {
   UpdateIdGenerator ids_;
   std::vector<std::unique_ptr<DataSource>> sources_;
   std::unique_ptr<EcaSource> eca_source_;
-  std::unique_ptr<Warehouse> warehouse_;
+  // warehouses_[0] is the primary (site 0); extras sit past the sources.
+  std::vector<std::unique_ptr<Warehouse>> warehouses_;
 };
 
 // Outcome of one complete controlled run.

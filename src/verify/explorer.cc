@@ -1,14 +1,19 @@
 #include "verify/explorer.h"
 
 #include <algorithm>
+#include <array>
 #include <list>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
+#include "common/fingerprint.h"
 #include "common/str.h"
+#include "common/undo.h"
 #include "verify/pool.h"
 
 namespace sweepmv {
@@ -61,6 +66,12 @@ struct SearchCore {
   bool defer_minimize = false;
   ExploreResult result;
   bool stop = false;
+  // Full choice vector of every recorded violation, in DFS order. The
+  // visited table stores a completed subtree's first violation as a
+  // suffix relative to the subtree root, so a later hit at a different
+  // prefix can reconstruct exactly the counterexample a dedup-off search
+  // would have reported there. Only populated when dedup is on.
+  std::vector<std::vector<size_t>> violation_paths = {};
 
   void Classify(const ControlledOutcome& outcome,
                 const std::vector<size_t>& choices) {
@@ -68,6 +79,7 @@ struct SearchCore {
     result.worst = std::min(result.worst, outcome.report.level);
     if (outcome.report.level >= config.required) return;
     ++result.violations;
+    if (config.dedup_states) violation_paths.push_back(choices);
     if (!result.counterexample.has_value()) {
       Counterexample cx;
       if (defer_minimize) {
@@ -93,6 +105,122 @@ struct SearchCore {
     if (config.stop_at_first_violation) stop = true;
   }
 };
+
+// ---------------------------------------------------------------------
+// Visited-state table (dedup_states): turns the DFS tree into a DAG.
+//
+// Key: the canonical 128-bit state fingerprint, plus a context digest of
+// the node's depth and sleep set. Depth matters because the remaining
+// step budget — and therefore the subtree's classification — depends on
+// it; the sleep set matters because it prunes different children (two
+// visits of one state under different sleep sets explore different
+// subtrees). Value: the complete, deterministic summary of the subtree
+// explored below that key. A later visit of the same key merges the
+// cached summary instead of re-exploring, so dedup-on totals equal
+// dedup-off totals exactly — whichever schedule, thread, or steal order
+// populated the entry first.
+// ---------------------------------------------------------------------
+
+struct VisitedKey {
+  Fp128 fp;
+  uint64_t ctx = 0;
+
+  bool operator==(const VisitedKey& other) const {
+    return fp == other.fp && ctx == other.ctx;
+  }
+};
+
+struct VisitedKeyHash {
+  size_t operator()(const VisitedKey& key) const {
+    return static_cast<size_t>(key.fp.lo ^ (key.fp.hi * 31) ^ key.ctx);
+  }
+};
+
+// Everything deterministic the merge needs. `executions` is deliberately
+// absent: it counts real work done, and a hit does none.
+struct SubtreeSummary {
+  int64_t schedules = 0;
+  int64_t violations = 0;
+  int64_t sleep_pruned = 0;
+  int64_t sleep_blocked = 0;
+  int64_t decision_points = 0;
+  int64_t max_ready = 0;
+  ConsistencyLevel worst = ConsistencyLevel::kComplete;
+  // First violation below the subtree root, as choices relative to it
+  // (empty and has_violation=false when the subtree is clean).
+  bool has_violation = false;
+  std::vector<size_t> violation_suffix;
+
+  bool operator==(const SubtreeSummary& other) const {
+    return schedules == other.schedules &&
+           violations == other.violations &&
+           sleep_pruned == other.sleep_pruned &&
+           sleep_blocked == other.sleep_blocked &&
+           decision_points == other.decision_points &&
+           max_ready == other.max_ready && worst == other.worst &&
+           has_violation == other.has_violation &&
+           violation_suffix == other.violation_suffix;
+  }
+};
+
+// Shared across the work-stealing pool: only fully-completed subtrees are
+// inserted, and a summary is a pure function of its key, so concurrent
+// explorations of the same state race only on who inserts the identical
+// value first. Sharded by key hash so eight threads doing a lookup per
+// branch node contend on different locks, not one global one.
+class VisitedTable {
+ public:
+  std::optional<SubtreeSummary> Lookup(const VisitedKey& key) {
+    Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void Insert(const VisitedKey& key, SubtreeSummary summary) {
+    Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.emplace(key, std::move(summary));
+  }
+
+ private:
+  static constexpr size_t kShards = 64;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<VisitedKey, SubtreeSummary, VisitedKeyHash> map;
+  };
+
+  Shard& ShardOf(const VisitedKey& key) {
+    return shards_[VisitedKeyHash{}(key) % kShards];
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+VisitedKey MakeVisitedKey(const Fp128& fp, size_t depth,
+                          const std::vector<EventId>& sleep) {
+  StateHasher h;
+  h.U64("node.depth", depth);
+  std::vector<EventId> sorted = sleep;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const EventId& a, const EventId& b) {
+              return std::tie(a.channel.kind, a.channel.from, a.channel.to,
+                              a.index) < std::tie(b.channel.kind,
+                                                  b.channel.from,
+                                                  b.channel.to, b.index);
+            });
+  h.U64("sleep.size", sorted.size());
+  for (const EventId& id : sorted) {
+    h.I64("sleep.kind", static_cast<int64_t>(id.channel.kind));
+    h.I64("sleep.from", id.channel.from);
+    h.I64("sleep.to", id.channel.to);
+    h.I64("sleep.index", id.index);
+  }
+  const Fp128 ctx = h.Digest();
+  return VisitedKey{fp, ctx.lo ^ ctx.hi};
+}
 
 // ---------------------------------------------------------------------
 // Stateless engine (share_prefixes = false): every DFS node constructs a
@@ -233,10 +361,15 @@ class SteppingScheduler : public Scheduler {
 
 struct IncrementalDfs {
   SearchCore core;
-  std::optional<SteppingScheduler> scheduler;
-  std::optional<ControlledSystem> system;
-  ExecutedCounts executed;
-  std::vector<size_t> path;  // root-to-current choice vector
+  VisitedTable* visited = nullptr;
+  std::optional<SteppingScheduler> scheduler = std::nullopt;
+  std::optional<ControlledSystem> system = std::nullopt;
+  ExecutedCounts executed = {};
+  std::vector<size_t> path = {};  // root-to-current choice vector
+  // Mutations of every controlled step land here (use_undo); branch nodes
+  // watermark it and siblings rewind by popping — O(changes since the
+  // branch) instead of O(system state).
+  UndoLog undo = {};
 
   // Everything Visit must rewind to re-enter a decision point: the
   // system's full state, the channel counts, nothing else (path is
@@ -245,6 +378,105 @@ struct IncrementalDfs {
     ControlledSystem::SavedState sys;
     ExecutedCounts executed;
   };
+
+  // Counter baseline at subtree entry; the delta on completion is the
+  // subtree's deterministic summary (what the visited table stores). The
+  // monotone accumulators (worst, max_ready) are not additive, so an
+  // insertable node scopes them: it parks the entry values here, resets
+  // the live ones to their identities, and recombines on every exit —
+  // the live values then read as the subtree's own, a pure function of
+  // the visited key, which the verify_on_hit equality check requires.
+  struct Baseline {
+    int64_t schedules = 0;
+    int64_t violations = 0;
+    int64_t sleep_pruned = 0;
+    int64_t sleep_blocked = 0;
+    int64_t decision_points = 0;
+    size_t first_violation = 0;  // index into core.violation_paths
+    bool scoped = false;
+    ConsistencyLevel entry_worst = ConsistencyLevel::kComplete;
+    int64_t entry_max_ready = 0;
+  };
+
+  Baseline TakeBaseline(bool scope_monotone) {
+    Baseline base;
+    base.schedules = core.result.schedules;
+    base.violations = core.result.violations;
+    base.sleep_pruned = core.result.sleep_pruned;
+    base.sleep_blocked = core.result.sleep_blocked;
+    base.decision_points = core.result.decision_points;
+    base.first_violation = core.violation_paths.size();
+    if (scope_monotone) {
+      base.scoped = true;
+      base.entry_worst = core.result.worst;
+      base.entry_max_ready = core.result.max_ready;
+      core.result.worst = ConsistencyLevel::kComplete;
+      core.result.max_ready = 0;
+    }
+    return base;
+  }
+
+  // Folds the parked entry values back into the live accumulators. Must
+  // run exactly once on every exit path of a scoped node, including the
+  // early stop unwind.
+  void CloseScope(const Baseline& base) {
+    if (!base.scoped) return;
+    core.result.worst = std::min(core.result.worst, base.entry_worst);
+    core.result.max_ready =
+        std::max(core.result.max_ready, base.entry_max_ready);
+  }
+
+  SubtreeSummary DiffFrom(const Baseline& base) const {
+    SubtreeSummary s;
+    s.schedules = core.result.schedules - base.schedules;
+    s.violations = core.result.violations - base.violations;
+    s.sleep_pruned = core.result.sleep_pruned - base.sleep_pruned;
+    s.sleep_blocked = core.result.sleep_blocked - base.sleep_blocked;
+    s.decision_points = core.result.decision_points - base.decision_points;
+    // With the scope open, the live monotone values are subtree-pure.
+    s.max_ready = core.result.max_ready;
+    s.worst = core.result.worst;
+    if (core.violation_paths.size() > base.first_violation) {
+      const std::vector<size_t>& full =
+          core.violation_paths[base.first_violation];
+      SWEEP_CHECK(full.size() >= path.size());
+      s.has_violation = true;
+      s.violation_suffix.assign(full.begin() +
+                                    static_cast<ptrdiff_t>(path.size()),
+                                full.end());
+    }
+    return s;
+  }
+
+  // Merges a cached subtree exactly as exploring it would have.
+  void MergeSummary(const SubtreeSummary& s) {
+    ExploreResult& result = core.result;
+    result.schedules += s.schedules;
+    result.violations += s.violations;
+    result.sleep_pruned += s.sleep_pruned;
+    result.sleep_blocked += s.sleep_blocked;
+    result.decision_points += s.decision_points;
+    result.max_ready = std::max(result.max_ready, s.max_ready);
+    result.worst = std::min(result.worst, s.worst);
+    if (s.has_violation) {
+      std::vector<size_t> full = path;
+      full.insert(full.end(), s.violation_suffix.begin(),
+                  s.violation_suffix.end());
+      if (core.config.dedup_states) core.violation_paths.push_back(full);
+      if (!result.counterexample.has_value()) {
+        // The cached subtree's first violation, re-rooted at this prefix
+        // — the schedule a dedup-off search reaching this node first
+        // would have found. Deferred finalization (or the caller's
+        // minimize+replay) fills trace and report.
+        Counterexample cx;
+        cx.choices = std::move(full);
+        result.counterexample = std::move(cx);
+        SWEEP_CHECK_MSG(core.defer_minimize,
+                        "a sequential search explores before it can hit");
+      }
+      if (core.config.stop_at_first_violation) core.stop = true;
+    }
+  }
 
   // Builds the system, replays `prefix` (the subtree task's root), then
   // explores the subtree under it.
@@ -257,9 +489,14 @@ struct IncrementalDfs {
     const int64_t ran = system->Run(static_cast<int64_t>(prefix.size()));
     SWEEP_CHECK_MSG(ran == static_cast<int64_t>(prefix.size()),
                     "schedule prefix drained early");
+    // Attach after the replay: the prefix is never backtracked past, so
+    // its mutations need no undo entries.
+    if (core.config.use_undo) system->AttachUndo(&undo);
     path = prefix;
     executed = scheduler->replay_counts();
     Visit(std::move(sleep));
+    core.result.undo_entries += undo.entries_recorded();
+    core.result.undo_rollbacks += undo.rollbacks();
   }
 
   void Visit(std::vector<EventId> sleep) {
@@ -321,18 +558,78 @@ struct IncrementalDfs {
       return;
     }
 
-    // Only branching nodes pay for a snapshot; chains just step forward.
+    // Only branching nodes pay for backtrack state; chains just step
+    // forward. With the undo log attached the default cost is a
+    // watermark; depths on the anchor cadence (and every branch when the
+    // log is off) pay for a full snapshot instead, bounding how much any
+    // single rollback must unwind.
+    const bool branch = explorable.size() > 1;
+
+    // Visited-state lookup, branch nodes only: same fingerprint + same
+    // depth + same sleep set => same subtree; merge the cached summary
+    // instead of exploring. Chain nodes (one explorable child) are never
+    // keyed — they outnumber branches an order of magnitude and a
+    // confluent chain is caught at its next branch anyway, so hashing
+    // them buys almost nothing at full O(state) cost per node. A node's
+    // own max_ready / decision_points / sleep_pruned are bumped above,
+    // before the baseline: the hit-time node re-derives them identically
+    // from the identical state, so merged totals still equal a dedup-off
+    // search exactly.
+    bool insertable = false;
+    VisitedKey key;
+    std::optional<SubtreeSummary> cached;
+    if (branch && config.dedup_states && visited != nullptr) {
+      Fp128 fp;
+      if (system->HashState(&fp)) {
+        insertable = true;
+        key = MakeVisitedKey(fp, path.size(), sleep);
+        cached = visited->Lookup(key);
+        if (cached.has_value()) {
+          ++result.dedup_hits;
+          if (!config.verify_on_hit) {
+            MergeSummary(*cached);
+            return;
+          }
+        }
+      } else {
+        ++result.dedup_unhashable;
+      }
+    }
+    const Baseline base = TakeBaseline(/*scope_monotone=*/insertable);
+
+    const bool undo_active = config.use_undo;
+    const bool anchor =
+        branch && (!undo_active ||
+                   (config.snapshot_anchor_every > 0 &&
+                    path.size() %
+                            static_cast<size_t>(
+                                config.snapshot_anchor_every) ==
+                        0));
+    UndoLog::Mark mark = 0;
     std::optional<Snapshot> snap;
-    if (explorable.size() > 1) {
-      snap.emplace(Snapshot{system->SaveState(), executed});
+    ExecutedCounts executed_at_branch;
+    if (branch) {
+      if (undo_active) mark = undo.MarkPoint();
+      if (anchor) {
+        snap.emplace(Snapshot{system->SaveState(), executed});
+        ++result.anchor_snapshots;
+      } else {
+        executed_at_branch = executed;
+      }
     }
 
     std::vector<EventId> done;
     bool first = true;
     for (size_t i : explorable) {
       if (!first) {
-        system->RestoreState(snap->sys);
-        executed = snap->executed;
+        if (anchor) {
+          system->RestoreState(snap->sys);
+          undo.DiscardTo(mark);
+          executed = snap->executed;
+        } else {
+          undo.RollbackTo(mark);
+          executed = executed_at_branch;
+        }
       }
       first = false;
       std::vector<EventId> child_sleep;
@@ -355,9 +652,36 @@ struct IncrementalDfs {
       path.push_back(i);
       Visit(std::move(child_sleep));
       path.pop_back();
-      if (core.stop) return;
+      if (core.stop) {
+        CloseScope(base);
+        return;
+      }
       done.push_back(ids[i]);
     }
+    FinishSubtree(insertable, key, base, cached);
+  }
+
+  // Subtree fully classified (no early stop): record it in the visited
+  // table, or — verify_on_hit after a hit — check the re-exploration
+  // reproduced the cached summary bit for bit.
+  void FinishSubtree(bool insertable, const VisitedKey& key,
+                     const Baseline& base,
+                     const std::optional<SubtreeSummary>& cached) {
+    if (core.stop) {
+      CloseScope(base);
+      return;
+    }
+    if (!insertable) return;
+    SubtreeSummary summary = DiffFrom(base);
+    CloseScope(base);
+    if (cached.has_value()) {
+      SWEEP_CHECK_MSG(summary == *cached,
+                      "visited-state hit disagreed with re-exploration "
+                      "(fingerprint collision or nondeterministic step)");
+      return;
+    }
+    visited->Insert(key, std::move(summary));
+    ++core.result.dedup_inserts;
   }
 };
 
@@ -497,15 +821,35 @@ ExploreResult ExploreParallel(const ExplorerConfig& config) {
     if (slot.runnable) tasks.push_back(&slot);
   }
 
+  // Visited-state table shared by every subtree task (and the fallback):
+  // a summary is a pure function of its key, so the totals are identical
+  // whichever worker inserts first.
+  VisitedTable table;
+
+  // Sequential fallback: a frontier this small means the split already
+  // enumerated most of the space, or the scenario cannot fan out — the
+  // pool would add synchronization cost without parallel work. Run the
+  // plain sequential engine instead (identical totals by construction),
+  // charging the split's probe executions as the cost of finding out.
+  if (config.sequential_fallback_threshold > 0 &&
+      static_cast<int64_t>(tasks.size()) <
+          config.sequential_fallback_threshold) {
+    IncrementalDfs dfs{SearchCore{config, /*defer_minimize=*/false,
+                                  ExploreResult{}, false}};
+    dfs.visited = &table;
+    dfs.RunFromPrefix({}, {});
+    ExploreResult result = std::move(dfs.core.result);
+    result.executions += expand_stats.executions;
+    result.parallel_fallback = true;
+    return result;
+  }
+
   WorkStealingPool pool(config.threads);
   pool.Run(static_cast<int64_t>(tasks.size()), [&](int64_t t) {
     FrontierSlot* slot = tasks[static_cast<size_t>(t)];
     IncrementalDfs dfs{
-        SearchCore{config, /*defer_minimize=*/true, ExploreResult{}, false},
-        std::nullopt,
-        std::nullopt,
-        {},
-        {}};
+        SearchCore{config, /*defer_minimize=*/true, ExploreResult{}, false}};
+    dfs.visited = &table;
     dfs.RunFromPrefix(slot->prefix, slot->sleep);
     slot->partial = std::move(dfs.core.result);
   });
@@ -525,6 +869,12 @@ ExploreResult ExploreParallel(const ExplorerConfig& config) {
     merged.max_ready = std::max(merged.max_ready, r.max_ready);
     merged.worst = std::min(merged.worst, r.worst);
     merged.exhausted = merged.exhausted && r.exhausted;
+    merged.undo_entries += r.undo_entries;
+    merged.undo_rollbacks += r.undo_rollbacks;
+    merged.anchor_snapshots += r.anchor_snapshots;
+    merged.dedup_hits += r.dedup_hits;
+    merged.dedup_inserts += r.dedup_inserts;
+    merged.dedup_unhashable += r.dedup_unhashable;
     if (!merged.counterexample.has_value() &&
         r.counterexample.has_value()) {
       merged.counterexample = r.counterexample;
@@ -565,17 +915,16 @@ ExploreResult ExploreExhaustive(const ExplorerConfig& config) {
   SWEEP_CHECK_MSG(config.threads >= 1, "threads must be positive");
   SWEEP_CHECK_MSG(config.share_prefixes || config.threads == 1,
                   "parallel exploration requires prefix sharing");
+  SWEEP_CHECK_MSG(config.share_prefixes || !config.dedup_states,
+                  "state dedup requires the prefix-sharing engine");
   ExploreResult result;
   if (config.threads > 1) {
     result = ExploreParallel(config);
   } else if (config.share_prefixes) {
-    IncrementalDfs dfs{
-        SearchCore{config, /*defer_minimize=*/false, ExploreResult{},
-                   false},
-        std::nullopt,
-        std::nullopt,
-        {},
-        {}};
+    VisitedTable table;
+    IncrementalDfs dfs{SearchCore{config, /*defer_minimize=*/false,
+                                  ExploreResult{}, false}};
+    dfs.visited = &table;
     dfs.RunFromPrefix({}, {});
     result = std::move(dfs.core.result);
   } else {

@@ -78,6 +78,31 @@ struct ExplorerConfig {
   // The frontier is split into subtree tasks ahead of time and merged in
   // DFS order, so every thread count produces identical results.
   int threads = 1;
+  // Undo-log backtracking (prefix-sharing engine): every controlled step
+  // records the mutations it makes; re-entering a decision point pops
+  // them back to the branch watermark — O(changes since the branch)
+  // instead of O(system state) per backtrack. Full snapshots remain as
+  // periodic safety anchors (below).
+  bool use_undo = true;
+  // Branch depths divisible by this take a full SaveState anchor and
+  // backtrack by restore + discard; all other branches unwind the undo
+  // log. 1 anchors every branch (the pure-snapshot engine); 0 never
+  // anchors. Only meaningful with use_undo.
+  int snapshot_anchor_every = 8;
+  // State-space deduplication: fingerprint the system at every DFS node
+  // and prune branches reaching an already-classified state, merging the
+  // cached subtree's counts so totals match a dedup-off search. Composes
+  // with sleep sets (the sleep set is part of the lookup key). Requires
+  // share_prefixes.
+  bool dedup_states = false;
+  // Debug mode: on a dedup hit, explore the subtree anyway and assert the
+  // recomputed summary matches the cached one (collision detector).
+  bool verify_on_hit = false;
+  // Parallel exploration falls back to the sequential engine when the
+  // initial frontier split yields fewer runnable subtree tasks than this
+  // (the split exhausted a tiny schedule space, or could not fan out);
+  // the result records parallel_fallback. 0 disables the fallback.
+  int64_t sequential_fallback_threshold = 2;
 };
 
 struct Counterexample {
@@ -115,6 +140,24 @@ struct ExploreResult {
   // Weakest level any schedule reached (kComplete when nothing ran).
   ConsistencyLevel worst = ConsistencyLevel::kComplete;
   std::optional<Counterexample> counterexample;
+  // --- Undo-log backtracking (use_undo) ---
+  // Undo entries recorded across the search, watermark rollbacks taken,
+  // and full snapshot anchors paid. entries/rollbacks is the mean
+  // changes-per-backtrack the bench reports.
+  int64_t undo_entries = 0;
+  int64_t undo_rollbacks = 0;
+  int64_t anchor_snapshots = 0;
+  // --- State-space dedup (dedup_states) ---
+  // Subtrees pruned by a visited-state hit, completed subtrees inserted,
+  // and nodes skipped because a pending event had no content digest
+  // (conservatively treated as unique).
+  int64_t dedup_hits = 0;
+  int64_t dedup_inserts = 0;
+  int64_t dedup_unhashable = 0;
+  // Parallel exploration fell back to the sequential engine because the
+  // frontier split produced too few subtree tasks (see
+  // sequential_fallback_threshold).
+  bool parallel_fallback = false;
 };
 
 ExploreResult ExploreExhaustive(const ExplorerConfig& config);

@@ -1,5 +1,10 @@
 #include "verify/scenarios.h"
 
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
 namespace sweepmv {
 
 namespace {
@@ -93,6 +98,51 @@ ControlledScenario UnfilteredRecoveryScenario() {
   scenario.warehouse.base.checkpoint_every = 1;
   scenario.warehouse.base.filter_stale_epochs = false;
   scenario.warehouse_crashes = 1;
+  return scenario;
+}
+
+ControlledScenario GeneratedMultiViewScenario(Algorithm primary,
+                                              Algorithm second,
+                                              int updates, bool crash) {
+  SWEEP_CHECK(updates >= 1);
+  ViewDef view = PaperView();
+  std::vector<Relation> bases = PaperBases(view);
+  // Round-robin join-relevant insertions: every generated tuple touches
+  // the join keys the initial bases already chain through (B=3, C=3,
+  // E=5), so each update drives real incremental maintenance — sweeps
+  // that query the other sources — instead of dying in an empty join.
+  std::vector<ControlledTxn> txns;
+  for (int i = 0; i < updates; ++i) {
+    const int rel = i % 3;
+    switch (rel) {
+      case 0:
+        txns.push_back({0, {UpdateOp::Insert(IntTuple({10 + i, 3}))}});
+        break;
+      case 1:
+        txns.push_back({1, {UpdateOp::Insert(IntTuple({3, 5}))}});
+        break;
+      default:
+        txns.push_back({2, {UpdateOp::Insert(IntTuple({5, 40 + i}))}});
+        break;
+    }
+  }
+  ControlledScenario scenario{primary,
+                              std::move(view),
+                              std::move(bases),
+                              std::move(txns),
+                              WarehouseConfig{},
+                              /*latency=*/1000};
+  scenario.extra_warehouses.push_back(second);
+  if (crash) {
+    scenario.warehouse.base.checkpoint_every = 2;
+    // Two crash choice points, not one: each crash placement is a fresh
+    // degree of schedule freedom, and schedules that crash at different
+    // points converge to identical states once recovery completes — the
+    // double crash is what makes this space both huge (millions of
+    // interleavings at updates=1) and diamond-rich enough for the
+    // visited-state table to collapse it by an order of magnitude.
+    scenario.warehouse_crashes = 2;
+  }
   return scenario;
 }
 

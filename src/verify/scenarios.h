@@ -52,6 +52,22 @@ ControlledScenario UnfilteredRecoveryScenario();
 // exploration certifies the loss is harmless wherever it lands.
 ControlledScenario LossyPaperExampleScenario(Algorithm algorithm);
 
+// Generated stress scenario for the exploration engines themselves: the
+// paper's three-relation join view, `updates` join-relevant insertions
+// spread round-robin across the relations, a second warehouse
+// maintaining the same view under `second` (every source ships each
+// update to both sites), and — when `crash` — two crash/recover choice
+// points at the primary (checkpoint cadence 2). The doubled message
+// traffic and the crash placements blow the interleaving lattice up far
+// past the worked example (millions of naive schedules at updates=1),
+// big enough that frontier splitting amortizes, and diamond-rich:
+// schedules that crash at different points converge to identical
+// post-recovery states, so the visited-state table collapses the space
+// by an order of magnitude. `updates` must be >= 1.
+ControlledScenario GeneratedMultiViewScenario(Algorithm primary,
+                                              Algorithm second,
+                                              int updates, bool crash);
+
 }  // namespace sweepmv
 
 #endif  // SWEEPMV_VERIFY_SCENARIOS_H_

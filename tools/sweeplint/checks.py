@@ -19,6 +19,19 @@ snapshot-completeness
     prefix-sharing explorer (PR 4) rests on: a restore that silently
     forgets a member corrupts every verdict downstream of the backtrack.
 
+undo-coverage
+    The snapshot-completeness invariant, extended to the undo-log
+    backtracking engine: in a class that defines a CaptureUndo or
+    CaptureUndoAlgState recorder, every snapshot-captured member must
+    also appear in a recorder body — the undo log can only roll back
+    what was recorded, so a skipped member silently survives rollback
+    with a stale value — or carry SWEEP_UNDO_EXEMPT("why"). A stale
+    undo exemption on a member the recorder does capture, and a bare
+    rationale, are each their own diagnostic. Classes without a
+    recorder are out of scope (they back-track by full snapshot only,
+    e.g. ControlledSystem, which delegates to its components'
+    recorders).
+
 unordered-iteration
     A range-for over a std::unordered_map/unordered_set whose loop feeds
     an order-sensitive sink — it executes inside a serialization/
@@ -65,11 +78,13 @@ from guards import CHECK_GUARD, GUARD_SCOPE, check_protocol_guard
 from taint import CHECK_TAINT, TAINT_SCOPE, check_determinism_taint
 
 CHECK_SNAPSHOT = "snapshot-completeness"
+CHECK_UNDO = "undo-coverage"
 CHECK_UNORDERED = "unordered-iteration"
 CHECK_EVENT_LABEL = "unlabeled-event"
 
 ALL_CHECKS = (
     CHECK_SNAPSHOT,
+    CHECK_UNDO,
     CHECK_UNORDERED,
     CHECK_EVENT_LABEL,
     CHECK_TAINT,
@@ -129,6 +144,8 @@ def run_checks(
     diags: List[Diagnostic] = []
     if CHECK_SNAPSHOT in checks:
         diags.extend(check_snapshot_completeness(model))
+    if CHECK_UNDO in checks:
+        diags.extend(check_undo_coverage(model))
     if CHECK_UNORDERED in checks:
         scope = None if scope_all else UNORDERED_SCOPE
         diags.extend(check_unordered_iteration(model, scope))
@@ -268,6 +285,93 @@ def check_snapshot_completeness(model: Model) -> List[Diagnostic]:
                         ),
                     )
                 )
+    return diags
+
+
+
+
+# --- undo-coverage ----------------------------------------------------------
+
+
+def check_undo_coverage(model: Model) -> List[Diagnostic]:
+    """Snapshot-captured members of classes with an undo recorder must be
+    recorded (appear in a CaptureUndo/CaptureUndoAlgState body) or carry
+    SWEEP_UNDO_EXEMPT with a rationale."""
+    diags: List[Diagnostic] = []
+    for name in sorted(model.classes):
+        cls = model.classes[name]
+        recorders = cls.undo_recorders()
+        recorder_ids: set = set()
+        for rec in recorders:
+            recorder_ids |= rec.identifier_set()
+        recorder_label = "/".join(rec.name for rec in recorders)
+        complete_pairs: List[Tuple[Method, Method]] = []
+        for save_name, restore_name in cls.snapshot_pairs():
+            save = cls.methods.get(save_name)
+            restore = cls.methods.get(restore_name)
+            if save is not None and restore is not None:
+                complete_pairs.append((save, restore))
+        for field_name in sorted(cls.fields):
+            field = cls.fields[field_name]
+            if field.is_static:
+                continue
+            if field.undo_exempt_annotated:
+                rationale = field.undo_exempt_rationale or ""
+                if len(rationale.strip()) < MIN_RATIONALE_LEN:
+                    diags.append(
+                        Diagnostic(
+                            file=field.file,
+                            line=field.line,
+                            check=CHECK_UNDO,
+                            message=(
+                                f"class {cls.name}: member '{field.name}' "
+                                "is annotated SWEEP_UNDO_EXEMPT without a "
+                                "rationale (>= "
+                                f"{MIN_RATIONALE_LEN} chars) explaining why "
+                                "rollback may skip it"
+                            ),
+                        )
+                    )
+            if not recorders:
+                continue
+            captured = any(
+                field.name in save.identifier_set()
+                and field.name in restore.identifier_set()
+                for save, restore in complete_pairs
+            )
+            recorded = field.name in recorder_ids
+            if field.undo_exempt_annotated:
+                if recorded:
+                    diags.append(
+                        Diagnostic(
+                            file=field.file,
+                            line=field.line,
+                            check=CHECK_UNDO,
+                            message=(
+                                f"class {cls.name}: member '{field.name}' "
+                                "is annotated SWEEP_UNDO_EXEMPT but is "
+                                f"recorded by {recorder_label}; remove the "
+                                "stale exemption"
+                            ),
+                        )
+                    )
+                continue
+            if not captured or recorded:
+                continue
+            diags.append(
+                Diagnostic(
+                    file=field.file,
+                    line=field.line,
+                    check=CHECK_UNDO,
+                    message=(
+                        f"class {cls.name}: member '{field.name}' is "
+                        "snapshot-captured but never recorded by "
+                        f"{recorder_label}; an undo-log rollback would "
+                        "leave it stale — record it or annotate it "
+                        "SWEEP_UNDO_EXEMPT(\"why\")"
+                    ),
+                )
+            )
     return diags
 
 

@@ -161,13 +161,23 @@ def _tokens_of(cursor) -> List[Tuple[str, int]]:
     return toks
 
 
-def _exemption_of(cursor) -> Tuple[bool, Optional[str]]:
+def _exemption_of(
+    cursor,
+) -> Tuple[bool, Optional[str], bool, Optional[str]]:
+    """(snapshot_annotated, snapshot_why, undo_annotated, undo_why)."""
+    snap_annotated, snap_why = False, None
+    undo_annotated, undo_why = False, None
     for child in cursor.get_children():
-        if child.kind == cindex.CursorKind.ANNOTATE_ATTR:
-            text = child.spelling or child.displayname or ""
-            if text.startswith(EXEMPT_ANNOTATION_PREFIX):
-                return True, text[len(EXEMPT_ANNOTATION_PREFIX):]
-    return False, None
+        if child.kind != cindex.CursorKind.ANNOTATE_ATTR:
+            continue
+        text = child.spelling or child.displayname or ""
+        if text.startswith(EXEMPT_ANNOTATION_PREFIX):
+            snap_annotated = True
+            snap_why = text[len(EXEMPT_ANNOTATION_PREFIX):]
+        elif text.startswith(UNDO_EXEMPT_ANNOTATION_PREFIX):
+            undo_annotated = True
+            undo_why = text[len(UNDO_EXEMPT_ANNOTATION_PREFIX):]
+    return snap_annotated, snap_why, undo_annotated, undo_why
 
 
 class _TUWalker:
@@ -254,7 +264,9 @@ class _TUWalker:
                     info.bases.append(text)
                 continue
             if child.kind == cindex.CursorKind.FIELD_DECL:
-                annotated, rationale = _exemption_of(child)
+                annotated, rationale, undo_annotated, undo_rationale = (
+                    _exemption_of(child)
+                )
                 info.fields[child.spelling] = Field(
                     name=child.spelling,
                     type_text=child.type.spelling,
@@ -263,6 +275,8 @@ class _TUWalker:
                     is_static=False,
                     exempt_rationale=rationale,
                     exempt_annotated=annotated,
+                    undo_exempt_rationale=undo_rationale,
+                    undo_exempt_annotated=undo_annotated,
                 )
             elif child.kind == cindex.CursorKind.CXX_METHOD:
                 info.declared_methods[child.spelling] = (

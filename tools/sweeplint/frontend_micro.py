@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from model import (
     ALLOW_MARKER,
     EXEMPT_MACRO,
+    UNDO_EXEMPT_MACRO,
     ClassInfo,
     Field,
     Method,
@@ -384,17 +385,15 @@ def _capture_alias(stmt: List[Token], parsed: ParsedFile) -> None:
         )
 
 
-def _exempt_prefix_end(stmt: List[Token]) -> int:
-    """Index just past a leading SWEEP_SNAPSHOT_EXEMPT(...) call, or 0.
+_EXEMPT_MACROS = (EXEMPT_MACRO, UNDO_EXEMPT_MACRO)
 
-    The macro's own parenthesis must not make the statement classifier
-    take a member declaration for a function declaration."""
-    if not stmt or stmt[0][0] != EXEMPT_MACRO:
-        return 0
-    if len(stmt) < 2 or stmt[1][0] != "(":
-        return 1
+
+def _one_exempt_end(stmt: List[Token], start: int) -> int:
+    """Index just past the exemption macro call opening at `start`."""
+    if start + 1 >= len(stmt) or stmt[start + 1][0] != "(":
+        return start + 1
     depth = 0
-    for i in range(1, len(stmt)):
+    for i in range(start + 1, len(stmt)):
         if stmt[i][0] == "(":
             depth += 1
         elif stmt[i][0] == ")":
@@ -404,33 +403,44 @@ def _exempt_prefix_end(stmt: List[Token]) -> int:
     return len(stmt)
 
 
+def _exempt_prefix_end(stmt: List[Token]) -> int:
+    """Index just past the leading run of SWEEP_SNAPSHOT_EXEMPT(...) /
+    SWEEP_UNDO_EXEMPT(...) calls (either order, both allowed), or 0.
+
+    The macros' own parentheses must not make the statement classifier
+    take a member declaration for a function declaration."""
+    pos = 0
+    while pos < len(stmt) and stmt[pos][0] in _EXEMPT_MACROS:
+        pos = _one_exempt_end(stmt, pos)
+    return pos
+
+
 def _member_from_statement(
     stmt: List[Token], rel_path: str
 ) -> Optional[Field]:
     """Parses a class-scope statement as a data-member declaration."""
     exempt_rationale: Optional[str] = None
     exempt_annotated = False
-    if stmt and stmt[0][0] == EXEMPT_MACRO:
-        exempt_annotated = True
-        # Consume EXEMPT_MACRO ( "rationale" ).
-        close = 1
-        if len(stmt) > 1 and stmt[1][0] == "(":
-            depth = 0
-            for i in range(1, len(stmt)):
-                if stmt[i][0] == "(":
-                    depth += 1
-                elif stmt[i][0] == ")":
-                    depth -= 1
-                    if depth == 0:
-                        close = i
-                        break
-            parts = [
-                t[0][1:-1]
-                for t in stmt[2:close]
-                if t[0].startswith('"') and t[0].endswith('"')
-            ]
-            exempt_rationale = "".join(parts)
-        stmt = stmt[close + 1 :]
+    undo_exempt_rationale: Optional[str] = None
+    undo_exempt_annotated = False
+    # Consume the leading run of exemption macros (either kind, either
+    # order), collecting each macro's string-literal rationale.
+    while stmt and stmt[0][0] in _EXEMPT_MACROS:
+        macro = stmt[0][0]
+        close = _one_exempt_end(stmt, 0)
+        parts = [
+            t[0][1:-1]
+            for t in stmt[1:close]
+            if t[0].startswith('"') and t[0].endswith('"')
+        ]
+        rationale = "".join(parts)
+        if macro == EXEMPT_MACRO:
+            exempt_annotated = True
+            exempt_rationale = rationale
+        else:
+            undo_exempt_annotated = True
+            undo_exempt_rationale = rationale
+        stmt = stmt[close:]
     if not stmt:
         return None
     is_static = any(t == "static" for t, _ in stmt)
@@ -460,6 +470,8 @@ def _member_from_statement(
         is_static=is_static,
         exempt_rationale=exempt_rationale,
         exempt_annotated=exempt_annotated,
+        undo_exempt_rationale=undo_exempt_rationale,
+        undo_exempt_annotated=undo_exempt_annotated,
     )
 
 

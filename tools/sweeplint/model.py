@@ -29,6 +29,11 @@ from typing import Dict, List, Optional, Set, Tuple
 EXEMPT_MACRO = "SWEEP_SNAPSHOT_EXEMPT"
 EXEMPT_ANNOTATION_PREFIX = "sweeplint:snapshot-exempt:"
 
+# Undo-coverage twin (same header): exempts a snapshot-captured member
+# from the CaptureUndo/CaptureUndoAlgState recorder requirement.
+UNDO_EXEMPT_MACRO = "SWEEP_UNDO_EXEMPT"
+UNDO_EXEMPT_ANNOTATION_PREFIX = "sweeplint:undo-exempt:"
+
 # Statement-level suppression comment:  // sweeplint:allow <check> <why>
 # on the offending line or in the contiguous comment block above it.
 ALLOW_MARKER = "sweeplint:allow"
@@ -43,6 +48,11 @@ SNAPSHOT_METHOD_PAIRS = (
     ("SaveState", "RestoreState"),
     ("SaveAlgState", "RestoreAlgState"),
 )
+
+# Undo-log recorder method names. A class defining either with a body
+# participates in undo-coverage: its snapshot-captured members must
+# appear in a recorder's token stream or carry SWEEP_UNDO_EXEMPT.
+UNDO_RECORDER_METHODS = ("CaptureUndo", "CaptureUndoAlgState")
 
 
 @dataclasses.dataclass
@@ -60,6 +70,9 @@ class Field:
     # rationale — the checks distinguish "annotated badly" from
     # "not annotated").
     exempt_annotated: bool = False
+    # Same pair for SWEEP_UNDO_EXEMPT (undo-coverage check).
+    undo_exempt_rationale: Optional[str] = None
+    undo_exempt_annotated: bool = False
 
 
 @dataclasses.dataclass
@@ -97,6 +110,14 @@ class ClassInfo:
     declared_methods: Dict[str, str] = dataclasses.field(default_factory=dict)
     # Method definitions with bodies, keyed by method name.
     methods: Dict[str, Method] = dataclasses.field(default_factory=dict)
+
+    def undo_recorders(self) -> List["Method"]:
+        """The undo-recorder bodies this class defines, if any."""
+        return [
+            self.methods[name]
+            for name in UNDO_RECORDER_METHODS
+            if name in self.methods
+        ]
 
     def snapshot_pairs(self) -> List[Tuple[str, str]]:
         """The (save, restore) method pairs this class exposes, if any."""

@@ -11,6 +11,10 @@ naming the mutated construct:
                     copies the member disappears whole);
   add-member        insert a new unannotated mutable member into a
                     snapshotted class;
+  drop-undo-hook    delete one covered member's lines from a CaptureUndo
+                    / CaptureUndoAlgState body — the member is still
+                    snapshot-captured, so undo-coverage must flag the
+                    rollback gap the recorder just grew;
   drop-epoch-guard  delete one `filter_stale_epochs` if-block from the
                     Warehouse::OnMessage dispatch — every derived
                     handler of that message type must be flagged as able
@@ -63,6 +67,7 @@ PROBE_MEMBER = "sweeplint_mutation_probe_"
 ALL_MODES = (
     "drop-capture",
     "add-member",
+    "drop-undo-hook",
     "drop-epoch-guard",
     "drop-handler",
     "drop-stride",
@@ -285,6 +290,70 @@ def discover_snapshot_targets(
     return targets
 
 
+def discover_undo_targets(
+    files: Dict[str, str], model: Model
+) -> List[Target]:
+    """One target per snapshot-captured, undo-recorded member: deleting
+    its lines from every recorder body that mentions it leaves the member
+    captured but unrecorded, which undo-coverage must flag. Unlike
+    drop-capture, the deletions land in one combined overlay — a member
+    recorded by two recorders stays covered until both mentions go."""
+    targets: List[Target] = []
+    for class_name in sorted(model.classes):
+        cls = model.classes[class_name]
+        recorders = cls.undo_recorders()
+        if not recorders or not cls.file.startswith("src/"):
+            continue
+        pairs = []
+        for save_name, restore_name in cls.snapshot_pairs():
+            save = cls.methods.get(save_name)
+            restore = cls.methods.get(restore_name)
+            if save is not None and restore is not None:
+                pairs.append((save, restore))
+        if not pairs:
+            continue
+        for field_name in sorted(cls.fields):
+            field = cls.fields[field_name]
+            if field.is_static or field.undo_exempt_annotated:
+                continue
+            captured = any(
+                field_name in s.identifier_set()
+                and field_name in r.identifier_set()
+                for s, r in pairs
+            )
+            if not captured:
+                continue
+            mentioning = [
+                rec
+                for rec in recorders
+                if field_name in rec.identifier_set()
+            ]
+            if not mentioning:
+                continue  # already a base-tree finding, not a mutation
+            if len({rec.file for rec in mentioning}) > 1:
+                continue  # would need a multi-file overlay
+            # Later bodies first, so earlier deletions don't shift the
+            # line ranges still to be processed.
+            mentioning.sort(key=lambda rec: rec.line, reverse=True)
+            text: Optional[str] = files[mentioning[0].file]
+            for rec in mentioning:
+                text = _delete_field_lines(text, rec, field_name)
+                if text is None:
+                    break  # one-line body; a different failure mode
+            if text is None:
+                continue
+            targets.append(
+                Target(
+                    "drop-undo-hook",
+                    f"{class_name}.{field_name}",
+                    [(mentioning[0].file, text)],
+                    (checks_mod.CHECK_UNDO,),
+                    [class_name, field_name, "never recorded"],
+                )
+            )
+    return targets
+
+
 def discover_epoch_guard_targets(files: Dict[str, str]) -> List[Target]:
     """One target per `filter_stale_epochs` if-block in the dispatch
     file; deleting the block must flag every derived handler of that
@@ -439,6 +508,7 @@ def discover_targets(
     root: Path, files: Dict[str, str], model: Model
 ) -> List[Target]:
     targets = discover_snapshot_targets(files, model)
+    targets.extend(discover_undo_targets(files, model))
     targets.extend(discover_epoch_guard_targets(files))
     targets.extend(discover_handler_targets(files, model))
     targets.extend(discover_stride_targets(files))

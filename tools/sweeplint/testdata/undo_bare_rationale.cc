@@ -1,0 +1,42 @@
+// undo-coverage, positive: the exemption macro is present but its
+// rationale is too short to explain anything.
+#if defined(__clang__)
+#define SWEEP_UNDO_EXEMPT(why) \
+  [[clang::annotate("sweeplint:undo-exempt:" why)]]
+#else
+#define SWEEP_UNDO_EXEMPT(why)
+#endif
+
+struct CheckpointWriter {
+  void WriteI64(long v);
+};
+
+struct UndoLog {
+  void CaptureValue(long* slot);
+};
+
+struct Probe {
+  struct Saved {
+    long counted = 0;
+    long spent = 0;
+  };
+  Saved SaveState() const {
+    Saved s;
+    s.counted = counted_;
+    s.spent = spent_;
+    return s;
+  }
+  void RestoreState(const Saved& s) {
+    counted_ = s.counted;
+    spent_ = s.spent;
+  }
+  void CaptureUndo(UndoLog& undo) { undo.CaptureValue(&counted_); }
+  void SerializeCheckpoint(CheckpointWriter& w) {
+    w.WriteI64(counted_);
+    w.WriteI64(spent_);
+  }
+
+  long counted_ = 0;
+  SWEEP_UNDO_EXEMPT("skip")
+  long spent_ = 0;
+};

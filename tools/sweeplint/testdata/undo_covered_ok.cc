@@ -1,0 +1,38 @@
+// undo-coverage, clean: every snapshot-captured member is also
+// value-captured by the undo recorder, so a rollback restores exactly
+// what a snapshot restore would.
+struct CheckpointWriter {
+  void WriteI64(long v);
+};
+
+struct UndoLog {
+  void CaptureValue(long* slot);
+};
+
+struct Probe {
+  struct Saved {
+    long counted = 0;
+    long spent = 0;
+  };
+  Saved SaveState() const {
+    Saved s;
+    s.counted = counted_;
+    s.spent = spent_;
+    return s;
+  }
+  void RestoreState(const Saved& s) {
+    counted_ = s.counted;
+    spent_ = s.spent;
+  }
+  void CaptureUndo(UndoLog& undo) {
+    undo.CaptureValue(&counted_);
+    undo.CaptureValue(&spent_);
+  }
+  void SerializeCheckpoint(CheckpointWriter& w) {
+    w.WriteI64(counted_);
+    w.WriteI64(spent_);
+  }
+
+  long counted_ = 0;
+  long spent_ = 0;
+};

@@ -1,0 +1,45 @@
+// undo-coverage, suppressed: the recorder skips spent_ deliberately and
+// the member says why with a real rationale. The preprocessor block
+// mirrors src/common/snapshot.h — the micro frontend skips '#' lines
+// and reads the macro spelling; clang expands it to the annotate
+// attribute.
+#if defined(__clang__)
+#define SWEEP_UNDO_EXEMPT(why) \
+  [[clang::annotate("sweeplint:undo-exempt:" why)]]
+#else
+#define SWEEP_UNDO_EXEMPT(why)
+#endif
+
+struct CheckpointWriter {
+  void WriteI64(long v);
+};
+
+struct UndoLog {
+  void CaptureValue(long* slot);
+};
+
+struct Probe {
+  struct Saved {
+    long counted = 0;
+    long spent = 0;
+  };
+  Saved SaveState() const {
+    Saved s;
+    s.counted = counted_;
+    s.spent = spent_;
+    return s;
+  }
+  void RestoreState(const Saved& s) {
+    counted_ = s.counted;
+    spent_ = s.spent;
+  }
+  void CaptureUndo(UndoLog& undo) { undo.CaptureValue(&counted_); }
+  void SerializeCheckpoint(CheckpointWriter& w) {
+    w.WriteI64(counted_);
+    w.WriteI64(spent_);
+  }
+
+  long counted_ = 0;
+  SWEEP_UNDO_EXEMPT("rebuilt from counted_ by the anchor restore path")
+  long spent_ = 0;
+};

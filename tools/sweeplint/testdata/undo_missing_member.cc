@@ -1,0 +1,34 @@
+// undo-coverage, positive: spent_ is captured by the snapshot pair but
+// the undo recorder skips it — a rollback would leave it stale.
+struct CheckpointWriter {
+  void WriteI64(long v);
+};
+
+struct UndoLog {
+  void CaptureValue(long* slot);
+};
+
+struct Probe {
+  struct Saved {
+    long counted = 0;
+    long spent = 0;
+  };
+  Saved SaveState() const {
+    Saved s;
+    s.counted = counted_;
+    s.spent = spent_;
+    return s;
+  }
+  void RestoreState(const Saved& s) {
+    counted_ = s.counted;
+    spent_ = s.spent;
+  }
+  void CaptureUndo(UndoLog& undo) { undo.CaptureValue(&counted_); }
+  void SerializeCheckpoint(CheckpointWriter& w) {
+    w.WriteI64(counted_);
+    w.WriteI64(spent_);
+  }
+
+  long counted_ = 0;
+  long spent_ = 0;
+};

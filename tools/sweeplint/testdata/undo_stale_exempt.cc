@@ -1,0 +1,46 @@
+// undo-coverage, positive: spent_ claims to be outside the undo log but
+// the recorder captures it anyway — the exemption is stale and hides a
+// future divergence if the capture is ever removed.
+#if defined(__clang__)
+#define SWEEP_UNDO_EXEMPT(why) \
+  [[clang::annotate("sweeplint:undo-exempt:" why)]]
+#else
+#define SWEEP_UNDO_EXEMPT(why)
+#endif
+
+struct CheckpointWriter {
+  void WriteI64(long v);
+};
+
+struct UndoLog {
+  void CaptureValue(long* slot);
+};
+
+struct Probe {
+  struct Saved {
+    long counted = 0;
+    long spent = 0;
+  };
+  Saved SaveState() const {
+    Saved s;
+    s.counted = counted_;
+    s.spent = spent_;
+    return s;
+  }
+  void RestoreState(const Saved& s) {
+    counted_ = s.counted;
+    spent_ = s.spent;
+  }
+  void CaptureUndo(UndoLog& undo) {
+    undo.CaptureValue(&counted_);
+    undo.CaptureValue(&spent_);
+  }
+  void SerializeCheckpoint(CheckpointWriter& w) {
+    w.WriteI64(counted_);
+    w.WriteI64(spent_);
+  }
+
+  long counted_ = 0;
+  SWEEP_UNDO_EXEMPT("rebuilt from counted_ by the anchor restore path")
+  long spent_ = 0;
+};
