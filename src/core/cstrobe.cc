@@ -277,13 +277,18 @@ void CStrobeWarehouse::RestoreAlgState(const AlgState& state) {
 }
 
 void CStrobeWarehouse::CaptureUndoAlgState(UndoLog& undo) {
-  undo.CaptureValue(&internal_view_);
-  undo.CaptureValue(&root_delta_);
-  undo.CaptureValue(&active_);
-  undo.CaptureValue(&observed_deletes_);
-  undo.CaptureValue(&spawned_);
-  undo.CaptureValue(&compensating_queries_);
-  undo.CaptureValue(&max_tasks_per_update_);
+  undo.CaptureValue(&internal_view_,
+                    {"CStrobeWarehouse", "internal_view_", site_id()});
+  undo.CaptureValue(&root_delta_,
+                    {"CStrobeWarehouse", "root_delta_", site_id()});
+  undo.CaptureValue(&active_, {"CStrobeWarehouse", "active_", site_id()});
+  undo.CaptureValue(&observed_deletes_,
+                    {"CStrobeWarehouse", "observed_deletes_", site_id()});
+  undo.CaptureValue(&spawned_, {"CStrobeWarehouse", "spawned_", site_id()});
+  undo.CaptureValue(&compensating_queries_,
+                    {"CStrobeWarehouse", "compensating_queries_", site_id()});
+  undo.CaptureValue(&max_tasks_per_update_,
+                    {"CStrobeWarehouse", "max_tasks_per_update_", site_id()});
 }
 
 namespace {

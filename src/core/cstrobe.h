@@ -70,6 +70,8 @@ class CStrobeWarehouse : public Warehouse {
     bool left_phase = true;
     int j = -1;
     int64_t outstanding_query = -1;
+
+    bool operator==(const Task&) const = default;
   };
 
   struct ActiveUpdate {
@@ -80,6 +82,8 @@ class CStrobeWarehouse : public Warehouse {
     // Concurrent inserts to be offset locally at finalize: (rel, tuple).
     std::vector<std::pair<int, Tuple>> local_removals;
     int64_t tasks_created = 0;
+
+    bool operator==(const ActiveUpdate&) const = default;
   };
 
   void MaybeStartNext();

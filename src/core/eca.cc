@@ -135,13 +135,18 @@ void EcaWarehouse::RestoreAlgState(const AlgState& state) {
 }
 
 void EcaWarehouse::CaptureUndoAlgState(UndoLog& undo) {
-  undo.CaptureValue(&active_);
-  undo.CaptureValue(&offsets_);
-  undo.CaptureValue(&pending_delta_);
-  undo.CaptureValue(&pending_ids_);
-  undo.CaptureValue(&max_query_terms_);
-  undo.CaptureValue(&total_query_terms_);
-  undo.CaptureValue(&batch_installs_);
+  undo.CaptureValue(&active_, {"EcaWarehouse", "active_", site_id()});
+  undo.CaptureValue(&offsets_, {"EcaWarehouse", "offsets_", site_id()});
+  undo.CaptureValue(&pending_delta_,
+                    {"EcaWarehouse", "pending_delta_", site_id()});
+  undo.CaptureValue(&pending_ids_,
+                    {"EcaWarehouse", "pending_ids_", site_id()});
+  undo.CaptureValue(&max_query_terms_,
+                    {"EcaWarehouse", "max_query_terms_", site_id()});
+  undo.CaptureValue(&total_query_terms_,
+                    {"EcaWarehouse", "total_query_terms_", site_id()});
+  undo.CaptureValue(&batch_installs_,
+                    {"EcaWarehouse", "batch_installs_", site_id()});
 }
 
 void EcaWarehouse::SerializeAlgState(CheckpointWriter& w) const {

@@ -69,6 +69,8 @@ class EcaWarehouse : public Warehouse {
   struct OffsetTerm {
     int sign = 1;
     std::map<int, Relation> deltas;
+
+    bool operator==(const OffsetTerm&) const = default;
   };
 
   struct ActiveQuery {
@@ -79,6 +81,8 @@ class EcaWarehouse : public Warehouse {
     // The signed pin sets of the terms we shipped (each includes Δ_u);
     // used to propagate contamination records onto still-queued updates.
     std::vector<OffsetTerm> sent_terms;
+
+    bool operator==(const ActiveQuery&) const = default;
   };
 
   void MaybeStartNext();

@@ -180,12 +180,17 @@ void NestedSweepWarehouse::RestoreAlgState(const AlgState& state) {
 }
 
 void NestedSweepWarehouse::CaptureUndoAlgState(UndoLog& undo) {
-  undo.CaptureValue(&stack_);
-  undo.CaptureValue(&batch_ids_);
-  undo.CaptureValue(&compensations_);
-  undo.CaptureValue(&nested_calls_);
-  undo.CaptureValue(&forced_deferrals_);
-  undo.CaptureValue(&max_depth_seen_);
+  undo.CaptureValue(&stack_, {"NestedSweepWarehouse", "stack_", site_id()});
+  undo.CaptureValue(&batch_ids_,
+                    {"NestedSweepWarehouse", "batch_ids_", site_id()});
+  undo.CaptureValue(&compensations_,
+                    {"NestedSweepWarehouse", "compensations_", site_id()});
+  undo.CaptureValue(&nested_calls_,
+                    {"NestedSweepWarehouse", "nested_calls_", site_id()});
+  undo.CaptureValue(&forced_deferrals_,
+                    {"NestedSweepWarehouse", "forced_deferrals_", site_id()});
+  undo.CaptureValue(&max_depth_seen_,
+                    {"NestedSweepWarehouse", "max_depth_seen_", site_id()});
 }
 
 void NestedSweepWarehouse::SerializeAlgState(CheckpointWriter& w) const {

@@ -69,6 +69,8 @@ class NestedSweepWarehouse : public Warehouse {
     bool left_phase = true;
     int j = -1;
     int64_t outstanding_query = -1;
+
+    bool operator==(const Frame&) const = default;
   };
 
   void MaybeStartNext();

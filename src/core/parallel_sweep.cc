@@ -137,8 +137,10 @@ void ParallelSweepWarehouse::RestoreAlgState(const AlgState& state) {
 }
 
 void ParallelSweepWarehouse::CaptureUndoAlgState(UndoLog& undo) {
-  undo.CaptureValue(&active_);
-  undo.CaptureValue(&compensations_);
+  undo.CaptureValue(&active_,
+                    {"ParallelSweepWarehouse", "active_", site_id()});
+  undo.CaptureValue(&compensations_,
+                    {"ParallelSweepWarehouse", "compensations_", site_id()});
 }
 
 void ParallelSweepWarehouse::SerializeAlgState(CheckpointWriter& w) const {

@@ -46,6 +46,8 @@ class ParallelSweepWarehouse : public Warehouse {
     int j = -1;
     bool done = false;
     int64_t outstanding_query = -1;
+
+    bool operator==(const Side&) const = default;
   };
 
   struct ActiveSweep {
@@ -53,6 +55,8 @@ class ParallelSweepWarehouse : public Warehouse {
     int update_source = -1;
     Side left;
     Side right;
+
+    bool operator==(const ActiveSweep&) const = default;
   };
 
   void MaybeStartNext();

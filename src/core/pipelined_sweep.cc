@@ -157,12 +157,20 @@ void PipelinedSweepWarehouse::RestoreAlgState(const AlgState& state) {
 }
 
 void PipelinedSweepWarehouse::CaptureUndoAlgState(UndoLog& undo) {
-  undo.CaptureValue(&received_);
-  undo.CaptureValue(&started_);
-  undo.CaptureValue(&inflight_);
-  undo.CaptureValue(&compensations_);
-  undo.CaptureValue(&max_observed_inflight_);
-  undo.CaptureValue(&malformed_answers_rejected_);
+  undo.CaptureValue(&received_,
+                    {"PipelinedSweepWarehouse", "received_", site_id()});
+  undo.CaptureValue(&started_,
+                    {"PipelinedSweepWarehouse", "started_", site_id()});
+  undo.CaptureValue(&inflight_,
+                    {"PipelinedSweepWarehouse", "inflight_", site_id()});
+  undo.CaptureValue(&compensations_,
+                    {"PipelinedSweepWarehouse", "compensations_", site_id()});
+  undo.CaptureValue(
+      &max_observed_inflight_,
+      {"PipelinedSweepWarehouse", "max_observed_inflight_", site_id()});
+  undo.CaptureValue(
+      &malformed_answers_rejected_,
+      {"PipelinedSweepWarehouse", "malformed_answers_rejected_", site_id()});
 }
 
 void PipelinedSweepWarehouse::SerializeAlgState(CheckpointWriter& w) const {

@@ -71,6 +71,8 @@ class PipelinedSweepWarehouse : public Warehouse {
     int64_t outstanding_query = -1;
     bool complete = false;
     Relation final_delta;  // view-schema delta, once complete
+
+    bool operator==(const Sweep&) const = default;
   };
 
   void StartPending();

@@ -73,8 +73,9 @@ void RecomputeWarehouse::RestoreAlgState(const AlgState& state) {
 }
 
 void RecomputeWarehouse::CaptureUndoAlgState(UndoLog& undo) {
-  undo.CaptureValue(&active_);
-  undo.CaptureValue(&recomputations_);
+  undo.CaptureValue(&active_, {"RecomputeWarehouse", "active_", site_id()});
+  undo.CaptureValue(&recomputations_,
+                    {"RecomputeWarehouse", "recomputations_", site_id()});
 }
 
 void RecomputeWarehouse::SerializeAlgState(CheckpointWriter& w) const {

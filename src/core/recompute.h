@@ -41,6 +41,8 @@ class RecomputeWarehouse : public Warehouse {
   struct ActiveRecompute {
     std::vector<int64_t> update_ids;
     std::map<int, Relation> snapshots;  // relation index -> snapshot
+
+    bool operator==(const ActiveRecompute&) const = default;
   };
 
   void MaybeStartNext();

@@ -185,10 +185,13 @@ void StrobeWarehouse::RestoreAlgState(const AlgState& state) {
 }
 
 void StrobeWarehouse::CaptureUndoAlgState(UndoLog& undo) {
-  undo.CaptureValue(&internal_view_);
-  undo.CaptureValue(&pending_);
-  undo.CaptureValue(&action_list_);
-  undo.CaptureValue(&batch_installs_);
+  undo.CaptureValue(&internal_view_,
+                    {"StrobeWarehouse", "internal_view_", site_id()});
+  undo.CaptureValue(&pending_, {"StrobeWarehouse", "pending_", site_id()});
+  undo.CaptureValue(&action_list_,
+                    {"StrobeWarehouse", "action_list_", site_id()});
+  undo.CaptureValue(&batch_installs_,
+                    {"StrobeWarehouse", "batch_installs_", site_id()});
 }
 
 void StrobeWarehouse::SerializeAlgState(CheckpointWriter& w) const {

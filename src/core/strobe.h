@@ -58,6 +58,8 @@ class StrobeWarehouse : public Warehouse {
     // Deletes that arrived while this query was in flight: (relation,
     // deleted base tuple).
     std::vector<std::pair<int, Tuple>> pending_deletes;
+
+    bool operator==(const PendingQuery&) const = default;
   };
 
   struct Action {
@@ -67,6 +69,8 @@ class StrobeWarehouse : public Warehouse {
     Tuple key;          // kDeleteKey
     Relation tuples;    // kInsert: full-span set of view tuples
     int64_t update_id = -1;
+
+    bool operator==(const Action&) const = default;
   };
 
   void ProcessArrivals();

@@ -128,8 +128,9 @@ void SweepWarehouse::RestoreAlgState(const AlgState& state) {
 }
 
 void SweepWarehouse::CaptureUndoAlgState(UndoLog& undo) {
-  undo.CaptureValue(&active_);
-  undo.CaptureValue(&compensations_);
+  undo.CaptureValue(&active_, {"SweepWarehouse", "active_", site_id()});
+  undo.CaptureValue(&compensations_,
+                    {"SweepWarehouse", "compensations_", site_id()});
 }
 
 void SweepWarehouse::SerializeAlgState(CheckpointWriter& w) const {

@@ -72,6 +72,8 @@ class SweepWarehouse : public Warehouse {
     bool left_phase = true;
     int j = -1;               // relation currently being queried
     int64_t outstanding_query = -1;
+
+    bool operator==(const ActiveSweep&) const = default;
   };
 
   // Pops the next update and starts its ViewChange if idle.

@@ -46,44 +46,65 @@ void Warehouse::InitializeView(Relation initial_view) {
 
 void Warehouse::CaptureUndo(bool full) {
   if (undo_ == nullptr) return;
-  undo_->CaptureValue(&view_);
-  undo_->CaptureValue(&queue_);
+  // Effect atoms name the *declaring* class — the same resolution the
+  // static effects pass uses — so the soundness oracle compares like with
+  // like (src/verify/effects.h, tools/sweeplint/effects.py).
+  const int s = site_id_;
+  undo_->CaptureValue(&view_, {"Warehouse", "view_", s});
+  undo_->CaptureValue(&queue_, {"Warehouse", "queue_", s});
   if (full) {
     // Crash/recovery clears and rebuilds the logs from the checkpoint, so
     // truncate-to-length would restore the wrong content.
-    undo_->CaptureValue(&arrival_log_);
-    undo_->CaptureValue(&installs_);
-    undo_->CaptureValue(&install_time_log_);
-    undo_->CaptureValue(&foreign_skip_log_);
+    undo_->CaptureValue(&arrival_log_, {"Warehouse", "arrival_log_", s});
+    undo_->CaptureValue(&installs_, {"Warehouse", "installs_", s});
+    undo_->CaptureValue(&install_time_log_,
+                        {"Warehouse", "install_time_log_", s});
+    undo_->CaptureValue(&foreign_skip_log_,
+                        {"Warehouse", "foreign_skip_log_", s});
   } else {
-    undo_->CaptureTail(&arrival_log_);
-    undo_->CaptureTail(&installs_);
-    undo_->CaptureTail(&install_time_log_);
-    undo_->CaptureTail(&foreign_skip_log_);
+    undo_->CaptureTail(&arrival_log_, {"Warehouse", "arrival_log_", s});
+    undo_->CaptureTail(&installs_, {"Warehouse", "installs_", s});
+    undo_->CaptureTail(&install_time_log_,
+                       {"Warehouse", "install_time_log_", s});
+    undo_->CaptureTail(&foreign_skip_log_,
+                       {"Warehouse", "foreign_skip_log_", s});
   }
-  undo_->CaptureValue(&updates_incorporated_);
-  undo_->CaptureValue(&queries_sent_);
-  undo_->CaptureValue(&next_query_id_);
-  undo_->CaptureValue(&update_watermarks_);
-  undo_->CaptureValue(&seen_update_ids_);
-  undo_->CaptureValue(&pending_queries_);
-  undo_->CaptureValue(&duplicate_updates_ignored_);
-  undo_->CaptureValue(&stale_answers_ignored_);
-  undo_->CaptureValue(&queries_reissued_);
-  undo_->CaptureValue(&foreign_updates_discarded_);
-  undo_->CaptureValue(&durable_checkpoint_);
-  undo_->CaptureValue(&durable_wal_);
-  undo_->CaptureValue(&durable_epoch_);
-  undo_->CaptureValue(&epoch_);
-  undo_->CaptureValue(&crashed_);
-  undo_->CaptureValue(&recovering_);
-  undo_->CaptureValue(&timer_gen_);
-  undo_->CaptureValue(&recoveries_);
-  undo_->CaptureValue(&wal_replayed_);
-  undo_->CaptureValue(&checkpoints_taken_);
-  undo_->CaptureValue(&checkpoint_bytes_max_);
-  undo_->CaptureValue(&pre_epoch_answers_ignored_);
-  undo_->CaptureValue(&max_query_attempts_);
+  undo_->CaptureValue(&updates_incorporated_,
+                      {"Warehouse", "updates_incorporated_", s});
+  undo_->CaptureValue(&queries_sent_, {"Warehouse", "queries_sent_", s});
+  undo_->CaptureValue(&next_query_id_, {"Warehouse", "next_query_id_", s});
+  undo_->CaptureValue(&update_watermarks_,
+                      {"Warehouse", "update_watermarks_", s});
+  undo_->CaptureValue(&seen_update_ids_,
+                      {"Warehouse", "seen_update_ids_", s});
+  undo_->CaptureValue(&pending_queries_,
+                      {"Warehouse", "pending_queries_", s});
+  undo_->CaptureValue(&duplicate_updates_ignored_,
+                      {"Warehouse", "duplicate_updates_ignored_", s});
+  undo_->CaptureValue(&stale_answers_ignored_,
+                      {"Warehouse", "stale_answers_ignored_", s});
+  undo_->CaptureValue(&queries_reissued_,
+                      {"Warehouse", "queries_reissued_", s});
+  undo_->CaptureValue(&foreign_updates_discarded_,
+                      {"Warehouse", "foreign_updates_discarded_", s});
+  undo_->CaptureValue(&durable_checkpoint_,
+                      {"Warehouse", "durable_checkpoint_", s});
+  undo_->CaptureValue(&durable_wal_, {"Warehouse", "durable_wal_", s});
+  undo_->CaptureValue(&durable_epoch_, {"Warehouse", "durable_epoch_", s});
+  undo_->CaptureValue(&epoch_, {"Warehouse", "epoch_", s});
+  undo_->CaptureValue(&crashed_, {"Warehouse", "crashed_", s});
+  undo_->CaptureValue(&recovering_, {"Warehouse", "recovering_", s});
+  undo_->CaptureValue(&timer_gen_, {"Warehouse", "timer_gen_", s});
+  undo_->CaptureValue(&recoveries_, {"Warehouse", "recoveries_", s});
+  undo_->CaptureValue(&wal_replayed_, {"Warehouse", "wal_replayed_", s});
+  undo_->CaptureValue(&checkpoints_taken_,
+                      {"Warehouse", "checkpoints_taken_", s});
+  undo_->CaptureValue(&checkpoint_bytes_max_,
+                      {"Warehouse", "checkpoint_bytes_max_", s});
+  undo_->CaptureValue(&pre_epoch_answers_ignored_,
+                      {"Warehouse", "pre_epoch_answers_ignored_", s});
+  undo_->CaptureValue(&max_query_attempts_,
+                      {"Warehouse", "max_query_attempts_", s});
   CaptureUndoAlgState(*undo_);
 }
 
@@ -694,6 +715,9 @@ void Warehouse::InstallViewDelta(const Relation& view_delta,
   SWEEP_LOG(Debug) << name() << " installed delta "
                    << view_delta.ToDisplayString() << " -> "
                    << view_.ToDisplayString();
+  // sweeplint:allow effect-bounds observer_ is wiring-time instrumentation
+  // (sharded-view fragment sums, bench taps); controlled explorations
+  // never install one, and the dynamic oracle enforces that.
   if (observer_) observer_(view_delta, update_ids);
   RecordInstall(std::move(update_ids));
 }
@@ -703,6 +727,9 @@ void Warehouse::InstallAbsoluteView(Relation new_view,
   if (observer_) {
     Relation delta = new_view;
     delta.MergeNegated(view_);
+    // sweeplint:allow effect-bounds observer_ is wiring-time
+    // instrumentation; controlled explorations never install one, and
+    // the dynamic oracle enforces that.
     observer_(delta, update_ids);
   }
   view_ = std::move(new_view);

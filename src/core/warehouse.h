@@ -58,6 +58,8 @@ struct InstallRecord {
   // True if the view held a negative count after the install — a
   // correctness red flag the checker also looks at.
   bool negative_counts = false;
+
+  bool operator==(const InstallRecord&) const = default;
 };
 
 class Warehouse : public Site {
@@ -279,6 +281,8 @@ class Warehouse : public Site {
     int attempts = 1;
     int expected_answers = 1;
     std::unordered_set<int> relations_seen;
+
+    bool operator==(const PendingQuery&) const = default;
   };
 
  public:
@@ -410,6 +414,8 @@ class Warehouse : public Site {
   // True if this warehouse is responsible for maintaining the view
   // against `update` (always true unless Options::shard_of is set).
   bool OwnsUpdate(const Update& update) const {
+    // sweeplint:allow effect-bounds shard_of is a pure content hash fixed
+    // at wiring time (shard/router.cc); it reads no mutable state.
     return !options_.shard_of ||
            options_.shard_of(update) == options_.shard_index;
   }

@@ -32,6 +32,8 @@ struct PartialDelta {
   }
 
   std::string ToDisplayString() const;
+
+  bool operator==(const PartialDelta&) const = default;
 };
 
 // Joins `left_rel` (base relation or delta of relation pd.lo - 1) to the

@@ -31,6 +31,8 @@ namespace sweepmv {
 
 struct UpdateMessage {
   Update update;
+
+  bool operator==(const UpdateMessage&) const = default;
 };
 
 struct QueryRequest {
@@ -47,12 +49,16 @@ struct QueryRequest {
   // while the warehouse has never crashed. Last member, like the other
   // message structs, so pre-existing aggregate initializers stay valid.
   int64_t epoch = 0;
+
+  bool operator==(const QueryRequest&) const = default;
 };
 
 struct QueryAnswer {
   int64_t query_id = -1;
   PartialDelta partial;
   int64_t epoch = 0;  // echoed from the request
+
+  bool operator==(const QueryAnswer&) const = default;
 };
 
 // One signed join term of an ECA query. `fixed[r]`, when present, pins
@@ -61,12 +67,16 @@ struct QueryAnswer {
 struct EcaTerm {
   int sign = 1;
   std::vector<std::optional<Relation>> fixed;
+
+  bool operator==(const EcaTerm&) const = default;
 };
 
 struct EcaQueryRequest {
   int64_t query_id = -1;
   std::vector<EcaTerm> terms;
   int64_t epoch = 0;  // warehouse recovery epoch (see QueryRequest)
+
+  bool operator==(const EcaQueryRequest&) const = default;
 };
 
 struct EcaQueryAnswer {
@@ -74,11 +84,15 @@ struct EcaQueryAnswer {
   // Signed sum of the evaluated terms, over the view's joined schema.
   Relation result;
   int64_t epoch = 0;  // echoed from the request
+
+  bool operator==(const EcaQueryAnswer&) const = default;
 };
 
 struct SnapshotRequest {
   int64_t query_id = -1;
   int64_t epoch = 0;  // warehouse recovery epoch (see QueryRequest)
+
+  bool operator==(const SnapshotRequest&) const = default;
 };
 
 struct SnapshotAnswer {
@@ -86,6 +100,8 @@ struct SnapshotAnswer {
   int relation = -1;
   Relation snapshot;
   int64_t epoch = 0;  // echoed from the request
+
+  bool operator==(const SnapshotAnswer&) const = default;
 };
 
 // SessionDatagram carries any Message by pointer, so the variant can
@@ -107,6 +123,10 @@ struct SessionDatagram {
   int64_t cum_ack = -1;   // highest in-order delivered seq (acks only)
   int64_t epoch = 0;      // sender incarnation (acks: epoch being acked)
   std::shared_ptr<const Message> payload;  // null for pure acks
+
+  // Pointer equality on the payload: good enough for the effect oracle's
+  // change probes (controlled runs never see datagrams; see network.cc).
+  bool operator==(const SessionDatagram&) const = default;
 };
 
 // Broad classes for traffic accounting.

@@ -111,12 +111,21 @@ void Network::ArmControlledDrop() {
   ++controlled_drops_armed_;
 }
 
+void Network::PrecreateLinks(const std::vector<int>& site_ids) {
+  for (int from : site_ids) {
+    for (int to : site_ids) {
+      if (from != to) LinkFor(from, to);
+    }
+  }
+}
+
 void Network::CaptureUndo() {
   if (undo_ == nullptr) return;
-  undo_->CaptureValue(&stats_);
-  undo_->CaptureValue(&rng_);
-  undo_->CaptureValue(&fault_root_);
-  undo_->CaptureValue(&controlled_drops_armed_);
+  undo_->CaptureValue(&stats_, {"Network", "stats_", -1});
+  undo_->CaptureValue(&rng_, {"Network", "rng_", -1});
+  undo_->CaptureValue(&fault_root_, {"Network", "fault_root_", -1});
+  undo_->CaptureValue(&controlled_drops_armed_,
+                      {"Network", "controlled_drops_armed_", -1});
   // Mirror of RestoreState's link handling: restore surviving channels,
   // erase links created after the watermark so a replayed first send
   // re-forks the same per-link RNG from the restored roots.
@@ -124,17 +133,38 @@ void Network::CaptureUndo() {
   for (const auto& [key, link] : links_) {
     channels.emplace(key, link.channel);
   }
-  undo_->Capture(&links_, [this, channels = std::move(channels)]() {
-    for (auto it = links_.begin(); it != links_.end();) {
-      auto saved = channels.find(it->first);
-      if (saved == channels.end()) {
-        it = links_.erase(it);
-      } else {
-        it->second.channel = saved->second;
-        ++it;
-      }
-    }
-  });
+  // The effect probe attributes link mutations to the *sending* site:
+  // links_ is keyed (from, to) and only Send() mutates a channel, so the
+  // static table binds "links_" atoms to the sender.
+  auto changed = [](const Channel& a, const Channel& b) {
+    return a.messages_sent() != b.messages_sent() ||
+           a.last_arrival() != b.last_arrival() ||
+           a.rng_state() != b.rng_state();
+  };
+  auto probe_channels = channels;
+  undo_->Capture(
+      &links_,
+      [this, channels = std::move(channels)]() {
+        for (auto it = links_.begin(); it != links_.end();) {
+          auto saved = channels.find(it->first);
+          if (saved == channels.end()) {
+            it = links_.erase(it);
+          } else {
+            it->second.channel = saved->second;
+            ++it;
+          }
+        }
+      },
+      [this, changed, channels = std::move(probe_channels)](
+          std::vector<EffectAtom>& out) {
+        for (const auto& [key, link] : links_) {
+          auto saved = channels.find(key);
+          if (saved == channels.end() ||
+              changed(link.channel, saved->second)) {
+            out.push_back(EffectAtom{"Network", "links_", key.first});
+          }
+        }
+      });
 }
 
 void Network::DescribeState(StateHasher& h) const {
@@ -278,6 +308,9 @@ void Network::ScheduleFaultyDelivery(LinkState& link, int from, int to,
     event.from = from;
     event.to = to;
     event.message = msg.get();
+    // sweeplint:allow effect-bounds the tap is a passive trace observer
+    // owned by the harness; it reads the event by value and cannot
+    // reach protocol state (trace.cc only serializes).
     tap_(event);
   }
   EventLabel label{EventKind::kDelivery, from, to,
@@ -347,6 +380,9 @@ void Network::SendAck(int from, int to, int64_t ack_epoch,
     event.from = from;
     event.to = to;
     event.message = ack.get();
+    // sweeplint:allow effect-bounds the tap is a passive trace observer
+    // owned by the harness; it reads the event by value and cannot
+    // reach protocol state (trace.cc only serializes).
     tap_(event);
   }
   EventLabel label{EventKind::kDelivery, from, to,

@@ -29,6 +29,7 @@
 #include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/fingerprint.h"
 #include "common/rng.h"
@@ -50,6 +51,8 @@ struct NetworkStats {
   struct ClassStats {
     int64_t messages = 0;
     int64_t payload_tuples = 0;
+
+    bool operator==(const ClassStats&) const = default;
   };
   std::array<ClassStats, static_cast<size_t>(MessageClass::kNumClasses)>
       by_class;
@@ -65,6 +68,8 @@ struct NetworkStats {
     int64_t dups_suppressed = 0;   // duplicate datagrams discarded on receive
     int64_t acks_sent = 0;         // pure-ack datagrams
     int64_t messages_abandoned = 0;  // unacked payloads past the retry budget
+
+    bool operator==(const ReliabilityStats&) const = default;
   } reliability;
 
   int64_t TotalMessages() const;
@@ -74,6 +79,8 @@ struct NetworkStats {
   }
 
   std::string ToDisplayString() const;
+
+  bool operator==(const NetworkStats&) const = default;
 };
 
 // One observed transmission, reported to the network tap at send time
@@ -153,6 +160,13 @@ class Network {
   // notification is unrecoverable without the session layer.
   void ArmControlledDrop();
   int64_t controlled_drops_armed() const { return controlled_drops_armed_; }
+
+  // Eagerly creates every directed link among `site_ids`. The controlled
+  // system calls this at construction so LinkFor's lazy rng_.Fork() never
+  // fires inside an explored step — link creation would otherwise be a
+  // hidden first-send write to rng_ that the static effect table does not
+  // (and should not) charge to the sending handler.
+  void PrecreateLinks(const std::vector<int>& site_ids);
 
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }

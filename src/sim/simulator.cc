@@ -69,9 +69,13 @@ void Simulator::ScheduleAt(SimTime when, EventLabel label, uint64_t digest,
 
 void Simulator::CaptureUndo() {
   if (undo_ == nullptr) return;
-  undo_->CaptureValue(&now_);
-  undo_->CaptureValue(&next_seq_);
-  undo_->CaptureValue(&pending_);
+  // The pending-event multiset *is* the schedule structure the explorer
+  // enumerates; the oracle exempts the Simulator class wholesale (every
+  // handler appends events, and channel append order is already the
+  // commutativity question the independence relation answers).
+  undo_->CaptureValue(&now_, {"Simulator", "now_", -1});
+  undo_->CaptureValue(&next_seq_, {"Simulator", "next_seq_", -1});
+  undo_->CaptureValue(&pending_, {"Simulator", "pending_", -1});
 }
 
 void Simulator::SetScheduler(Scheduler* scheduler) {

@@ -52,6 +52,9 @@ struct EventLabel {
   int to = -1;
   // Static human-readable tag for traces (e.g. the message class name).
   const char* what = "";
+
+  // `what` compares by pointer: labels are built from string literals.
+  bool operator==(const EventLabel&) const = default;
 };
 
 // Controlled-mode hook: picks which ready event runs next.
@@ -82,6 +85,13 @@ class Simulator {
     // the whole state as not safely dedupable (see HashState).
     uint64_t digest = 0;
     std::function<void()> fn;
+
+    // Identity comparison for the undo log's effect probes (the closure
+    // is not comparable; (when, seq) already identifies an event).
+    bool operator==(const Event& other) const {
+      return when == other.when && seq == other.seq &&
+             label == other.label && digest == other.digest;
+    }
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {

@@ -36,17 +36,25 @@ DataSource::DataSource(int site_id, int relation_index, Relation initial,
 
 void DataSource::CaptureUndo() {
   if (undo_ == nullptr) return;
+  const int s = site_id_;
   ids_->CaptureUndo(*undo_);
   // store_'s indexes are a pure cache over the relation; the custom entry
   // restores the relation and rebuilds them, exactly like RestoreState.
-  undo_->Capture(&store_, [this, saved = store_.relation()]() {
-    store_.RestoreRelation(saved);
-  });
-  undo_->CaptureValue(&query_stats_);
-  undo_->CaptureValue(&log_);
-  undo_->CaptureValue(&queries_answered_);
-  undo_->CaptureValue(&crashed_);
-  undo_->CaptureValue(&updates_replayed_);
+  undo_->Capture(
+      &store_,
+      [this, saved = store_.relation()]() { store_.RestoreRelation(saved); },
+      [this, s, saved = store_.relation()](std::vector<EffectAtom>& out) {
+        if (!(store_.relation() == saved)) {
+          out.push_back(EffectAtom{"DataSource", "store_", s});
+        }
+      });
+  undo_->CaptureValue(&query_stats_, {"DataSource", "query_stats_", s});
+  undo_->CaptureValue(&log_, {"DataSource", "log_", s});
+  undo_->CaptureValue(&queries_answered_,
+                      {"DataSource", "queries_answered_", s});
+  undo_->CaptureValue(&crashed_, {"DataSource", "crashed_", s});
+  undo_->CaptureValue(&updates_replayed_,
+                      {"DataSource", "updates_replayed_", s});
 }
 
 void DataSource::DescribeState(StateHasher& h) const {

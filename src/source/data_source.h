@@ -42,7 +42,9 @@ class UpdateIdGenerator {
 
   // Undo support: every site that may advance the counter records it; the
   // log's first-touch-per-era dedup keeps one entry per watermark span.
-  void CaptureUndo(UndoLog& undo) { undo.CaptureValue(&next_); }
+  void CaptureUndo(UndoLog& undo) {
+    undo.CaptureValue(&next_, {"UpdateIdGenerator", "next_", -1});
+  }
   void DescribeState(StateHasher& h) const { h.I64("ids.next", next_); }
 
  private:

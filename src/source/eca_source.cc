@@ -26,10 +26,12 @@ EcaSource::EcaSource(int site_id, std::vector<Relation> initial_relations,
 
 void EcaSource::CaptureUndo() {
   if (undo_ == nullptr) return;
+  const int s = site_id_;
   ids_->CaptureUndo(*undo_);
-  undo_->CaptureValue(&relations_);
-  undo_->CaptureValue(&logs_);
-  undo_->CaptureValue(&queries_answered_);
+  undo_->CaptureValue(&relations_, {"EcaSource", "relations_", s});
+  undo_->CaptureValue(&logs_, {"EcaSource", "logs_", s});
+  undo_->CaptureValue(&queries_answered_,
+                      {"EcaSource", "queries_answered_", s});
 }
 
 void EcaSource::DescribeState(StateHasher& h) const {

@@ -57,6 +57,8 @@ struct Update {
   bool IsPureDelete() const;
 
   std::string ToDisplayString() const;
+
+  bool operator==(const Update&) const = default;
 };
 
 // Builds the signed-count delta equivalent of a transaction's operations

@@ -42,6 +42,8 @@ struct StorageStats {
   int64_t indexes_maintained = 0;  // live indexes across the site
 
   void MergeFrom(const StorageStats& other);
+
+  bool operator==(const StorageStats&) const = default;
 };
 
 class IndexedRelation {

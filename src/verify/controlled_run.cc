@@ -121,6 +121,22 @@ ControlledSystem::ControlledSystem(const ControlledScenario& scenario,
     warehouse->InitializeAuxiliary(bases_);
   }
 
+  // Pre-create every link now, outside any explored step: LinkFor's lazy
+  // creation forks the network RNG, and the effect oracle would otherwise
+  // see that fork as a hidden rng_ write charged to whichever handler
+  // happened to send on the link first.
+  std::vector<int> all_sites;
+  all_sites.push_back(kWarehouseSite);
+  if (eca_source_ != nullptr) {
+    all_sites.push_back(1);
+  } else {
+    for (int r = 0; r < n; ++r) all_sites.push_back(r + 1);
+  }
+  for (size_t w = 0; w < scenario.extra_warehouses.size(); ++w) {
+    all_sites.push_back(n + 1 + static_cast<int>(w));
+  }
+  network_.PrecreateLinks(all_sites);
+
   // All transactions enter at t=0; only the schedule orders them against
   // deliveries. Same-relation transactions stay in list order (their
   // events share a channel). Each carries a content digest so the state

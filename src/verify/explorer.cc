@@ -45,6 +45,22 @@ EventLabel LabelOfChannelHead(const EventId& id) {
   return label;
 }
 
+// Full label of a sleep-set entry, for the refined independence check:
+// a slept event stays enabled (its channel head is untouched by the
+// independent steps that kept it asleep), so it is normally present in
+// the node's ready set — match it there to recover the complete label
+// (kind, sites, `what` tag). The channel-head fallback loses the tag,
+// which makes internal events unresolvable and degrades them to the
+// site rule's always-dependent verdict — sound, never unsound.
+EventLabel ResolveSleepLabel(const EventId& z,
+                             const std::vector<EventId>& ids,
+                             const std::vector<Scheduler::Candidate>& ready) {
+  for (size_t j = 0; j < ids.size(); ++j) {
+    if (ids[j] == z) return ready[j].label;
+  }
+  return LabelOfChannelHead(z);
+}
+
 struct ChannelLess {
   bool operator()(const ChannelId& a, const ChannelId& b) const {
     return std::tie(a.kind, a.from, a.to) < std::tie(b.kind, b.from, b.to);
@@ -299,12 +315,16 @@ struct ReplayDfs {
       std::vector<EventId> child_sleep;
       if (config.sleep_sets) {
         for (const EventId& z : sleep) {
-          if (Independent(LabelOfChannelHead(z), ready[i].label)) {
+          if (IndependentUnder(config.effects,
+                               ResolveSleepLabel(z, ids, ready),
+                               ready[i].label, &result.refined_grants)) {
             child_sleep.push_back(z);
           }
         }
         for (const EventId& z : done) {
-          if (Independent(LabelOfChannelHead(z), ready[i].label)) {
+          if (IndependentUnder(config.effects,
+                               ResolveSleepLabel(z, ids, ready),
+                               ready[i].label, &result.refined_grants)) {
             child_sleep.push_back(z);
           }
         }
@@ -492,6 +512,7 @@ struct IncrementalDfs {
     // Attach after the replay: the prefix is never backtracked past, so
     // its mutations need no undo entries.
     if (core.config.use_undo) system->AttachUndo(&undo);
+    if (core.config.effects_oracle) undo.SetObserve(true);
     path = prefix;
     executed = scheduler->replay_counts();
     Visit(std::move(sleep));
@@ -635,19 +656,35 @@ struct IncrementalDfs {
       std::vector<EventId> child_sleep;
       if (config.sleep_sets) {
         for (const EventId& z : sleep) {
-          if (Independent(LabelOfChannelHead(z), ready[i].label)) {
+          if (IndependentUnder(config.effects,
+                               ResolveSleepLabel(z, ids, ready),
+                               ready[i].label, &result.refined_grants)) {
             child_sleep.push_back(z);
           }
         }
         for (const EventId& z : done) {
-          if (Independent(LabelOfChannelHead(z), ready[i].label)) {
+          if (IndependentUnder(config.effects,
+                               ResolveSleepLabel(z, ids, ready),
+                               ready[i].label, &result.refined_grants)) {
             child_sleep.push_back(z);
           }
         }
       }
+      // Oracle granularity: one undo era per executed step, so the drain
+      // below observes exactly this step's changes. Extra marks between
+      // the branch watermark and the rollback are harmless — RollbackTo
+      // unwinds across era boundaries.
+      if (config.effects_oracle) undo.MarkPoint();
       scheduler->SetNext(i);
       const int64_t ran = system->Run(1);
       SWEEP_CHECK_MSG(ran == 1, "ready event failed to execute");
+      if (config.effects_oracle) {
+        const std::vector<EffectAtom> observed = undo.DrainObserved();
+        std::string err;
+        SWEEP_CHECK_MSG(
+            config.effects->CheckObserved(ready[i].label, observed, &err),
+            err.c_str());
+      }
       ++executed[ids[i].channel];
       path.push_back(i);
       Visit(std::move(child_sleep));
@@ -781,12 +818,18 @@ void SplitFrontier(const ExplorerConfig& config, size_t target,
       std::vector<EventId> child_sleep;
       if (config.sleep_sets) {
         for (const EventId& z : slot.sleep) {
-          if (Independent(LabelOfChannelHead(z), ready[i].label)) {
+          if (IndependentUnder(config.effects,
+                               ResolveSleepLabel(z, ids, ready),
+                               ready[i].label,
+                               &expand_stats.refined_grants)) {
             child_sleep.push_back(z);
           }
         }
         for (const EventId& z : done) {
-          if (Independent(LabelOfChannelHead(z), ready[i].label)) {
+          if (IndependentUnder(config.effects,
+                               ResolveSleepLabel(z, ids, ready),
+                               ready[i].label,
+                               &expand_stats.refined_grants)) {
             child_sleep.push_back(z);
           }
         }
@@ -864,6 +907,7 @@ ExploreResult ExploreParallel(const ExplorerConfig& config) {
     merged.executions += r.executions;
     merged.sleep_pruned += r.sleep_pruned;
     merged.sleep_blocked += r.sleep_blocked;
+    merged.refined_grants += r.refined_grants;
     merged.decision_points += r.decision_points;
     merged.violations += r.violations;
     merged.max_ready = std::max(merged.max_ready, r.max_ready);
@@ -917,6 +961,11 @@ ExploreResult ExploreExhaustive(const ExplorerConfig& config) {
                   "parallel exploration requires prefix sharing");
   SWEEP_CHECK_MSG(config.share_prefixes || !config.dedup_states,
                   "state dedup requires the prefix-sharing engine");
+  SWEEP_CHECK_MSG(!config.effects_oracle ||
+                      (config.effects != nullptr && config.use_undo &&
+                       config.share_prefixes),
+                  "the effect oracle needs an effects index, the undo log "
+                  "and the prefix-sharing engine");
   ExploreResult result;
   if (config.threads > 1) {
     result = ExploreParallel(config);

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "verify/controlled_run.h"
+#include "verify/effects.h"
 
 namespace sweepmv {
 
@@ -98,6 +99,20 @@ struct ExplorerConfig {
   // Debug mode: on a dedup hit, explore the subtree anyway and assert the
   // recomputed summary matches the cached one (collision detector).
   bool verify_on_hit = false;
+  // Refined independence (verify/effects.h): when set, the sleep-set
+  // search consults the statically inferred effect table on top of the
+  // site rule — the extra grants (e.g. a controlled warehouse crash
+  // commuting with a source transaction) prune schedules the site rule
+  // must enumerate. Null = site rule only. The pointer must outlive the
+  // exploration and the index must be built for this config's scenario.
+  const EffectsIndex* effects = nullptr;
+  // Debug soundness oracle: after every executed step, drain the undo
+  // log's observation probes and assert the set of members that actually
+  // changed is contained in the static effect table's write footprint
+  // for that handler. Catches an under-approximated table on the first
+  // schedule that exercises the missing effect. Requires `effects`,
+  // use_undo and the prefix-sharing engine.
+  bool effects_oracle = false;
   // Parallel exploration falls back to the sequential engine when the
   // initial frontier split yields fewer runnable subtree tasks than this
   // (the split exhausted a tiny schedule space, or could not fan out);
@@ -130,6 +145,11 @@ struct ExploreResult {
   // sleep_sets off.
   int64_t sleep_pruned = 0;
   int64_t sleep_blocked = 0;
+  // Independence queries the effect table granted where the site rule
+  // alone said dependent (config.effects set). Like `executions` it
+  // counts work actually performed, so a dedup hit — which skips the
+  // queries — does not replay it; totals are engine-dependent.
+  int64_t refined_grants = 0;
   // Interior decision points (ready set > 1) encountered.
   int64_t decision_points = 0;
   int64_t max_ready = 0;

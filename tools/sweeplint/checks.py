@@ -74,6 +74,7 @@ from tokutil import (
     unordered_type,
 )
 from ckpt import CHECK_CKPT, CKPT_SCOPE, check_checkpoint_coverage
+from effects import CHECK_EFFECTS, EFFECTS_SCOPE, check_effect_bounds
 from guards import CHECK_GUARD, GUARD_SCOPE, check_protocol_guard
 from taint import CHECK_TAINT, TAINT_SCOPE, check_determinism_taint
 
@@ -90,6 +91,7 @@ ALL_CHECKS = (
     CHECK_TAINT,
     CHECK_GUARD,
     CHECK_CKPT,
+    CHECK_EFFECTS,
 )
 
 # Default directory scopes (relative-path prefixes) per check; fixture
@@ -161,6 +163,9 @@ def run_checks(
     if CHECK_CKPT in checks:
         scope = None if scope_all else CKPT_SCOPE
         diags.extend(check_checkpoint_coverage(model, scope))
+    if CHECK_EFFECTS in checks:
+        scope = None if scope_all else EFFECTS_SCOPE
+        diags.extend(check_effect_bounds(model, scope))
     return sort_diagnostics(diags)
 
 

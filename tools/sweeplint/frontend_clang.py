@@ -356,7 +356,7 @@ def build_model(
     model = Model()
     rel_set = set(rel_paths)
     args_by_src = _load_compile_args(compile_commands)
-    default_args = ["-std=c++17", "-xc++", f"-I{root / 'src'}"]
+    default_args = ["-std=c++20", "-xc++", f"-I{root / 'src'}"]
     index = cindex.Index.create()
 
     unsaved = []

@@ -196,6 +196,12 @@ class Diagnostic:
     line: int
     check: str
     message: str
+    # Optional subject of the finding (member, functor, method name).
+    # Two diagnostics for the same (file, line, check, symbol) are the
+    # same finding even when their messages differ (e.g. a path-carrying
+    # message rendered from two analysis contexts); sort_diagnostics
+    # keeps only the first. Not rendered — text()/github() are stable.
+    symbol: str = ""
 
     def text(self) -> str:
         return f"{self.file}:{self.line}: [{self.check}] {self.message}"
@@ -206,13 +212,31 @@ class Diagnostic:
             f"title=sweeplint {self.check}::{self.message}"
         )
 
+    def identity(self) -> Tuple[str, int, str, str]:
+        return (self.file, self.line, self.check, self.symbol or self.message)
+
 
 def _is_identifier(tok: str) -> bool:
     return bool(tok) and (tok[0].isalpha() or tok[0] == "_")
 
 
 def sort_diagnostics(diags: List[Diagnostic]) -> List[Diagnostic]:
-    return sorted(diags, key=lambda d: (d.file, d.line, d.check, d.message))
+    """Sorted, with duplicate findings collapsed.
+
+    Both frontends route every check's output through here, so dedup by
+    Diagnostic.identity() happens in one place: the first diagnostic (in
+    sort order) wins for each (file, line, check, symbol-or-message)."""
+    out: List[Diagnostic] = []
+    seen = set()
+    for d in sorted(
+        diags, key=lambda d: (d.file, d.line, d.check, d.message)
+    ):
+        key = d.identity()
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(d)
+    return out
 
 
 def find_allow(

@@ -32,13 +32,23 @@ Usage:
   python3 tools/sweeplint/sweeplint.py --root . \
       [--compile-commands build/compile_commands.json] \
       [--frontend auto|clang|micro] [--format text|github] \
-      [--checks a,b] [--skip-unavailable] [--list-checks]
+      [--checks a,b] [--changed-files GITREF] \
+      [--skip-unavailable] [--list-checks]
+
+--changed-files GITREF is the PR-scoped mode: the semantic model is
+still built over the FULL tree — every check here is interprocedural,
+so analyzing a file subset would silently weaken them — but only
+diagnostics landing in src/ files that differ from GITREF are reported.
+CI runs PRs diff-scoped against the base branch and the nightly cron
+unscoped, so a latent cross-file finding surfaces within a day even if
+no PR touches the offending file.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import subprocess
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -141,6 +151,15 @@ def main() -> int:
         help="comma-separated subset of checks to run",
     )
     parser.add_argument(
+        "--changed-files",
+        metavar="GITREF",
+        default=None,
+        help="report only diagnostics in src/ files that differ from "
+        "GITREF (git diff --name-only); the model is still built over "
+        "the full tree. Exits 0 immediately when nothing under src/ "
+        "changed.",
+    )
+    parser.add_argument(
         "--skip-unavailable",
         action="store_true",
         help=f"exit {SKIP_EXIT_CODE} (ctest skip) instead of falling back "
@@ -184,6 +203,36 @@ def main() -> int:
               file=sys.stderr)
         return 2
 
+    changed: Optional[set] = None
+    if args.changed_files:
+        try:
+            proc = subprocess.run(
+                ["git", "diff", "--name-only", args.changed_files,
+                 "--", "src"],
+                cwd=root, check=True, capture_output=True, text=True,
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = ""
+            if isinstance(exc, subprocess.CalledProcessError):
+                detail = f": {exc.stderr.strip()}"
+            print(
+                f"sweeplint: git diff against '{args.changed_files}' "
+                f"failed{detail}",
+                file=sys.stderr,
+            )
+            return 2
+        changed = {
+            line.strip()
+            for line in proc.stdout.splitlines()
+            if line.strip().endswith((".cc", ".h"))
+        }
+        if not changed:
+            print(
+                f"sweeplint: no C++ changes under src/ relative to "
+                f"{args.changed_files}; nothing to analyze"
+            )
+            return 0
+
     compile_commands = None
     if args.compile_commands:
         compile_commands = Path(args.compile_commands)
@@ -198,12 +247,18 @@ def main() -> int:
         compile_commands=compile_commands,
         check_names=selected,
     )
+    if changed is not None:
+        # The model above is full-tree on purpose (the checks are
+        # interprocedural); only the reporting is diff-scoped.
+        diags = [d for d in diags if d.file in changed]
     if not diags:
         frontend = args.frontend
         if frontend == "auto":
             frontend = "clang" if clang_available() else "micro"
+        scope = (f", scoped to {len(changed)} changed file(s)"
+                 if changed is not None else "")
         print(f"sweeplint: clean ({frontend} frontend, "
-              f"{len(selected)} check(s))")
+              f"{len(selected)} check(s){scope})")
         return 0
     for diag in diags:
         print(diag.github() if args.format == "github" else diag.text())

@@ -344,6 +344,9 @@ class _BodyScan:
         self.local_types: Dict[str, str] = _local_unordered(
             ctx.model, body.tokens
         )
+        # Reference locals bound to a member (`auto& v = member_;`):
+        # writes through the local taint the member itself.
+        self.ref_alias: Dict[str, str] = {}
         self.summary = Summary()
         self.emitted: Set[Tuple] = set()
         # Seed parameters (abstract) and tainted fields of this class.
@@ -607,6 +610,21 @@ class _BodyScan:
                 target,
                 " ".join(t for t, _ in lhs if t != target),
             )
+            # Reference binding to a member: the local is the member.
+            if any(t == "&" for t, _ in lhs) and "(" not in [
+                t for t, _ in rhs
+            ]:
+                rhs_root = next(
+                    (t for t, _ in rhs if is_ident(t)), None
+                )
+                if rhs_root is not None and rhs_root in (
+                    self.ctx.class_fields.get(self.body.class_name, set())
+                ):
+                    self.ref_alias[target] = rhs_root
+                    if rhs_root in self.env:
+                        self.env[target] = _merge_origins(
+                            self.env.get(target, ()), self.env[rhs_root]
+                        )
         rhs_origins = self.expr_origins(rhs)
         kept: List = []
         for o in rhs_origins:
@@ -628,10 +646,11 @@ class _BodyScan:
             concrete = tuple(
                 o for o in self.env[target] if isinstance(o, Origin)
             )
-            if concrete and target in self.ctx.class_fields.get(
+            field_target = self.ref_alias.get(target, target)
+            if concrete and field_target in self.ctx.class_fields.get(
                 self.body.class_name, set()
             ):
-                key = (self.body.class_name, target)
+                key = (self.body.class_name, field_target)
                 self.ctx.field_taint[key] = _merge_origins(
                     self.ctx.field_taint.get(key, ()), concrete
                 )
@@ -674,10 +693,11 @@ class _BodyScan:
                     concrete = tuple(
                         o for o in self.env[base] if isinstance(o, Origin)
                     )
-                    if concrete and base in self.ctx.class_fields.get(
+                    field_base = self.ref_alias.get(base, base)
+                    if concrete and field_base in self.ctx.class_fields.get(
                         self.body.class_name, set()
                     ):
-                        key = (self.body.class_name, base)
+                        key = (self.body.class_name, field_base)
                         self.ctx.field_taint[key] = _merge_origins(
                             self.ctx.field_taint.get(key, ()), concrete
                         )

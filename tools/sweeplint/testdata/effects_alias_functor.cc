@@ -1,0 +1,22 @@
+// effect-bounds, positive: the functor field's type is spelled through
+// a type alias (`using Hook = std::function<...>`); the escape must
+// still be detected by resolving the alias.
+namespace std {
+template <typename T>
+struct function {
+  explicit operator bool() const;
+  template <typename... A>
+  void operator()(A...) const;
+};
+}  // namespace std
+
+using InstallHook = std::function<void(int)>;
+
+struct Warehouse {
+  void OnMessage(int from, int payload) {
+    view_ += payload;
+    hook_(from);
+  }
+  InstallHook hook_;
+  int view_ = 0;
+};

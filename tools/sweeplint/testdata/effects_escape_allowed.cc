@@ -1,0 +1,22 @@
+// effect-bounds, negative: the escaping functor call carries an allow
+// annotation with a rationale, so the handler stays bounded and no
+// diagnostic is emitted.
+namespace std {
+template <typename T>
+struct function {
+  explicit operator bool() const;
+  template <typename... A>
+  void operator()(A...) const;
+};
+}  // namespace std
+
+struct Warehouse {
+  void OnMessage(int from, int payload) {
+    view_ += payload;
+    // sweeplint:allow effect-bounds the observer is harness wiring that
+    // accumulates outside the explored system by design.
+    observer_(from);
+  }
+  std::function<void(int)> observer_;
+  int view_ = 0;
+};

@@ -1,0 +1,21 @@
+// effect-bounds, positive: an allow annotation without a substantive
+// rationale suppresses the escape finding but is itself reported — the
+// rationale is the reviewable claim that the callee touches no state.
+namespace std {
+template <typename T>
+struct function {
+  explicit operator bool() const;
+  template <typename... A>
+  void operator()(A...) const;
+};
+}  // namespace std
+
+struct Warehouse {
+  void OnMessage(int from, int payload) {
+    view_ += payload;
+    // sweeplint:allow effect-bounds ok
+    observer_(from);
+  }
+  std::function<void(int)> observer_;
+  int view_ = 0;
+};

@@ -1,0 +1,23 @@
+// effect-bounds, positive: a functor invoked through a member chain
+// (`options_.shard_of(...)` style) escapes effect inference just like a
+// directly-held one.
+namespace std {
+template <typename T>
+struct function {
+  explicit operator bool() const;
+  template <typename... A>
+  int operator()(A...) const;
+};
+}  // namespace std
+
+struct Warehouse {
+  struct Options {
+    std::function<int(int)> shard_of;
+  };
+  int OnMessage(int from, int update) {
+    view_ += from;
+    return options_.shard_of(update);
+  }
+  Options options_;
+  int view_ = 0;
+};

@@ -1,0 +1,21 @@
+// effect-bounds, positive: an event handler invoking a
+// std::function-typed field escapes effect inference — the callee could
+// touch any state, so the handler's effect set is unbounded and the
+// explorer must fall back to the site rule. Flagged until annotated.
+namespace std {
+template <typename T>
+struct function {
+  explicit operator bool() const;
+  template <typename... A>
+  void operator()(A...) const;
+};
+}  // namespace std
+
+struct Warehouse {
+  void OnMessage(int from, int payload) {
+    view_ += payload;
+    observer_(from);
+  }
+  std::function<void(int)> observer_;
+  int view_ = 0;
+};

@@ -1,0 +1,41 @@
+// determinism-taint, positive: taint laundered through a reference
+// local bound to a member (`auto& v = member_; v.push_back(rand())`)
+// still taints the member and reaches a sink from another method.
+// The value-copy in CopyIsClean() must NOT taint the member.
+int rand();
+
+namespace std {
+template <typename T>
+struct vector {
+  void push_back(const T& v);
+  unsigned front() const;
+  unsigned size() const;
+};
+}  // namespace std
+
+struct EventLabel {
+  int kind = 0;
+};
+
+struct Sim {
+  void Schedule(long delay, EventLabel label, unsigned payload) {
+    armed_ += delay + label.kind + payload;
+  }
+  long armed_ = 0;
+};
+
+struct Harness {
+  void SeedThroughAlias() {
+    auto& seeds = seeds_;
+    seeds.push_back(rand());
+  }
+  void CopyIsClean() {
+    auto copy = clean_;
+    copy.push_back(rand());
+  }
+  void Arm() { sim_->Schedule(5, EventLabel{1}, seeds_.front()); }
+  void ArmClean() { sim_->Schedule(5, EventLabel{1}, clean_.front()); }
+  std::vector<unsigned> seeds_;
+  std::vector<unsigned> clean_;
+  Sim* sim_ = nullptr;
+};
